@@ -1,0 +1,87 @@
+//! Criterion micro-benchmark: the cost of CLIC's bookkeeping knobs — outqueue
+//! size, tracking mode (full hint table vs top-k Space-Saving), and window
+//! length — measured as end-to-end simulation throughput on the same trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cache_sim::{simulate, AccessKind, Trace, TraceBuilder};
+use clic_core::{Clic, ClicConfig, TrackingMode};
+
+fn hinted_trace(requests: usize) -> Trace {
+    let mut b = TraceBuilder::new().with_name("overhead");
+    let c = b.add_client("bench", &[("object", 16), ("kind", 4)]);
+    let hints: Vec<_> = (0..16u32)
+        .flat_map(|o| (0..4u32).map(move |k| (o, k)))
+        .map(|(o, k)| b.intern_hints(c, &[o, k]))
+        .collect();
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..requests {
+        let r = next();
+        let page = r % 100_000;
+        let hint = hints[(r % hints.len() as u64) as usize];
+        b.push(c, page, AccessKind::Read, None, hint);
+    }
+    b.build()
+}
+
+fn bench_clic_overhead(criterion: &mut Criterion) {
+    let requests = 200_000usize;
+    let trace = hinted_trace(requests);
+    let capacity = 8_192;
+
+    let mut group = criterion.benchmark_group("clic_overhead");
+    group.throughput(Throughput::Elements(requests as u64));
+    group.sample_size(10);
+
+    for factor in [0.0f64, 1.0, 5.0, 10.0] {
+        group.bench_with_input(
+            BenchmarkId::new("outqueue_factor", format!("{factor}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut clic = Clic::new(
+                        capacity,
+                        ClicConfig::default()
+                            .with_window(50_000)
+                            .with_outqueue_factor(factor),
+                    );
+                    simulate(&mut clic, trace).stats.read_hits
+                })
+            },
+        );
+    }
+    for (label, mode) in [
+        ("full", TrackingMode::Full),
+        ("top8", TrackingMode::TopK(8)),
+        ("top64", TrackingMode::TopK(64)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("tracking", label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut clic = Clic::new(
+                    capacity,
+                    ClicConfig::default().with_window(50_000).with_tracking(mode),
+                );
+                simulate(&mut clic, trace).stats.read_hits
+            })
+        });
+    }
+    for window in [10_000u64, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("window", window), &trace, |b, trace| {
+            b.iter(|| {
+                let mut clic =
+                    Clic::new(capacity, ClicConfig::default().with_window(window));
+                simulate(&mut clic, trace).stats.read_hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clic_overhead);
+criterion_main!(benches);

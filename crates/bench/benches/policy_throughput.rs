@@ -1,0 +1,80 @@
+//! Criterion micro-benchmark: requests-per-second throughput of every
+//! replacement policy (the baselines and CLIC) on a synthetic skewed
+//! workload. This quantifies the paper's claim that CLIC's bookkeeping is
+//! cheap enough for an on-line storage-server cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cache_sim::policies::BaselinePolicy;
+use cache_sim::{simulate, AccessKind, Trace, TraceBuilder, WriteHint};
+use clic_core::{Clic, ClicConfig, TrackingMode};
+
+/// Builds a deterministic skewed trace with a few hint sets, mixing reads,
+/// replacement writes, and recovery writes.
+fn synthetic_trace(requests: usize, pages: u64) -> Trace {
+    let mut b = TraceBuilder::new().with_name("bench");
+    let c = b.add_client("bench", &[("object", 4), ("kind", 3)]);
+    let hints: Vec<_> = (0..4u32)
+        .flat_map(|o| (0..3u32).map(move |k| (o, k)))
+        .map(|(o, k)| b.intern_hints(c, &[o, k]))
+        .collect();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..requests {
+        let r = next();
+        let page = if r % 4 == 0 { r % (pages / 16).max(1) } else { r % pages };
+        let object = (page % 4) as u32;
+        let (kind, write_hint, hint_kind) = match next() % 5 {
+            0 => (AccessKind::Write, Some(WriteHint::Replacement), 1),
+            1 => (AccessKind::Write, Some(WriteHint::Recovery), 2),
+            _ => (AccessKind::Read, None, 0),
+        };
+        b.push(c, page, kind, write_hint, hints[(object * 3 + hint_kind) as usize]);
+    }
+    b.build()
+}
+
+fn bench_policies(criterion: &mut Criterion) {
+    let requests = 200_000usize;
+    let trace = synthetic_trace(requests, 50_000);
+    let capacity = 4_096;
+
+    let mut group = criterion.benchmark_group("policy_throughput");
+    group.throughput(Throughput::Elements(requests as u64));
+    group.sample_size(10);
+
+    for kind in BaselinePolicy::ALL {
+        group.bench_with_input(BenchmarkId::new("baseline", kind.name()), &trace, |bench, trace| {
+            bench.iter(|| {
+                let mut policy = kind.build(capacity);
+                simulate(policy.as_mut(), trace).stats.read_hits
+            })
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("clic", "full"), &trace, |bench, trace| {
+        bench.iter(|| {
+            let mut policy = Clic::new(capacity, ClicConfig::default().with_window(50_000));
+            simulate(&mut policy, trace).stats.read_hits
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("clic", "top16"), &trace, |bench, trace| {
+        bench.iter(|| {
+            let mut policy = Clic::new(
+                capacity,
+                ClicConfig::default()
+                    .with_window(50_000)
+                    .with_tracking(TrackingMode::TopK(16)),
+            );
+            simulate(&mut policy, trace).stats.read_hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Parameter ablations beyond the paper's figures, for the design choices
+//! DESIGN.md calls out:
+//!
+//! * outqueue size (`Noutq` as a multiple of the cache size; paper uses 5×),
+//! * priority-evaluation window size `W`,
+//! * smoothing factor `r` (paper uses 1.0),
+//! * metadata charging on/off,
+//! * on-line statistics vs oracle (whole-trace) statistics.
+
+use cache_sim::simulate;
+use clic_bench::{window_for_trace, ExperimentContext, ResultTable};
+use clic_core::{analyze_trace, Clic, ClicConfig};
+use trace_gen::TracePreset;
+
+fn main() -> std::io::Result<()> {
+    let ctx = ExperimentContext::from_args();
+    println!("CLIC parameter ablations, scale = {}\n", ctx.scale_label());
+
+    let preset = TracePreset::Db2C300;
+    let trace = preset.build(ctx.scale);
+    println!("generated {}", trace.summary());
+    let cache = preset.reference_cache_size(ctx.scale);
+    let base_window = window_for_trace(&trace);
+
+    let run = |config: ClicConfig| {
+        let mut clic = Clic::new(cache, config);
+        simulate(&mut clic, &trace).read_hit_ratio()
+    };
+
+    // Outqueue factor sweep.
+    let mut outqueue_table = ResultTable::new(
+        format!("Ablation: outqueue size (trace {}, {cache}-page cache)", preset.name()),
+        &["outqueue factor", "read hit ratio"],
+    );
+    for factor in [0.0, 1.0, 2.0, 5.0, 10.0] {
+        let ratio = run(ClicConfig::default()
+            .with_window(base_window)
+            .with_outqueue_factor(factor));
+        outqueue_table.push_row(vec![format!("{factor}"), format!("{:.1}%", ratio * 100.0)]);
+    }
+    outqueue_table.emit(&ctx.out_dir, "ablation_outqueue")?;
+
+    // Window sweep.
+    let mut window_table = ResultTable::new(
+        format!("Ablation: priority window W (trace {}, {cache}-page cache)", preset.name()),
+        &["window (requests)", "read hit ratio"],
+    );
+    for divisor in [80u64, 40, 20, 10, 5, 1] {
+        let window = (trace.len() as u64 / divisor).max(1_000);
+        let ratio = run(ClicConfig::default().with_window(window));
+        window_table.push_row(vec![window.to_string(), format!("{:.1}%", ratio * 100.0)]);
+    }
+    window_table.emit(&ctx.out_dir, "ablation_window")?;
+
+    // Smoothing sweep.
+    let mut smoothing_table = ResultTable::new(
+        format!("Ablation: smoothing factor r (trace {}, {cache}-page cache)", preset.name()),
+        &["r", "read hit ratio"],
+    );
+    for r in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let ratio = run(ClicConfig::default().with_window(base_window).with_smoothing(r));
+        smoothing_table.push_row(vec![format!("{r}"), format!("{:.1}%", ratio * 100.0)]);
+    }
+    smoothing_table.emit(&ctx.out_dir, "ablation_smoothing")?;
+
+    // Metadata charging and oracle statistics.
+    let mut misc_table = ResultTable::new(
+        format!("Ablation: metadata charge and oracle statistics (trace {})", preset.name()),
+        &["variant", "read hit ratio"],
+    );
+    let charged = run(ClicConfig::default().with_window(base_window));
+    let uncharged = run(ClicConfig::default()
+        .with_window(base_window)
+        .with_metadata_charging(false));
+    misc_table.push_row(vec!["metadata charged (paper)".into(), format!("{:.1}%", charged * 100.0)]);
+    misc_table.push_row(vec!["metadata free".into(), format!("{:.1}%", uncharged * 100.0)]);
+    let reports = analyze_trace(&trace);
+    let mut oracle = Clic::new(cache, ClicConfig::default().with_window(u64::MAX / 2));
+    oracle.preload_priorities(reports.iter().map(|r| (r.hint, r.priority)));
+    let oracle_ratio = simulate(&mut oracle, &trace).read_hit_ratio();
+    misc_table.push_row(vec![
+        "oracle (whole-trace) statistics".into(),
+        format!("{:.1}%", oracle_ratio * 100.0),
+    ]);
+    misc_table.emit(&ctx.out_dir, "ablation_misc")
+}

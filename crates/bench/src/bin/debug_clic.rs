@@ -1,0 +1,67 @@
+//! Diagnostic tool (not a paper figure): dissects CLIC's behaviour on one
+//! preset trace — offline hint-set analysis, on-line vs oracle-fed
+//! priorities, and cache composition — to understand where hits come from.
+
+use cache_sim::{policies::Lru, simulate};
+use clic_bench::window_for_trace;
+use clic_core::{analyze_trace, Clic, ClicConfig};
+use trace_gen::{PresetScale, TracePreset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = args
+        .first()
+        .and_then(|s| TracePreset::from_name(s))
+        .unwrap_or(TracePreset::Db2C300);
+    let cache = args
+        .get(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1800);
+    let trace = preset.build(PresetScale::Smoke);
+    println!("{}", trace.summary());
+
+    // Offline analysis (exact N, Nr, D over the whole trace).
+    let reports = analyze_trace(&trace);
+    println!("\n== offline hint analysis (top 20 by priority, freq > 0.1%) ==");
+    let mut by_priority = reports.clone();
+    by_priority.sort_by(|a, b| b.priority.partial_cmp(&a.priority).unwrap());
+    for r in by_priority.iter().filter(|r| r.frequency > 0.001).take(20) {
+        println!(
+            "  Pr={:<12.6} fhit={:<6.3} D={:<12.1} freq={:<8.5} {}",
+            r.priority, r.read_hit_rate, r.mean_distance, r.frequency, r.label
+        );
+    }
+
+    // LRU baseline.
+    let mut lru = Lru::new(cache);
+    let lru_res = simulate(&mut lru, &trace);
+    println!("\nLRU      read hit ratio: {:.3}", lru_res.read_hit_ratio());
+
+    // On-line CLIC.
+    let window = window_for_trace(&trace);
+    let mut clic = Clic::new(cache, ClicConfig::default().with_window(window));
+    let clic_res = simulate(&mut clic, &trace);
+    println!("CLIC     read hit ratio: {:.3} (window {window}, {} windows)", clic_res.read_hit_ratio(), clic.windows_completed());
+    println!("  final cache composition (top 10):");
+    for (hint, count) in clic.cache_composition().into_iter().take(10) {
+        println!("    {:>6} pages  Pr={:<12.6} {}", count, clic.priority_of(hint), trace.catalog.describe(hint));
+    }
+
+    // CLIC fed with oracle (whole-trace) priorities and no re-evaluation.
+    let mut oracle_clic = Clic::new(
+        cache,
+        ClicConfig::default().with_window(u64::MAX / 2),
+    );
+    oracle_clic.preload_priorities(reports.iter().map(|r| (r.hint, r.priority)));
+    let oracle_res = simulate(&mut oracle_clic, &trace);
+    println!("CLIC(oracle stats) read hit ratio: {:.3}", oracle_res.read_hit_ratio());
+    println!("  final cache composition (top 10):");
+    for (hint, count) in oracle_clic.cache_composition().into_iter().take(10) {
+        println!(
+            "    {:>6} pages  Pr={:<12.6} {}",
+            count,
+            oracle_clic.priority_of(hint),
+            trace.catalog.describe(hint)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 6: server-cache read hit ratio of OPT, TQ, LRU, ARC and CLIC as a
+//! function of the server cache size, for the three DB2 TPC-C traces
+//! (`DB2_C60`, `DB2_C300`, `DB2_C540`).
+
+use clic_bench::{comparison_table, run_policy_comparison, ExperimentContext, PAPER_POLICIES};
+use trace_gen::TracePreset;
+
+fn main() -> std::io::Result<()> {
+    let ctx = ExperimentContext::from_args();
+    println!(
+        "Figure 6 reproduction (DB2 TPC-C policy comparison), scale = {}\n",
+        ctx.scale_label()
+    );
+    for preset in TracePreset::TPCC {
+        let trace = preset.build(ctx.scale);
+        let summary = trace.summary();
+        println!("generated {summary}");
+        let sizes = preset.server_cache_sizes(ctx.scale);
+        let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
+        let table = comparison_table(
+            format!("Figure 6 ({}): read hit ratio vs server cache size", preset.name()),
+            &points,
+            &sizes,
+            &PAPER_POLICIES,
+        );
+        table.emit(&ctx.out_dir, &format!("fig06_{}", preset.name().to_lowercase()))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Figure 8: server-cache read hit ratio of OPT, TQ, LRU, ARC and CLIC as a
+//! function of the server cache size, for the two MySQL TPC-H traces
+//! (`MY_H65`, `MY_H98`).
+
+use clic_bench::{comparison_table, run_policy_comparison, ExperimentContext, PAPER_POLICIES};
+use trace_gen::TracePreset;
+
+fn main() -> std::io::Result<()> {
+    let ctx = ExperimentContext::from_args();
+    println!(
+        "Figure 8 reproduction (MySQL TPC-H policy comparison), scale = {}\n",
+        ctx.scale_label()
+    );
+    for preset in TracePreset::MYSQL {
+        let trace = preset.build(ctx.scale);
+        let summary = trace.summary();
+        println!("generated {summary}");
+        let sizes = preset.server_cache_sizes(ctx.scale);
+        let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
+        let table = comparison_table(
+            format!("Figure 8 ({}): read hit ratio vs server cache size", preset.name()),
+            &points,
+            &sizes,
+            &PAPER_POLICIES,
+        );
+        table.emit(&ctx.out_dir, &format!("fig08_{}", preset.name().to_lowercase()))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Runs every experiment binary in sequence (the whole evaluation section).
+//!
+//! Equivalent to invoking each `table_*`, `fig*` and `ablation_*` binary with
+//! the same arguments; results land in the chosen output directory.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = [
+        "table_fig2",
+        "table_fig5",
+        "fig03_hint_priorities",
+        "fig06_tpcc_policies",
+        "fig07_tpch_policies",
+        "fig08_mysql_policies",
+        "fig09_topk",
+        "fig10_noise",
+        "fig11_multiclient",
+        "ablation_params",
+        "ablation_generalization",
+    ];
+    let self_path = std::env::current_exe().expect("current executable path");
+    let bin_dir = self_path.parent().expect("executable directory");
+    let mut failures = Vec::new();
+    for experiment in experiments {
+        println!("\n===== {experiment} =====");
+        let status = Command::new(bin_dir.join(experiment))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {experiment}: {e}"));
+        if !status.success() {
+            eprintln!("{experiment} exited with {status}");
+            failures.push(experiment);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nexperiments failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,420 @@
+//! Experiment harness for the CLIC reproduction.
+//!
+//! Each figure and table of the paper's evaluation (Section 6) has a
+//! dedicated binary in `src/bin/`; this library holds the shared machinery:
+//!
+//! * [`run_policy_comparison`] — simulate OPT/LRU/ARC/TQ/CLIC over a trace at
+//!   several server-cache sizes (Figures 6, 7 and 8),
+//! * [`build_policy`] — construct any policy (including CLIC variants) by
+//!   name and capacity,
+//! * [`ResultTable`] — plain-text / CSV result formatting, written both to
+//!   stdout and to the `results/` directory,
+//! * [`ExperimentContext`] — common command-line handling (`--scale`,
+//!   `--out-dir`) shared by every experiment binary.
+//!
+//! Criterion micro-benchmarks for the data structures themselves (policy
+//! throughput, Space-Saving, CLIC bookkeeping overhead) live in `benches/`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::thread;
+
+use cache_sim::policies::{Arc, Lru, Opt, Tq};
+use cache_sim::{simulate, BoxedPolicy, NextUseOracle, SimulationResult, Trace};
+use clic_core::{Clic, ClicConfig, TrackingMode};
+use trace_gen::PresetScale;
+
+/// The set of policies the paper compares in Figures 6-8, in plot order.
+pub const PAPER_POLICIES: [&str; 5] = ["OPT", "TQ", "LRU", "ARC", "CLIC"];
+
+/// Builds a policy by name for a given trace and capacity.
+///
+/// Supported names: `"OPT"`, `"LRU"`, `"ARC"`, `"TQ"`, `"CLIC"`, and
+/// `"CLIC(k=<n>)"` for the top-k tracking variant. The trace is needed only
+/// by OPT (for its future-knowledge oracle); passing the same trace that will
+/// be simulated is required for OPT to be meaningful.
+///
+/// # Panics
+///
+/// Panics if the policy name is not recognized.
+pub fn build_policy(name: &str, trace: &Trace, capacity: usize, window: u64) -> BoxedPolicy {
+    match name {
+        "OPT" => Box::new(Opt::from_trace(trace, capacity)),
+        "LRU" => Box::new(Lru::new(capacity)),
+        "ARC" => Box::new(Arc::new(capacity)),
+        "TQ" => Box::new(Tq::new(capacity)),
+        "CLIC" => Box::new(Clic::new(
+            capacity,
+            ClicConfig::default().with_window(window),
+        )),
+        other => {
+            if let Some(k) = other
+                .strip_prefix("CLIC(k=")
+                .and_then(|s| s.strip_suffix(')'))
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                Box::new(Clic::new(
+                    capacity,
+                    ClicConfig::default()
+                        .with_window(window)
+                        .with_tracking(TrackingMode::TopK(k)),
+                ))
+            } else {
+                panic!("unknown policy name: {other}")
+            }
+        }
+    }
+}
+
+/// Picks the CLIC priority-window size for a trace: the paper uses
+/// `W = 10⁶`; for scaled-down traces we shrink the window proportionally so
+/// that a comparable number of windows completes during the run.
+pub fn window_for_trace(trace: &Trace) -> u64 {
+    // Aim for roughly 20 windows over the trace, clamped to a sane range.
+    (trace.len() as u64 / 20).clamp(2_000, 1_000_000)
+}
+
+/// One measured point of a policy-comparison experiment.
+#[derive(Debug, Clone)]
+pub struct ComparisonPoint {
+    /// Policy name.
+    pub policy: String,
+    /// Server cache size in pages.
+    pub cache_pages: usize,
+    /// The full simulation result.
+    pub result: SimulationResult,
+}
+
+/// Runs the paper's policy comparison (OPT, TQ, LRU, ARC, CLIC) over `trace`
+/// at each of the given server-cache sizes. Simulations run on worker
+/// threads, one per (policy, cache size) pair.
+pub fn run_policy_comparison(
+    trace: &Trace,
+    cache_sizes: &[usize],
+    policies: &[&str],
+) -> Vec<ComparisonPoint> {
+    // The OPT oracle is the same for every cache size; build it once.
+    let oracle = if policies.contains(&"OPT") {
+        Some(NextUseOracle::build(trace))
+    } else {
+        None
+    };
+    let window = window_for_trace(trace);
+    let mut points = Vec::new();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &policy_name in policies {
+            for &cache_pages in cache_sizes {
+                let oracle_ref = &oracle;
+                let handle = scope.spawn(move || {
+                    let mut policy: BoxedPolicy = if policy_name == "OPT" {
+                        Box::new(Opt::with_oracle(
+                            oracle_ref.clone().expect("oracle built for OPT"),
+                            cache_pages,
+                        ))
+                    } else {
+                        build_policy(policy_name, trace, cache_pages, window)
+                    };
+                    let result = simulate(policy.as_mut(), trace);
+                    ComparisonPoint {
+                        policy: policy_name.to_string(),
+                        cache_pages,
+                        result,
+                    }
+                });
+                handles.push(handle);
+            }
+        }
+        for handle in handles {
+            points.push(handle.join().expect("simulation thread panicked"));
+        }
+    });
+    points
+}
+
+/// A printable result table (one per figure/table of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    /// Table title (e.g. `"Figure 6: DB2_C60"`).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the table to stdout and writes `<stem>.txt` / `<stem>.csv`
+    /// under `out_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the output directory or files.
+    pub fn emit(&self, out_dir: &Path, stem: &str) -> std::io::Result<()> {
+        println!("{}", self.to_text());
+        fs::create_dir_all(out_dir)?;
+        fs::write(out_dir.join(format!("{stem}.txt")), self.to_text())?;
+        fs::write(out_dir.join(format!("{stem}.csv")), self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Builds the standard "read hit ratio by cache size" table used by
+/// Figures 6-8: one row per policy, one column per server cache size.
+pub fn comparison_table(
+    title: impl Into<String>,
+    points: &[ComparisonPoint],
+    cache_sizes: &[usize],
+    policies: &[&str],
+) -> ResultTable {
+    let mut header = vec!["policy".to_string()];
+    for &size in cache_sizes {
+        header.push(format!("{size} pages"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = ResultTable::new(title, &header_refs);
+    for &policy in policies {
+        let mut row = vec![policy.to_string()];
+        for &size in cache_sizes {
+            let point = points
+                .iter()
+                .find(|p| p.policy == policy && p.cache_pages == size);
+            match point {
+                Some(p) => row.push(format!("{:.1}%", p.result.read_hit_ratio() * 100.0)),
+                None => row.push("-".to_string()),
+            }
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Common command-line context for the experiment binaries.
+///
+/// Every binary accepts `--scale smoke|default|paper` (default `default`),
+/// `--out-dir <dir>` (default `results/`), and `--quick` as an alias for
+/// `--scale smoke`.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The workload scale to run at.
+    pub scale: PresetScale,
+    /// Directory that receives `.txt`/`.csv` outputs.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext {
+            scale: PresetScale::Default,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExperimentContext {
+    /// Parses the context from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on unknown arguments.
+    pub fn from_args() -> Self {
+        let mut ctx = ExperimentContext::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    let value = args.get(i).expect("--scale requires a value");
+                    ctx.scale = PresetScale::from_name(value)
+                        .unwrap_or_else(|| panic!("unknown scale '{value}' (smoke|default|paper)"));
+                }
+                "--quick" => ctx.scale = PresetScale::Smoke,
+                "--out-dir" => {
+                    i += 1;
+                    ctx.out_dir = PathBuf::from(args.get(i).expect("--out-dir requires a value"));
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: <experiment> [--scale smoke|default|paper] [--quick] [--out-dir DIR]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument '{other}' (try --help)"),
+            }
+            i += 1;
+        }
+        ctx
+    }
+
+    /// A human-readable label for the current scale.
+    pub fn scale_label(&self) -> &'static str {
+        match self.scale {
+            PresetScale::Smoke => "smoke",
+            PresetScale::Default => "default",
+            PresetScale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessKind, TraceBuilder};
+
+    fn toy_trace() -> Trace {
+        let mut b = TraceBuilder::new().with_name("toy");
+        let c = b.add_client("t", &[("kind", 2)]);
+        let hot = b.intern_hints(c, &[0]);
+        let cold = b.intern_hints(c, &[1]);
+        for i in 0..20_000u64 {
+            b.push(c, i % 100, AccessKind::Read, None, hot);
+            b.push(c, 10_000 + i, AccessKind::Read, None, cold);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn build_policy_covers_all_names() {
+        let trace = toy_trace();
+        for name in PAPER_POLICIES {
+            let p = build_policy(name, &trace, 64, 1_000);
+            assert_eq!(p.capacity(), 64);
+        }
+        let topk = build_policy("CLIC(k=5)", &trace, 64, 1_000);
+        assert!(topk.name().contains("k=5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn build_policy_rejects_unknown_names() {
+        let trace = toy_trace();
+        let _ = build_policy("MAGIC", &trace, 8, 100);
+    }
+
+    #[test]
+    fn comparison_runs_and_opt_dominates() {
+        let trace = toy_trace();
+        let sizes = [64usize, 128];
+        let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
+        assert_eq!(points.len(), PAPER_POLICIES.len() * sizes.len());
+        for &size in &sizes {
+            let ratio = |name: &str| {
+                points
+                    .iter()
+                    .find(|p| p.policy == name && p.cache_pages == size)
+                    .unwrap()
+                    .result
+                    .read_hit_ratio()
+            };
+            assert!(ratio("OPT") >= ratio("LRU") - 1e-9);
+            assert!(ratio("OPT") >= ratio("CLIC") - 1e-9);
+            assert!(ratio("OPT") >= ratio("ARC") - 1e-9);
+        }
+    }
+
+    #[test]
+    fn result_table_renders_text_and_csv() {
+        let mut t = ResultTable::new("Figure X", &["policy", "60k"]);
+        t.push_row(vec!["LRU".into(), "12.3%".into()]);
+        t.push_row(vec!["CLIC".into(), "45.6%".into()]);
+        let text = t.to_text();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("CLIC"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("policy,60k"));
+        assert!(csv.contains("45.6%"));
+    }
+
+    #[test]
+    fn comparison_table_has_one_row_per_policy() {
+        let trace = toy_trace();
+        let sizes = [32usize];
+        let points = run_policy_comparison(&trace, &sizes, &["LRU", "CLIC"]);
+        let table = comparison_table("t", &points, &sizes, &["LRU", "CLIC"]);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.header.len(), 2);
+    }
+
+    #[test]
+    fn window_scales_with_trace_length() {
+        let trace = toy_trace();
+        let w = window_for_trace(&trace);
+        assert!(w >= 2_000);
+        assert!(w <= 1_000_000);
+        assert_eq!(w, trace.len() as u64 / 20);
+    }
+}

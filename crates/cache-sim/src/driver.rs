@@ -1,0 +1,195 @@
+//! The simulation driver: feeds a trace through a policy and collects stats.
+
+use std::collections::BTreeMap;
+
+use crate::policy::{CachePolicy, PolicyFactory};
+use crate::request::ClientId;
+use crate::stats::CacheStats;
+use crate::trace::Trace;
+
+/// The result of running one policy over one trace.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationResult {
+    /// Name of the policy that was simulated.
+    pub policy: String,
+    /// Cache capacity in pages.
+    pub capacity: usize,
+    /// Aggregate statistics over the whole trace.
+    pub stats: CacheStats,
+    /// Statistics broken down by the client that issued each request
+    /// (used by the paper's multi-client experiment, Figure 11).
+    pub per_client: BTreeMap<ClientId, CacheStats>,
+}
+
+impl SimulationResult {
+    /// Read hit ratio over the whole trace.
+    pub fn read_hit_ratio(&self) -> f64 {
+        self.stats.read_hit_ratio()
+    }
+
+    /// Read hit ratio restricted to requests from one client, or 0.0 if that
+    /// client issued no requests.
+    pub fn client_read_hit_ratio(&self, client: ClientId) -> f64 {
+        self.per_client
+            .get(&client)
+            .map(|s| s.read_hit_ratio())
+            .unwrap_or(0.0)
+    }
+}
+
+/// One point of a cache-size sweep: the capacity and the simulation result.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Cache capacity in pages for this point.
+    pub capacity: usize,
+    /// The simulation result at this capacity.
+    pub result: SimulationResult,
+}
+
+/// Runs `policy` over `trace` and returns aggregate and per-client statistics.
+///
+/// The driver — not the policy — is responsible for classifying hits and
+/// misses, so every policy is measured identically: a request is a hit iff
+/// the page was cached when the request arrived.
+pub fn simulate(policy: &mut dyn CachePolicy, trace: &Trace) -> SimulationResult {
+    simulate_with_callback(policy, trace, |_, _, _| {})
+}
+
+/// Like [`simulate`], but invokes `callback(seq, request, hit)` after every
+/// request. Used by experiments that need time-resolved output (for example
+/// warm-up exclusion or convergence plots).
+pub fn simulate_with_callback<F>(
+    policy: &mut dyn CachePolicy,
+    trace: &Trace,
+    mut callback: F,
+) -> SimulationResult
+where
+    F: FnMut(u64, &crate::Request, bool),
+{
+    let mut stats = CacheStats::new();
+    let mut per_client: BTreeMap<ClientId, CacheStats> = BTreeMap::new();
+    for (seq, req) in trace.iter() {
+        let outcome = policy.access(req, seq);
+        let client_stats = per_client.entry(req.client).or_default();
+        if req.is_read() {
+            stats.record_read(outcome.hit);
+            client_stats.record_read(outcome.hit);
+        } else {
+            stats.record_write(outcome.hit);
+            client_stats.record_write(outcome.hit);
+        }
+        stats.evictions += u64::from(outcome.evicted);
+        client_stats.evictions += u64::from(outcome.evicted);
+        if outcome.bypassed {
+            stats.bypasses += 1;
+            client_stats.bypasses += 1;
+        }
+        callback(seq, req, outcome.hit);
+    }
+    SimulationResult {
+        policy: policy.name(),
+        capacity: policy.capacity(),
+        stats,
+        per_client,
+    }
+}
+
+/// Runs the same policy (via its factory) at several cache capacities over
+/// the same trace — the cache-size sweeps of Figures 6-8.
+pub fn sweep(factory: &dyn PolicyFactory, trace: &Trace, capacities: &[usize]) -> Vec<SweepPoint> {
+    capacities
+        .iter()
+        .map(|&capacity| {
+            let mut policy = factory.build(capacity);
+            let result = simulate(policy.as_mut(), trace);
+            SweepPoint { capacity, result }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Lru;
+    use crate::policy::BoxedPolicy;
+    use crate::request::AccessKind;
+    use crate::trace::TraceBuilder;
+
+    fn cyclic_trace(pages: u64, repeats: usize) -> Trace {
+        let mut b = TraceBuilder::new().with_name("cyclic");
+        let c = b.add_client("t", &[("x", 1)]);
+        let h = b.intern_hints(c, &[0]);
+        for _ in 0..repeats {
+            for p in 0..pages {
+                b.push(c, p, AccessKind::Read, None, h);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn lru_hits_everything_when_cache_fits_working_set() {
+        let trace = cyclic_trace(4, 3);
+        let mut lru = Lru::new(4);
+        let res = simulate(&mut lru, &trace);
+        // First pass misses, the remaining two passes hit.
+        assert_eq!(res.stats.read_misses, 4);
+        assert_eq!(res.stats.read_hits, 8);
+        assert_eq!(res.capacity, 4);
+        assert_eq!(res.policy, "LRU");
+    }
+
+    #[test]
+    fn lru_thrashes_on_cyclic_scan_larger_than_cache() {
+        let trace = cyclic_trace(5, 4);
+        let mut lru = Lru::new(4);
+        let res = simulate(&mut lru, &trace);
+        assert_eq!(res.stats.read_hits, 0, "classic LRU cyclic-thrash case");
+    }
+
+    #[test]
+    fn per_client_stats_are_split() {
+        let mut b = TraceBuilder::new();
+        let c1 = b.add_client("a", &[("x", 1)]);
+        let c2 = b.add_client("b", &[("x", 1)]);
+        let h1 = b.intern_hints(c1, &[0]);
+        let h2 = b.intern_hints(c2, &[0]);
+        // Client 1 re-reads its page; client 2 never does.
+        b.push(c1, 1, AccessKind::Read, None, h1);
+        b.push(c2, 100, AccessKind::Read, None, h2);
+        b.push(c1, 1, AccessKind::Read, None, h1);
+        b.push(c2, 101, AccessKind::Read, None, h2);
+        let trace = b.build();
+        let mut lru = Lru::new(8);
+        let res = simulate(&mut lru, &trace);
+        assert_eq!(res.client_read_hit_ratio(c1), 0.5);
+        assert_eq!(res.client_read_hit_ratio(c2), 0.0);
+        assert_eq!(res.client_read_hit_ratio(ClientId(9)), 0.0);
+    }
+
+    #[test]
+    fn sweep_runs_every_capacity() {
+        let trace = cyclic_trace(6, 3);
+        let factory: (String, fn(usize) -> BoxedPolicy) =
+            ("LRU".to_string(), |cap| Box::new(Lru::new(cap)) as BoxedPolicy);
+        let points = sweep(&factory, &trace, &[2, 4, 6, 8]);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].capacity, 2);
+        // Hit ratio is monotone in capacity for LRU on this trace family.
+        assert!(points[3].result.read_hit_ratio() >= points[0].result.read_hit_ratio());
+        // A cache that fits the whole loop hits after the first pass.
+        assert!(points[2].result.stats.read_hits > 0);
+    }
+
+    #[test]
+    fn callback_sees_every_request() {
+        let trace = cyclic_trace(3, 2);
+        let mut lru = Lru::new(3);
+        let mut count = 0u64;
+        simulate_with_callback(&mut lru, &trace, |seq, _req, _hit| {
+            assert_eq!(seq, count);
+            count += 1;
+        });
+        assert_eq!(count, 6);
+    }
+}

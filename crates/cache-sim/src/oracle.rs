@@ -1,0 +1,122 @@
+//! Future-knowledge oracle used by the offline OPT (Belady MIN) policy.
+//!
+//! The paper's OPT baseline "replaces the cached page that will not be read
+//! for the longest time". Deciding that requires knowing, for every position
+//! in the trace, when the requested page will next be *read*. The
+//! [`NextUseOracle`] precomputes that information with a single backward scan
+//! over the trace.
+
+use std::collections::HashMap;
+
+use crate::request::AccessKind;
+use crate::trace::Trace;
+
+/// Sentinel returned when a page is never read again after a given position.
+pub const NEVER: u64 = u64::MAX;
+
+/// Precomputed next-read positions for every request in a trace.
+///
+/// `next_read(seq)` answers: "after the request at position `seq`, at which
+/// trace position will the same page next be read?" (or [`NEVER`]).
+#[derive(Debug, Clone)]
+pub struct NextUseOracle {
+    next_read: Vec<u64>,
+}
+
+impl NextUseOracle {
+    /// Builds the oracle from a trace with one backward pass.
+    pub fn build(trace: &Trace) -> Self {
+        let mut next_seen: HashMap<u64, u64> = HashMap::new();
+        let n = trace.requests.len();
+        let mut next_read = vec![NEVER; n];
+        for i in (0..n).rev() {
+            let req = &trace.requests[i];
+            let key = req.page.0;
+            next_read[i] = next_seen.get(&key).copied().unwrap_or(NEVER);
+            // Only *read* requests count as re-uses that a cache could serve;
+            // a future write does not benefit from having the page cached.
+            if req.kind == AccessKind::Read {
+                next_seen.insert(key, i as u64);
+            }
+        }
+        NextUseOracle { next_read }
+    }
+
+    /// Position of the next read of the page requested at `seq`, or [`NEVER`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is beyond the end of the trace the oracle was built on.
+    #[inline]
+    pub fn next_read(&self, seq: u64) -> u64 {
+        self.next_read[seq as usize]
+    }
+
+    /// Number of trace positions covered by the oracle.
+    pub fn len(&self) -> usize {
+        self.next_read.len()
+    }
+
+    /// Returns `true` if the oracle covers an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.next_read.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WriteHint;
+    use crate::trace::TraceBuilder;
+    use crate::AccessKind;
+
+    fn trace_of(accesses: &[(u64, AccessKind)]) -> Trace {
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("t", &[("x", 1)]);
+        let h = b.intern_hints(c, &[0]);
+        for &(page, kind) in accesses {
+            let wh = if kind == AccessKind::Write {
+                Some(WriteHint::Replacement)
+            } else {
+                None
+            };
+            b.push(c, page, kind, wh, h);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn next_read_skips_writes() {
+        use AccessKind::{Read, Write};
+        // positions:        0       1        2       3        4
+        let t = trace_of(&[(1, Read), (1, Write), (2, Read), (1, Read), (2, Write)]);
+        let o = NextUseOracle::build(&t);
+        // After position 0 (read p1) the next *read* of p1 is at 3 (the write
+        // at 1 does not count).
+        assert_eq!(o.next_read(0), 3);
+        // After the write at 1, next read of p1 is 3.
+        assert_eq!(o.next_read(1), 3);
+        // p2 read at 2 is never read again (only written at 4).
+        assert_eq!(o.next_read(2), NEVER);
+        assert_eq!(o.next_read(3), NEVER);
+        assert_eq!(o.next_read(4), NEVER);
+        assert_eq!(o.len(), 5);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = trace_of(&[]);
+        let o = NextUseOracle::build(&t);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn repeated_reads_chain() {
+        use AccessKind::Read;
+        let t = trace_of(&[(7, Read), (7, Read), (7, Read)]);
+        let o = NextUseOracle::build(&t);
+        assert_eq!(o.next_read(0), 1);
+        assert_eq!(o.next_read(1), 2);
+        assert_eq!(o.next_read(2), NEVER);
+    }
+}

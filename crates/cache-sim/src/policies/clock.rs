@@ -1,0 +1,137 @@
+//! CLOCK (second-chance) replacement.
+
+use std::collections::HashMap;
+
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::request::{PageId, Request};
+
+/// CLOCK approximates LRU with a circular buffer and per-page reference bits:
+/// on a hit the page's bit is set; on a miss the clock hand sweeps forward,
+/// clearing set bits, and replaces the first page whose bit is clear.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    capacity: usize,
+    // One slot per frame; `None` until the cache fills up.
+    frames: Vec<Option<(PageId, bool)>>,
+    index: HashMap<PageId, usize>,
+    hand: usize,
+}
+
+impl Clock {
+    /// Creates a CLOCK cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Clock {
+            capacity,
+            frames: vec![None; capacity],
+            index: HashMap::with_capacity(capacity),
+            hand: 0,
+        }
+    }
+
+    fn advance_to_victim(&mut self) -> usize {
+        loop {
+            let slot = self.hand;
+            match &mut self.frames[slot] {
+                Some((_, referenced)) if *referenced => {
+                    *referenced = false;
+                    self.hand = (self.hand + 1) % self.capacity;
+                }
+                _ => return slot,
+            }
+        }
+    }
+}
+
+impl CachePolicy for Clock {
+    fn name(&self) -> String {
+        "CLOCK".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, req: &Request, _seq: u64) -> AccessOutcome {
+        if let Some(&slot) = self.index.get(&req.page) {
+            if let Some((_, referenced)) = &mut self.frames[slot] {
+                *referenced = true;
+            }
+            return AccessOutcome::hit();
+        }
+        let slot = self.advance_to_victim();
+        let mut evicted = 0;
+        if let Some((old, _)) = self.frames[slot].take() {
+            self.index.remove(&old);
+            evicted = 1;
+        }
+        self.frames[slot] = Some((req.page, false));
+        self.index.insert(req.page, slot);
+        self.hand = (slot + 1) % self.capacity;
+        AccessOutcome::miss(evicted)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ClientId;
+    use crate::HintSetId;
+
+    fn read(page: u64) -> Request {
+        Request::read(ClientId(0), PageId(page), HintSetId(0))
+    }
+
+    #[test]
+    fn referenced_pages_get_a_second_chance() {
+        let mut clock = Clock::new(2);
+        clock.access(&read(1), 0);
+        clock.access(&read(2), 1);
+        // Reference page 1 so its bit is set.
+        assert!(clock.access(&read(1), 2).hit);
+        // Miss on page 3: hand is at slot 0 (page 1, referenced) so page 1 is
+        // spared, its bit cleared, and page 2 (unreferenced) is evicted.
+        clock.access(&read(3), 3);
+        assert!(clock.contains(PageId(1)));
+        assert!(!clock.contains(PageId(2)));
+        assert!(clock.contains(PageId(3)));
+    }
+
+    #[test]
+    fn fills_before_evicting() {
+        let mut clock = Clock::new(3);
+        for p in 0..3 {
+            let out = clock.access(&read(p), p);
+            assert_eq!(out.evicted, 0);
+        }
+        assert_eq!(clock.len(), 3);
+        let out = clock.access(&read(10), 4);
+        assert_eq!(out.evicted, 1);
+        assert_eq!(clock.len(), 3);
+    }
+
+    #[test]
+    fn all_referenced_degenerates_to_fifo_sweep() {
+        let mut clock = Clock::new(2);
+        clock.access(&read(1), 0);
+        clock.access(&read(2), 1);
+        clock.access(&read(1), 2);
+        clock.access(&read(2), 3);
+        // Both referenced: the hand clears both bits and evicts the first.
+        clock.access(&read(3), 4);
+        assert_eq!(clock.len(), 2);
+        assert!(clock.contains(PageId(3)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Least-frequently-used replacement.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::request::{PageId, Request};
+
+/// In-cache LFU: evicts the page with the fewest accesses since it was
+/// admitted, breaking ties by least-recent use. Frequency counts are dropped
+/// on eviction (no "perfect LFU" history), which is the common in-memory
+/// variant.
+#[derive(Debug, Clone, Default)]
+pub struct Lfu {
+    capacity: usize,
+    // page -> (frequency, last access seq)
+    meta: HashMap<PageId, (u64, u64)>,
+    // ordered by (frequency, last access seq, page): the minimum is the victim.
+    order: BTreeSet<(u64, u64, PageId)>,
+}
+
+impl Lfu {
+    /// Creates an LFU cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Lfu {
+            capacity,
+            meta: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+        }
+    }
+}
+
+impl CachePolicy for Lfu {
+    fn name(&self) -> String {
+        "LFU".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, req: &Request, seq: u64) -> AccessOutcome {
+        if let Some(&(freq, last)) = self.meta.get(&req.page) {
+            self.order.remove(&(freq, last, req.page));
+            let updated = (freq + 1, seq);
+            self.meta.insert(req.page, updated);
+            self.order.insert((updated.0, updated.1, req.page));
+            return AccessOutcome::hit();
+        }
+        let mut evicted = 0;
+        if self.meta.len() >= self.capacity {
+            if let Some(&victim) = self.order.iter().next() {
+                self.order.remove(&victim);
+                self.meta.remove(&victim.2);
+                evicted = 1;
+            }
+        }
+        self.meta.insert(req.page, (1, seq));
+        self.order.insert((1, seq, req.page));
+        AccessOutcome::miss(evicted)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.meta.contains_key(&page)
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ClientId;
+    use crate::HintSetId;
+
+    fn read(page: u64) -> Request {
+        Request::read(ClientId(0), PageId(page), HintSetId(0))
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut lfu = Lfu::new(2);
+        lfu.access(&read(1), 0);
+        lfu.access(&read(1), 1);
+        lfu.access(&read(1), 2);
+        lfu.access(&read(2), 3);
+        // Page 2 has frequency 1, page 1 frequency 3 -> 2 is evicted.
+        lfu.access(&read(3), 4);
+        assert!(lfu.contains(PageId(1)));
+        assert!(!lfu.contains(PageId(2)));
+        assert!(lfu.contains(PageId(3)));
+    }
+
+    #[test]
+    fn ties_broken_by_recency() {
+        let mut lfu = Lfu::new(2);
+        lfu.access(&read(1), 0);
+        lfu.access(&read(2), 1);
+        // Both have frequency 1; page 1 was used longer ago -> it is evicted.
+        lfu.access(&read(3), 2);
+        assert!(!lfu.contains(PageId(1)));
+        assert!(lfu.contains(PageId(2)));
+    }
+
+    #[test]
+    fn metadata_stays_consistent() {
+        let mut lfu = Lfu::new(4);
+        for i in 0..100u64 {
+            lfu.access(&read(i % 7), i);
+            assert_eq!(lfu.meta.len(), lfu.order.len());
+            assert!(lfu.len() <= 4);
+        }
+    }
+}

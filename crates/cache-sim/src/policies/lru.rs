@@ -1,0 +1,119 @@
+//! Least-recently-used replacement.
+
+use crate::policies::util::OrderedPageSet;
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::request::{PageId, Request};
+
+/// The classical LRU policy: on a miss the least recently used page is
+/// evicted. Both reads and writes count as uses and both admit the page.
+///
+/// The paper uses LRU as the canonical hint-oblivious, recency-based policy;
+/// it performs poorly at the second tier because the first-tier cache absorbs
+/// most temporal locality.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    capacity: usize,
+    pages: OrderedPageSet,
+}
+
+impl Lru {
+    /// Creates an LRU cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Lru {
+            capacity,
+            pages: OrderedPageSet::with_capacity(capacity),
+        }
+    }
+
+    /// The current eviction candidate (least recently used page), if any.
+    pub fn victim(&self) -> Option<PageId> {
+        self.pages.front()
+    }
+}
+
+impl CachePolicy for Lru {
+    fn name(&self) -> String {
+        "LRU".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, req: &Request, _seq: u64) -> AccessOutcome {
+        if self.pages.touch(req.page) {
+            return AccessOutcome::hit();
+        }
+        let mut evicted = 0;
+        if self.pages.len() >= self.capacity {
+            self.pages.pop_front();
+            evicted = 1;
+        }
+        self.pages.push_back(req.page);
+        AccessOutcome::miss(evicted)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.pages.contains(page)
+    }
+
+    fn len(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ClientId;
+    use crate::HintSetId;
+
+    fn read(page: u64) -> Request {
+        Request::read(ClientId(0), PageId(page), HintSetId(0))
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.access(&read(1), 0);
+        lru.access(&read(2), 1);
+        lru.access(&read(1), 2); // touch 1, making 2 the LRU page
+        let out = lru.access(&read(3), 3);
+        assert_eq!(out.evicted, 1);
+        assert!(lru.contains(PageId(1)));
+        assert!(!lru.contains(PageId(2)));
+        assert!(lru.contains(PageId(3)));
+        assert_eq!(lru.victim(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn hit_does_not_evict() {
+        let mut lru = Lru::new(2);
+        lru.access(&read(1), 0);
+        lru.access(&read(2), 1);
+        let out = lru.access(&read(2), 2);
+        assert!(out.hit);
+        assert_eq!(out.evicted, 0);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn writes_admit_pages_too() {
+        let mut lru = Lru::new(2);
+        let w = Request::write(ClientId(0), PageId(5), None, HintSetId(0));
+        let out = lru.access(&w, 0);
+        assert!(!out.hit);
+        assert!(lru.contains(PageId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = Lru::new(0);
+    }
+}

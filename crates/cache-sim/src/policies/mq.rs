@@ -1,0 +1,261 @@
+//! MQ: the Multi-Queue second-tier replacement policy (Zhou, Chen & Li).
+
+use std::collections::HashMap;
+
+use crate::policies::util::OrderedPageSet;
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::request::{PageId, Request};
+
+/// Number of frequency-tiered queues used by MQ (the published default).
+const NUM_QUEUES: usize = 8;
+
+/// MQ was designed specifically for second-tier caches: it maintains several
+/// LRU queues tiered by access frequency, promotes pages to higher queues as
+/// their frequency grows, demotes pages whose *lifetime* expires without a
+/// new access, and remembers evicted pages' frequencies in a ghost buffer so
+/// that a returning page resumes its old frequency.
+///
+/// The paper cites MQ as the prior state of the art among hint-oblivious
+/// second-tier policies (TQ was shown to beat it when write hints exist);
+/// it is included here for extended comparisons.
+#[derive(Debug, Clone)]
+pub struct Mq {
+    capacity: usize,
+    life_time: u64,
+    queues: Vec<OrderedPageSet>,
+    // page -> (frequency, expiration time, queue index)
+    meta: HashMap<PageId, PageMeta>,
+    // ghost buffer: page -> remembered frequency, plus FIFO order for bounding.
+    ghost_freq: HashMap<PageId, u64>,
+    ghost_order: OrderedPageSet,
+    ghost_capacity: usize,
+    current_time: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    frequency: u64,
+    expires_at: u64,
+    queue: usize,
+}
+
+impl Mq {
+    /// Creates an MQ cache holding at most `capacity` pages, with the
+    /// lifetime parameter defaulting to `4 * capacity` requests and a ghost
+    /// buffer of `4 * capacity` page ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_lifetime(capacity, (capacity as u64) * 4)
+    }
+
+    /// Creates an MQ cache with an explicit lifetime parameter (the number of
+    /// requests a page may stay in its queue without being re-referenced
+    /// before it is demoted one level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_lifetime(capacity: usize, life_time: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Mq {
+            capacity,
+            life_time: life_time.max(1),
+            queues: (0..NUM_QUEUES).map(|_| OrderedPageSet::new()).collect(),
+            meta: HashMap::with_capacity(capacity),
+            ghost_freq: HashMap::new(),
+            ghost_order: OrderedPageSet::new(),
+            ghost_capacity: capacity * 4,
+            current_time: 0,
+        }
+    }
+
+    fn queue_for_frequency(frequency: u64) -> usize {
+        let level = 64 - frequency.max(1).leading_zeros() as usize - 1; // floor(log2)
+        level.min(NUM_QUEUES - 1)
+    }
+
+    /// Demotes expired pages at the head of each non-bottom queue. Only a
+    /// constant amount of work is done per call, as in the published
+    /// algorithm.
+    fn adjust(&mut self) {
+        for q in (1..NUM_QUEUES).rev() {
+            let Some(head) = self.queues[q].front() else {
+                continue;
+            };
+            let meta = self.meta.get_mut(&head).expect("queued page has metadata");
+            if meta.expires_at < self.current_time {
+                self.queues[q].remove(head);
+                meta.queue = q - 1;
+                meta.expires_at = self.current_time + self.life_time;
+                self.queues[q - 1].push_back(head);
+                // One demotion per adjust() keeps the per-request cost O(1).
+                return;
+            }
+        }
+    }
+
+    fn evict_one(&mut self) -> bool {
+        for q in 0..NUM_QUEUES {
+            if let Some(victim) = self.queues[q].pop_front() {
+                let meta = self.meta.remove(&victim).expect("victim has metadata");
+                // Remember its frequency in the ghost buffer.
+                if self.ghost_capacity > 0 {
+                    if self.ghost_order.len() >= self.ghost_capacity {
+                        if let Some(expired) = self.ghost_order.pop_front() {
+                            self.ghost_freq.remove(&expired);
+                        }
+                    }
+                    self.ghost_order.push_back(victim);
+                    self.ghost_freq.insert(victim, meta.frequency);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert(&mut self, page: PageId, frequency: u64) {
+        let queue = Self::queue_for_frequency(frequency);
+        self.meta.insert(
+            page,
+            PageMeta {
+                frequency,
+                expires_at: self.current_time + self.life_time,
+                queue,
+            },
+        );
+        self.queues[queue].push_back(page);
+    }
+}
+
+impl CachePolicy for Mq {
+    fn name(&self) -> String {
+        "MQ".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, req: &Request, _seq: u64) -> AccessOutcome {
+        self.current_time += 1;
+        self.adjust();
+        let x = req.page;
+        if let Some(meta) = self.meta.get(&x).copied() {
+            // Hit: bump frequency, possibly promote, refresh expiration.
+            self.queues[meta.queue].remove(x);
+            let frequency = meta.frequency + 1;
+            self.insert(x, frequency);
+            return AccessOutcome::hit();
+        }
+        let mut evicted = 0;
+        if self.meta.len() >= self.capacity && self.evict_one() {
+            evicted = 1;
+        }
+        let remembered = self.ghost_freq.get(&x).copied().unwrap_or(0);
+        if remembered > 0 {
+            self.ghost_freq.remove(&x);
+            self.ghost_order.remove(x);
+        }
+        self.insert(x, remembered + 1);
+        AccessOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.meta.contains_key(&page)
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ClientId;
+    use crate::HintSetId;
+
+    fn read(page: u64) -> Request {
+        Request::read(ClientId(0), PageId(page), HintSetId(0))
+    }
+
+    #[test]
+    fn queue_index_is_log2_of_frequency() {
+        assert_eq!(Mq::queue_for_frequency(1), 0);
+        assert_eq!(Mq::queue_for_frequency(2), 1);
+        assert_eq!(Mq::queue_for_frequency(3), 1);
+        assert_eq!(Mq::queue_for_frequency(4), 2);
+        assert_eq!(Mq::queue_for_frequency(255), 7);
+        assert_eq!(Mq::queue_for_frequency(1 << 30), NUM_QUEUES - 1);
+    }
+
+    #[test]
+    fn frequent_pages_outlive_infrequent_ones() {
+        let mut mq = Mq::new(4);
+        // Page 1 accessed many times -> high queue.
+        for i in 0..8u64 {
+            mq.access(&read(1), i);
+        }
+        // Fill with one-shot pages; page 1 should survive because victims are
+        // taken from the lowest queue first.
+        for p in 10..20u64 {
+            mq.access(&read(p), 100 + p);
+        }
+        assert!(mq.contains(PageId(1)));
+        assert_eq!(mq.len(), 4);
+    }
+
+    #[test]
+    fn ghost_buffer_restores_frequency() {
+        let mut mq = Mq::new(1);
+        for i in 0..6u64 {
+            mq.access(&read(1), i);
+        }
+        // The single-slot cache must evict page 1 (frequency 6) to admit page 2.
+        mq.access(&read(2), 10);
+        assert!(!mq.contains(PageId(1)));
+        // Bring page 1 back: its remembered frequency is restored from the
+        // ghost buffer rather than restarting at 1.
+        mq.access(&read(1), 13);
+        let meta = mq.meta.get(&PageId(1)).unwrap();
+        assert!(meta.frequency > 1, "ghost frequency was not restored");
+        assert!(meta.queue >= 2, "restored frequency should map to a high queue");
+    }
+
+    #[test]
+    fn expired_pages_are_demoted() {
+        let mut mq = Mq::with_lifetime(4, 2);
+        for i in 0..4u64 {
+            mq.access(&read(1), i);
+        }
+        let q_before = mq.meta.get(&PageId(1)).unwrap().queue;
+        assert!(q_before >= 1);
+        // Touch other pages so page 1 expires and adjust() demotes it.
+        for i in 0..20u64 {
+            mq.access(&read(100 + i % 3), 10 + i);
+        }
+        let q_after = mq.meta.get(&PageId(1)).map(|m| m.queue);
+        if let Some(q_after) = q_after {
+            assert!(q_after < q_before, "expected demotion from {q_before} to below");
+        }
+    }
+
+    #[test]
+    fn capacity_and_ghost_bounds_hold() {
+        let mut mq = Mq::new(8);
+        for i in 0..2000u64 {
+            mq.access(&read(i % 37), i);
+            assert!(mq.len() <= 8);
+            assert!(mq.ghost_order.len() <= 32);
+            assert_eq!(mq.ghost_freq.len(), mq.ghost_order.len());
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! OPT: Belady's offline MIN algorithm (upper bound).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::oracle::{NextUseOracle, NEVER};
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::request::{PageId, Request};
+use crate::trace::Trace;
+
+/// The offline optimal replacement policy: on every request it knows (via a
+/// precomputed [`NextUseOracle`]) when each page will next be *read*, evicts
+/// the cached page whose next read is farthest in the future, and declines to
+/// cache pages that will be read later than everything already cached
+/// (bypass). Its read hit ratio upper-bounds every realizable policy, which
+/// is exactly how the paper uses it.
+///
+/// `Opt` can only be constructed for a specific trace (it needs the future);
+/// use [`Opt::from_trace`] or [`Opt::with_oracle`].
+#[derive(Debug)]
+pub struct Opt {
+    capacity: usize,
+    // page -> next read position
+    cached: HashMap<PageId, u64>,
+    // (next read position, page) ordered so the max is the eviction victim
+    order: BTreeSet<(u64, PageId)>,
+    oracle: NextUseOracle,
+}
+
+impl Opt {
+    /// Builds OPT for `trace`, constructing the next-use oracle internally.
+    pub fn from_trace(trace: &Trace, capacity: usize) -> Self {
+        Self::with_oracle(NextUseOracle::build(trace), capacity)
+    }
+
+    /// Builds OPT from an already-computed oracle (useful when simulating the
+    /// same trace at several cache sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_oracle(oracle: NextUseOracle, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Opt {
+            capacity,
+            cached: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            oracle,
+        }
+    }
+}
+
+impl CachePolicy for Opt {
+    fn name(&self) -> String {
+        "OPT".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, req: &Request, seq: u64) -> AccessOutcome {
+        let x = req.page;
+        let next = self.oracle.next_read(seq);
+
+        if let Some(&old_next) = self.cached.get(&x) {
+            // Hit (or write to a cached page): update its next-read key.
+            self.order.remove(&(old_next, x));
+            if next == NEVER {
+                // The page will never be read again; there is no reason to
+                // keep it. Dropping it frees a slot for useful pages.
+                self.cached.remove(&x);
+            } else {
+                self.cached.insert(x, next);
+                self.order.insert((next, x));
+            }
+            return AccessOutcome::hit();
+        }
+
+        // Miss. A page that will never be read again is never worth caching.
+        if next == NEVER {
+            return AccessOutcome::bypass();
+        }
+
+        if self.cached.len() >= self.capacity {
+            // Compare against the cached page with the farthest next read.
+            let &(far_next, far_page) = self
+                .order
+                .iter()
+                .next_back()
+                .expect("cache is full so order is non-empty");
+            if far_next <= next {
+                // Everything cached is read sooner than the new page: bypass.
+                return AccessOutcome::bypass();
+            }
+            self.order.remove(&(far_next, far_page));
+            self.cached.remove(&far_page);
+            self.cached.insert(x, next);
+            self.order.insert((next, x));
+            return AccessOutcome::miss(1);
+        }
+
+        self.cached.insert(x, next);
+        self.order.insert((next, x));
+        AccessOutcome::miss(0)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.cached.contains_key(&page)
+    }
+
+    fn len(&self) -> usize {
+        self.cached.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Arc, Lru};
+    use crate::request::AccessKind;
+    use crate::trace::TraceBuilder;
+    use crate::simulate;
+
+    fn trace_from_pages(pages: &[u64]) -> Trace {
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("t", &[("x", 1)]);
+        let h = b.intern_hints(c, &[0]);
+        for &p in pages {
+            b.push(c, p, AccessKind::Read, None, h);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn belady_beats_lru_on_cyclic_scan() {
+        // The classic case: cyclic scan of N+1 pages with an N-page cache.
+        let pattern: Vec<u64> = (0..5u64).cycle().take(50).collect();
+        let trace = trace_from_pages(&pattern);
+        let mut opt = Opt::from_trace(&trace, 4);
+        let mut lru = Lru::new(4);
+        let opt_res = simulate(&mut opt, &trace);
+        let lru_res = simulate(&mut lru, &trace);
+        assert_eq!(lru_res.stats.read_hits, 0);
+        assert!(opt_res.stats.read_hits > 30, "OPT should hit most of the scan");
+    }
+
+    #[test]
+    fn opt_upper_bounds_online_policies() {
+        // Pseudo-random workload; OPT must dominate LRU and ARC.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 200
+        };
+        let pages: Vec<u64> = (0..5000).map(|_| next()).collect();
+        let trace = trace_from_pages(&pages);
+        for cap in [8usize, 32, 64] {
+            let mut opt = Opt::from_trace(&trace, cap);
+            let mut lru = Lru::new(cap);
+            let mut arc = Arc::new(cap);
+            let opt_hits = simulate(&mut opt, &trace).stats.read_hits;
+            let lru_hits = simulate(&mut lru, &trace).stats.read_hits;
+            let arc_hits = simulate(&mut arc, &trace).stats.read_hits;
+            assert!(opt_hits >= lru_hits, "cap {cap}: OPT {opt_hits} < LRU {lru_hits}");
+            assert!(opt_hits >= arc_hits, "cap {cap}: OPT {opt_hits} < ARC {arc_hits}");
+        }
+    }
+
+    #[test]
+    fn never_read_pages_are_bypassed() {
+        let trace = trace_from_pages(&[1, 2, 1, 2, 3]);
+        let mut opt = Opt::from_trace(&trace, 1);
+        let res = simulate(&mut opt, &trace);
+        // Page 3 (and the final reads of 1 and 2) are never read again, so
+        // bypasses must be recorded.
+        assert!(res.stats.bypasses > 0);
+        assert!(opt.len() <= 1);
+    }
+
+    #[test]
+    fn writes_do_not_count_as_future_reuse() {
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("t", &[("x", 1)]);
+        let h = b.intern_hints(c, &[0]);
+        b.push(c, 1, AccessKind::Read, None, h);
+        b.push(c, 2, AccessKind::Read, None, h);
+        // Page 1 is only *written* later; page 2 is *read* later.
+        b.push(c, 1, AccessKind::Write, None, h);
+        b.push(c, 2, AccessKind::Read, None, h);
+        let trace = b.build();
+        let mut opt = Opt::from_trace(&trace, 1);
+        let res = simulate(&mut opt, &trace);
+        // The single cache slot must be used for page 2, producing one read hit.
+        assert_eq!(res.stats.read_hits, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! TQ: the write-hint-aware second-tier policy of Li et al. (FAST '05).
+//!
+//! TQ is the paper's representative of the *ad hoc* hint-based state of the
+//! art: it understands exactly one kind of hint — the write hint attached to
+//! write requests by a database system — and hard-codes its response to it.
+//!
+//! This module reimplements TQ from its published description (the original
+//! implementation is not available). The essential hard-coded behaviour is:
+//!
+//! * **Replacement writes** signal pages that are being evicted from the
+//!   client's buffer pool and are therefore likely to be read again from the
+//!   server — they are the best caching candidates and are kept longest.
+//! * **Synchronous writes** are replacement writes issued under buffer-pool
+//!   pressure; they are also good candidates, slightly behind asynchronous
+//!   replacement writes because the client may re-read them sooner than the
+//!   server can benefit.
+//! * **Recovery writes** are issued for checkpointing while the page stays
+//!   hot in the client's cache; the server will not see a read for them soon,
+//!   so they are not worth caching.
+//! * **Read misses** are cached with low priority: the client caches the page
+//!   it just read, so an immediate server re-read is unlikely (exclusivity).
+//!
+//! Eviction takes the least recently used page of the lowest-value class.
+//! After a server read hit the page is demoted to the read class, since the
+//! client now holds it and the copy's residual value is low.
+
+use crate::policies::util::OrderedPageSet;
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::request::{AccessKind, PageId, Request, WriteHint};
+
+/// Caching-value classes, from least valuable (first victim) to most.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Class {
+    /// Pages whose last server access was a recovery write.
+    Recovery = 0,
+    /// Pages whose last server access was a read miss (or hit).
+    Read = 1,
+    /// Pages last written by a synchronous replacement write.
+    Synchronous = 2,
+    /// Pages last written by an asynchronous replacement write.
+    Replacement = 3,
+}
+
+const CLASS_COUNT: usize = 4;
+
+/// The TQ policy. See the module documentation for the hard-coded hint
+/// semantics. Requests that carry no typed write hint are treated as reads
+/// (the lowest useful class), which is how TQ degrades when its required hint
+/// type is absent from the request stream.
+#[derive(Debug, Clone)]
+pub struct Tq {
+    capacity: usize,
+    queues: [OrderedPageSet; CLASS_COUNT],
+}
+
+impl Tq {
+    /// Creates a TQ cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Tq {
+            capacity,
+            queues: [
+                OrderedPageSet::new(),
+                OrderedPageSet::new(),
+                OrderedPageSet::new(),
+                OrderedPageSet::new(),
+            ],
+        }
+    }
+
+    fn class_of_request(req: &Request) -> Class {
+        match req.kind {
+            AccessKind::Read => Class::Read,
+            AccessKind::Write => match req.write_hint {
+                Some(WriteHint::Replacement) => Class::Replacement,
+                Some(WriteHint::Synchronous) => Class::Synchronous,
+                Some(WriteHint::Recovery) => Class::Recovery,
+                // Untyped writes: no hint to exploit, treat like reads.
+                None => Class::Read,
+            },
+        }
+    }
+
+    fn find(&self, page: PageId) -> Option<usize> {
+        (0..CLASS_COUNT).find(|&i| self.queues[i].contains(page))
+    }
+
+    fn total(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+}
+
+impl CachePolicy for Tq {
+    fn name(&self) -> String {
+        "TQ".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, req: &Request, _seq: u64) -> AccessOutcome {
+        let x = req.page;
+        let class = Self::class_of_request(req);
+
+        if let Some(current) = self.find(x) {
+            // The page is cached: this is a hit.
+            self.queues[current].remove(x);
+            let target = match req.kind {
+                // After a server read hit the first tier holds the page again;
+                // its residual value at the server drops to the read class.
+                AccessKind::Read => Class::Read,
+                // A write re-classifies the page according to its hint.
+                AccessKind::Write => class,
+            };
+            self.queues[target as usize].push_back(x);
+            return AccessOutcome::hit();
+        }
+
+        // Miss. Recovery writes are not worth caching at all.
+        if class == Class::Recovery {
+            return AccessOutcome::bypass();
+        }
+
+        let mut evicted = 0;
+        if self.total() >= self.capacity {
+            // Do not evict a more valuable page to admit a less valuable one:
+            // if every cached page is in a class above the new request's
+            // class, bypass instead.
+            let lowest_occupied = (0..CLASS_COUNT).find(|&i| !self.queues[i].is_empty());
+            match lowest_occupied {
+                Some(lowest) if lowest <= class as usize => {
+                    self.queues[lowest].pop_front();
+                    evicted = 1;
+                }
+                _ => return AccessOutcome::bypass(),
+            }
+        }
+        self.queues[class as usize].push_back(x);
+        AccessOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.find(page).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ClientId;
+    use crate::HintSetId;
+
+    fn read(page: u64) -> Request {
+        Request::read(ClientId(0), PageId(page), HintSetId(0))
+    }
+
+    fn write(page: u64, hint: WriteHint) -> Request {
+        Request::write(ClientId(0), PageId(page), Some(hint), HintSetId(0))
+    }
+
+    #[test]
+    fn recovery_writes_are_not_cached() {
+        let mut tq = Tq::new(4);
+        let out = tq.access(&write(1, WriteHint::Recovery), 0);
+        assert!(out.bypassed);
+        assert!(!tq.contains(PageId(1)));
+    }
+
+    #[test]
+    fn replacement_writes_outrank_reads() {
+        let mut tq = Tq::new(2);
+        tq.access(&write(1, WriteHint::Replacement), 0);
+        tq.access(&read(2), 1);
+        // Cache full; a new replacement write evicts the read-class page.
+        tq.access(&write(3, WriteHint::Replacement), 2);
+        assert!(tq.contains(PageId(1)));
+        assert!(!tq.contains(PageId(2)));
+        assert!(tq.contains(PageId(3)));
+    }
+
+    #[test]
+    fn read_misses_do_not_displace_replacement_pages() {
+        let mut tq = Tq::new(2);
+        tq.access(&write(1, WriteHint::Replacement), 0);
+        tq.access(&write(2, WriteHint::Synchronous), 1);
+        // Cache full of write-hinted pages; a read miss is bypassed rather
+        // than displacing them.
+        let out = tq.access(&read(3), 2);
+        assert!(out.bypassed);
+        assert!(tq.contains(PageId(1)));
+        assert!(tq.contains(PageId(2)));
+    }
+
+    #[test]
+    fn read_hit_demotes_page() {
+        let mut tq = Tq::new(2);
+        tq.access(&write(1, WriteHint::Replacement), 0);
+        assert!(tq.access(&read(1), 1).hit);
+        // Page 1 is now in the read class; a new replacement write displaces it.
+        tq.access(&write(2, WriteHint::Replacement), 2);
+        tq.access(&write(3, WriteHint::Replacement), 3);
+        assert!(!tq.contains(PageId(1)));
+    }
+
+    #[test]
+    fn exploits_write_hints_to_beat_lru() {
+        use crate::policies::Lru;
+        use crate::simulate;
+        use crate::trace::TraceBuilder;
+        use crate::AccessKind;
+
+        // Synthetic second-tier pattern: replacement-written pages are
+        // re-read a few "rounds" later (far enough apart that a small LRU
+        // cache has already evicted them); recovery-written pages never are;
+        // plain read misses are never re-read (the client caches them).
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("db", &[("kind", 3)]);
+        let h = b.intern_hints(c, &[0]);
+        let mut pending: std::collections::VecDeque<Vec<u64>> = std::collections::VecDeque::new();
+        let mut page = 0u64;
+        for round in 0..300u64 {
+            // A burst of recovery writes (checkpoint noise LRU would cache).
+            for i in 0..4u64 {
+                b.push(c, 10_000 + (round * 4 + i) % 64, AccessKind::Write, Some(WriteHint::Recovery), h);
+            }
+            // Replacement writes of 4 fresh pages; they will be re-read three
+            // rounds from now.
+            let batch: Vec<u64> = (0..4).map(|i| 100 + page + i).collect();
+            for &p in &batch {
+                b.push(c, p, AccessKind::Write, Some(WriteHint::Replacement), h);
+            }
+            pending.push_back(batch);
+            page += 4;
+            // Unrelated cold read misses.
+            for i in 0..4u64 {
+                b.push(c, 1_000_000 + round * 4 + i, AccessKind::Read, None, h);
+            }
+            // Re-read the batch written three rounds ago.
+            if pending.len() > 3 {
+                for p in pending.pop_front().unwrap() {
+                    b.push(c, p, AccessKind::Read, None, h);
+                }
+            }
+        }
+        let trace = b.build();
+        let mut tq = Tq::new(32);
+        let mut lru = Lru::new(32);
+        let tq_hr = simulate(&mut tq, &trace).read_hit_ratio();
+        let lru_hr = simulate(&mut lru, &trace).read_hit_ratio();
+        assert!(
+            tq_hr > lru_hr,
+            "TQ ({tq_hr:.3}) should beat LRU ({lru_hr:.3}) when write hints are informative"
+        );
+    }
+
+    #[test]
+    fn untyped_writes_fall_back_to_read_class() {
+        let mut tq = Tq::new(2);
+        let w = Request::write(ClientId(0), PageId(7), None, HintSetId(0));
+        let out = tq.access(&w, 0);
+        assert!(!out.bypassed);
+        assert!(tq.contains(PageId(7)));
+    }
+}

@@ -1,0 +1,198 @@
+//! 2Q replacement (Johnson & Shasha, VLDB '94).
+
+use crate::policies::util::OrderedPageSet;
+use crate::policy::{AccessOutcome, CachePolicy};
+use crate::request::{PageId, Request};
+
+/// The full 2Q algorithm: newly admitted pages enter a small FIFO probation
+/// queue `A1in`; pages evicted from `A1in` are remembered (by id only) in the
+/// ghost queue `A1out`; a page that is requested again while in `A1out` is
+/// judged to have long-term value and is promoted into the main LRU queue
+/// `Am`.
+///
+/// The standard tuning from the paper is used: `Kin = capacity / 4` and
+/// `Kout = capacity / 2`.
+#[derive(Debug, Clone)]
+pub struct TwoQ {
+    capacity: usize,
+    kin: usize,
+    kout: usize,
+    a1in: OrderedPageSet,
+    a1out: OrderedPageSet,
+    am: OrderedPageSet,
+}
+
+impl TwoQ {
+    /// Creates a 2Q cache holding at most `capacity` pages, with the standard
+    /// `Kin = capacity/4`, `Kout = capacity/2` tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        TwoQ {
+            capacity,
+            kin: (capacity / 4).max(1),
+            kout: (capacity / 2).max(1),
+            a1in: OrderedPageSet::new(),
+            a1out: OrderedPageSet::new(),
+            am: OrderedPageSet::new(),
+        }
+    }
+
+    /// Creates a 2Q cache with explicit probation (`kin`) and ghost (`kout`)
+    /// queue sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `kin` is zero.
+    pub fn with_tuning(capacity: usize, kin: usize, kout: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(kin > 0, "kin must be positive");
+        TwoQ {
+            capacity,
+            kin,
+            kout: kout.max(1),
+            a1in: OrderedPageSet::new(),
+            a1out: OrderedPageSet::new(),
+            am: OrderedPageSet::new(),
+        }
+    }
+
+    /// Frees one page slot if the cache is full. Returns the number of pages
+    /// evicted (0 or 1).
+    fn reclaim(&mut self) -> u32 {
+        if self.a1in.len() + self.am.len() < self.capacity {
+            return 0;
+        }
+        if self.a1in.len() > self.kin {
+            if let Some(victim) = self.a1in.pop_front() {
+                self.a1out.push_back(victim);
+                if self.a1out.len() > self.kout {
+                    self.a1out.pop_front();
+                }
+                return 1;
+            }
+        }
+        if self.am.pop_front().is_some() {
+            return 1;
+        }
+        // Am empty: fall back to evicting from A1in even if it is small.
+        if let Some(victim) = self.a1in.pop_front() {
+            self.a1out.push_back(victim);
+            if self.a1out.len() > self.kout {
+                self.a1out.pop_front();
+            }
+            return 1;
+        }
+        0
+    }
+}
+
+impl CachePolicy for TwoQ {
+    fn name(&self) -> String {
+        "2Q".to_string()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, req: &Request, _seq: u64) -> AccessOutcome {
+        let x = req.page;
+        if self.am.touch(x) {
+            return AccessOutcome::hit();
+        }
+        if self.a1in.contains(x) {
+            // 2Q deliberately does not reorder A1in on a hit.
+            return AccessOutcome::hit();
+        }
+        let evicted;
+        if self.a1out.contains(x) {
+            evicted = self.reclaim();
+            self.a1out.remove(x);
+            self.am.push_back(x);
+        } else {
+            evicted = self.reclaim();
+            self.a1in.push_back(x);
+        }
+        AccessOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.a1in.contains(page) || self.am.contains(page)
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ClientId;
+    use crate::HintSetId;
+
+    fn read(page: u64) -> Request {
+        Request::read(ClientId(0), PageId(page), HintSetId(0))
+    }
+
+    #[test]
+    fn second_reference_after_probation_promotes_to_am() {
+        let mut q = TwoQ::with_tuning(4, 1, 4);
+        q.access(&read(1), 0);
+        // Fill past Kin so page 1 falls out of A1in into A1out.
+        q.access(&read(2), 1);
+        q.access(&read(3), 2);
+        q.access(&read(4), 3);
+        q.access(&read(5), 4);
+        assert!(q.a1out.contains(PageId(1)) || q.a1in.contains(PageId(1)));
+        if q.a1out.contains(PageId(1)) {
+            q.access(&read(1), 5);
+            assert!(q.am.contains(PageId(1)), "ghost hit must promote into Am");
+        }
+    }
+
+    #[test]
+    fn one_shot_scan_does_not_pollute_am() {
+        let mut q = TwoQ::new(8);
+        // Establish a hot page in Am.
+        q.access(&read(1), 0);
+        for p in 10..18u64 {
+            q.access(&read(p), p);
+        }
+        q.access(&read(1), 100); // ghost or probation hit promotes eventually
+        q.access(&read(1), 101);
+        // Long one-shot scan.
+        for p in 1000..1100u64 {
+            q.access(&read(p), p);
+        }
+        assert!(q.len() <= 8);
+        // Scanned pages never reach Am (they are seen only once).
+        for p in 1000..1100u64 {
+            assert!(!q.am.contains(PageId(p)));
+        }
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut q = TwoQ::new(4);
+        for i in 0..200u64 {
+            q.access(&read(i % 13), i);
+            assert!(q.len() <= 4);
+            assert!(q.a1out.len() <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kin")]
+    fn zero_kin_rejected() {
+        let _ = TwoQ::with_tuning(4, 0, 2);
+    }
+}

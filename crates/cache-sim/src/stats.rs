@@ -1,0 +1,171 @@
+//! Cache statistics collected by the simulation driver.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters describing the behaviour of a storage-server cache over a trace.
+///
+/// The paper's headline metric is the *read hit ratio*: the number of read
+/// hits divided by the number of read requests. Writes are counted separately
+/// because, in a second-tier cache, caching on writes is where most of the
+/// benefit comes from, but write hits themselves do not save any disk I/O in
+/// the simulated model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of read requests that found the page in the cache.
+    pub read_hits: u64,
+    /// Number of read requests that missed the cache.
+    pub read_misses: u64,
+    /// Number of write requests for pages already in the cache.
+    pub write_hits: u64,
+    /// Number of write requests for pages not in the cache.
+    pub write_misses: u64,
+    /// Number of pages evicted to make room for newly admitted pages.
+    pub evictions: u64,
+    /// Number of requests whose page the policy declined to admit.
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Creates an all-zero statistics record.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Total number of read requests observed.
+    pub fn reads(&self) -> u64 {
+        self.read_hits + self.read_misses
+    }
+
+    /// Total number of write requests observed.
+    pub fn writes(&self) -> u64 {
+        self.write_hits + self.write_misses
+    }
+
+    /// Total number of requests observed.
+    pub fn requests(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// The read hit ratio (read hits / reads), the paper's primary metric.
+    ///
+    /// Returns 0.0 when the trace contains no reads.
+    pub fn read_hit_ratio(&self) -> f64 {
+        let reads = self.reads();
+        if reads == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / reads as f64
+        }
+    }
+
+    /// The overall hit ratio across reads and writes.
+    ///
+    /// Returns 0.0 when the trace is empty.
+    pub fn overall_hit_ratio(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            (self.read_hits + self.write_hits) as f64 / total as f64
+        }
+    }
+
+    /// Records a read outcome.
+    pub fn record_read(&mut self, hit: bool) {
+        if hit {
+            self.read_hits += 1;
+        } else {
+            self.read_misses += 1;
+        }
+    }
+
+    /// Records a write outcome.
+    pub fn record_write(&mut self, hit: bool) {
+        if hit {
+            self.write_hits += 1;
+        } else {
+            self.write_misses += 1;
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.read_hits += rhs.read_hits;
+        self.read_misses += rhs.read_misses;
+        self.write_hits += rhs.write_hits;
+        self.write_misses += rhs.write_misses;
+        self.evictions += rhs.evictions;
+        self.bypasses += rhs.bypasses;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {} (hit {:.2}%), writes {}, evictions {}, bypasses {}",
+            self.reads(),
+            self.read_hit_ratio() * 100.0,
+            self.writes(),
+            self.evictions,
+            self.bypasses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_traces() {
+        let s = CacheStats::new();
+        assert_eq!(s.read_hit_ratio(), 0.0);
+        assert_eq!(s.overall_hit_ratio(), 0.0);
+        assert_eq!(s.requests(), 0);
+    }
+
+    #[test]
+    fn read_hit_ratio_ignores_writes() {
+        let mut s = CacheStats::new();
+        s.record_read(true);
+        s.record_read(false);
+        s.record_read(false);
+        s.record_write(true);
+        s.record_write(false);
+        assert!((s.read_hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.reads(), 3);
+        assert_eq!(s.writes(), 2);
+        assert!((s.overall_hit_ratio() - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = CacheStats {
+            read_hits: 1,
+            read_misses: 2,
+            write_hits: 3,
+            write_misses: 4,
+            evictions: 5,
+            bypasses: 6,
+        };
+        let b = a;
+        a += b;
+        assert_eq!(a.read_hits, 2);
+        assert_eq!(a.read_misses, 4);
+        assert_eq!(a.write_hits, 6);
+        assert_eq!(a.write_misses, 8);
+        assert_eq!(a.evictions, 10);
+        assert_eq!(a.bypasses, 12);
+    }
+
+    #[test]
+    fn display_contains_hit_ratio() {
+        let mut s = CacheStats::new();
+        s.record_read(true);
+        let text = s.to_string();
+        assert!(text.contains("100.00%"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline hint-set analysis (the data behind Figure 3 of the paper).
+//!
+//! Given a complete trace, [`analyze_trace`] computes — with *unbounded*
+//! memory, i.e. remembering the most recent request for every page — the
+//! exact per-hint-set statistics `N(H)`, `Nr(H)` and `D(H)` over the whole
+//! trace, and the resulting caching priority `Pr(H) = fhit(H)/D(H)`.
+//!
+//! This is the idealized version of what the on-line tracker inside
+//! [`crate::Clic`] approximates with its bounded outqueue and windows; the
+//! experiments use it to reproduce the priority-versus-frequency scatter plot
+//! of Figure 3 and to sanity-check the on-line tracker.
+
+use std::collections::HashMap;
+
+use cache_sim::{HintSetId, PageId, Trace};
+
+use crate::stats::HintWindowStats;
+
+/// Exact whole-trace statistics for one hint set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HintSetReport {
+    /// The hint set being described.
+    pub hint: HintSetId,
+    /// Human-readable description (client name plus hint values).
+    pub label: String,
+    /// `N(H)`: total number of requests carrying this hint set.
+    pub requests: u64,
+    /// `Nr(H)`: requests that were followed by a read re-reference.
+    pub read_rereferences: u64,
+    /// `D(H)`: mean read re-reference distance (0 when there were none).
+    pub mean_distance: f64,
+    /// `fhit(H) = Nr(H)/N(H)`.
+    pub read_hit_rate: f64,
+    /// `Pr(H) = fhit(H)/D(H)` (0 when there were no read re-references).
+    pub priority: f64,
+    /// Fraction of all requests in the trace that carried this hint set.
+    pub frequency: f64,
+}
+
+/// Computes exact per-hint-set statistics over an entire trace.
+///
+/// Reports are returned sorted by decreasing frequency. Every hint set that
+/// appears in the trace gets a report, including those whose priority is
+/// zero.
+pub fn analyze_trace(trace: &Trace) -> Vec<HintSetReport> {
+    let mut per_hint: HashMap<HintSetId, HintWindowStats> = HashMap::new();
+    // Most recent request (sequence number and hint set) for every page.
+    let mut last_request: HashMap<PageId, (u64, HintSetId)> = HashMap::new();
+
+    for (seq, req) in trace.iter() {
+        if req.is_read() {
+            if let Some(&(prev_seq, prev_hint)) = last_request.get(&req.page) {
+                per_hint
+                    .entry(prev_hint)
+                    .or_default()
+                    .record_read_rereference(seq - prev_seq);
+            }
+        }
+        per_hint.entry(req.hint).or_default().record_request();
+        last_request.insert(req.page, (seq, req.hint));
+    }
+
+    let total = trace.len().max(1) as f64;
+    let mut reports: Vec<HintSetReport> = per_hint
+        .into_iter()
+        .map(|(hint, stats)| HintSetReport {
+            hint,
+            label: trace.catalog.describe(hint),
+            requests: stats.requests,
+            read_rereferences: stats.read_rereferences,
+            mean_distance: stats.mean_distance().unwrap_or(0.0),
+            read_hit_rate: stats.read_hit_rate(),
+            priority: stats.priority(),
+            frequency: stats.requests as f64 / total,
+        })
+        .collect();
+    reports.sort_by(|a, b| b.requests.cmp(&a.requests));
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessKind, TraceBuilder, WriteHint};
+
+    #[test]
+    fn empty_trace_yields_no_reports() {
+        let trace = TraceBuilder::new().build();
+        assert!(analyze_trace(&trace).is_empty());
+    }
+
+    #[test]
+    fn rereferenced_hint_sets_get_positive_priority() {
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("db", &[("table", 2), ("kind", 2)]);
+        // Hint "stock replacement write": written then read again soon.
+        let stock_write = b.intern_hints(c, &[0, 1]);
+        let stock_read = b.intern_hints(c, &[0, 0]);
+        // Hint "orderline read": read once, never again.
+        let orderline = b.intern_hints(c, &[1, 0]);
+        for i in 0..100u64 {
+            b.push(c, i, AccessKind::Write, Some(WriteHint::Replacement), stock_write);
+            b.push(c, 1000 + i, AccessKind::Read, None, orderline);
+            b.push(c, i, AccessKind::Read, None, stock_read);
+        }
+        let trace = b.build();
+        let reports = analyze_trace(&trace);
+        assert_eq!(reports.len(), 3);
+
+        let find = |hint: HintSetId| reports.iter().find(|r| r.hint == hint).unwrap();
+        let sw = find(stock_write);
+        let ol = find(orderline);
+        // Every stock write is re-read two requests later.
+        assert_eq!(sw.read_rereferences, 100);
+        assert!((sw.mean_distance - 2.0).abs() < 1e-9);
+        assert!((sw.read_hit_rate - 1.0).abs() < 1e-9);
+        assert!(sw.priority > 0.0);
+        // Orderline pages are never re-read.
+        assert_eq!(ol.read_rereferences, 0);
+        assert_eq!(ol.priority, 0.0);
+        // The replacement-write hint set is the better caching opportunity.
+        assert!(sw.priority > ol.priority);
+        // Frequencies sum to 1.
+        let total: f64 = reports.iter().map(|r| r.frequency).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Labels are human readable.
+        assert!(sw.label.contains("table=0"));
+    }
+
+    #[test]
+    fn write_rereferences_are_not_counted() {
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("db", &[("x", 1)]);
+        let h = b.intern_hints(c, &[0]);
+        // Page 1: read then *written* -> the original request gets no credit.
+        b.push(c, 1, AccessKind::Read, None, h);
+        b.push(c, 1, AccessKind::Write, None, h);
+        let trace = b.build();
+        let reports = analyze_trace(&trace);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].read_rereferences, 0);
+        assert_eq!(reports[0].priority, 0.0);
+    }
+
+    #[test]
+    fn reports_are_sorted_by_frequency() {
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("db", &[("x", 3)]);
+        let h0 = b.intern_hints(c, &[0]);
+        let h1 = b.intern_hints(c, &[1]);
+        for i in 0..10u64 {
+            b.push(c, i, AccessKind::Read, None, h0);
+        }
+        b.push(c, 100, AccessKind::Read, None, h1);
+        let trace = b.build();
+        let reports = analyze_trace(&trace);
+        assert_eq!(reports[0].hint, h0);
+        assert_eq!(reports[0].requests, 10);
+        assert_eq!(reports[1].hint, h1);
+    }
+}

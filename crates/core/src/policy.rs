@@ -1,0 +1,570 @@
+//! The CLIC replacement policy (Figure 4 of the paper) together with the
+//! on-line hint analysis that feeds it.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cache_sim::policies::util::OrderedPageSet;
+use cache_sim::policy::{AccessOutcome, CachePolicy};
+use cache_sim::{HintSetId, PageId, Request};
+
+use crate::config::{ClicConfig, TrackingMode};
+use crate::outqueue::{OutQueue, PageRecord};
+use crate::priority::PriorityTable;
+use crate::tracker::{FullTracker, HintStatsTracker, TopKTracker};
+
+/// Maps a non-negative priority to an integer key whose ordering matches the
+/// float ordering, so hint sets can live in a [`BTreeSet`] victim index.
+fn priority_key(priority: f64) -> u64 {
+    debug_assert!(priority >= 0.0 && priority.is_finite());
+    priority.to_bits()
+}
+
+#[derive(Debug)]
+enum Tracker {
+    Full(FullTracker),
+    TopK(TopKTracker),
+}
+
+impl Tracker {
+    fn as_dyn_mut(&mut self) -> &mut dyn HintStatsTracker {
+        match self {
+            Tracker::Full(t) => t,
+            Tracker::TopK(t) => t,
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn HintStatsTracker {
+        match self {
+            Tracker::Full(t) => t,
+            Tracker::TopK(t) => t,
+        }
+    }
+}
+
+/// The CLIC storage-server cache policy.
+///
+/// `Clic` implements [`CachePolicy`], so it can be driven by
+/// [`cache_sim::simulate`] exactly like the baseline policies. Internally it
+/// follows the paper:
+///
+/// * per-request statistics tracking over the cache contents plus an
+///   [`OutQueue`] (Section 3.1),
+/// * windowed priority re-evaluation with exponential smoothing
+///   (Section 3.2),
+/// * the priority-based replacement rule of Figure 4, implemented with a
+///   hash map of cached pages, one sequence-ordered list per hint set, and an
+///   ordered victim index over hint-set priorities, giving constant expected
+///   time per request (plus a logarithmic factor for the ordered index),
+/// * optional top-k hint tracking (Section 5).
+#[derive(Debug)]
+pub struct Clic {
+    nominal_capacity: usize,
+    capacity: usize,
+    config: ClicConfig,
+    /// Metadata (most recent sequence number and hint set) for cached pages.
+    cached: HashMap<PageId, PageRecord>,
+    /// Cached pages grouped by their current hint set, each list ordered by
+    /// ascending sequence number (front = oldest).
+    lists: HashMap<HintSetId, OrderedPageSet>,
+    /// `(priority key, hint set)` for every hint set with at least one cached
+    /// page; the first element identifies the lowest-priority hint set.
+    victim_index: BTreeSet<(u64, HintSetId)>,
+    outqueue: OutQueue,
+    priorities: PriorityTable,
+    tracker: Tracker,
+    requests_seen: u64,
+}
+
+impl Clic {
+    /// Creates a CLIC cache with the given nominal capacity (in pages) and
+    /// configuration.
+    ///
+    /// If [`ClicConfig::charge_metadata`] is set (the default, matching the
+    /// paper), the usable capacity is reduced by the configured metadata
+    /// overhead so that CLIC competes with the baselines at equal total
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, config: ClicConfig) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let effective = config.effective_capacity(capacity);
+        let tracker = match config.tracking {
+            TrackingMode::Full => Tracker::Full(FullTracker::new()),
+            TrackingMode::TopK(k) => Tracker::TopK(TopKTracker::new(k)),
+        };
+        Clic {
+            nominal_capacity: capacity,
+            capacity: effective,
+            outqueue: OutQueue::new(config.outqueue_entries(effective)),
+            config,
+            cached: HashMap::with_capacity(effective),
+            lists: HashMap::new(),
+            victim_index: BTreeSet::new(),
+            priorities: PriorityTable::new(),
+            tracker,
+            requests_seen: 0,
+        }
+    }
+
+    /// Creates a CLIC cache with the paper's default configuration.
+    pub fn with_defaults(capacity: usize) -> Self {
+        Clic::new(capacity, ClicConfig::default())
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &ClicConfig {
+        &self.config
+    }
+
+    /// The usable capacity after the optional metadata charge.
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current priority `Pr(H)` of a hint set (zero if unknown).
+    pub fn priority_of(&self, hint: HintSetId) -> f64 {
+        self.priorities.priority(hint)
+    }
+
+    /// Number of completed priority-evaluation windows.
+    pub fn windows_completed(&self) -> u64 {
+        self.priorities.windows_completed()
+    }
+
+    /// Number of hint sets currently being tracked for statistics.
+    pub fn tracked_hint_sets(&self) -> usize {
+        self.tracker.as_dyn().tracked_len()
+    }
+
+    /// Number of entries currently held in the outqueue.
+    pub fn outqueue_len(&self) -> usize {
+        self.outqueue.len()
+    }
+
+    /// Overrides the current hint-set priorities, for example with priorities
+    /// computed offline by [`crate::analyze_trace`]. Used by the "CLIC with
+    /// oracle statistics" ablation, which isolates the quality of the
+    /// replacement policy from the quality of the on-line statistics.
+    ///
+    /// The preloaded priorities stay in effect until the next window
+    /// boundary; to keep them for an entire run, configure a window larger
+    /// than the trace.
+    pub fn preload_priorities<I>(&mut self, priorities: I)
+    where
+        I: IntoIterator<Item = (HintSetId, f64)>,
+    {
+        let window: Vec<(HintSetId, crate::stats::HintWindowStats)> = priorities
+            .into_iter()
+            .filter(|(_, priority)| *priority > 0.0)
+            .map(|(hint, priority)| {
+                // Encode the desired priority as synthetic statistics with
+                // fhit = 1 and D = 1/priority, which Equation 2 maps back to
+                // the requested value.
+                let distance = (1.0 / priority).max(1.0);
+                (
+                    hint,
+                    crate::stats::HintWindowStats {
+                        requests: 1_000_000,
+                        read_rereferences: 1_000_000,
+                        distance_sum: (distance * 1_000_000.0).min(u64::MAX as f64 / 2.0) as u64,
+                    },
+                )
+            })
+            .collect();
+        self.priorities.apply_window(&window, 1.0);
+        self.rebuild_victim_index();
+    }
+
+    /// Returns, for each hint set with at least one cached page, the number
+    /// of pages it currently holds in the cache. Useful for diagnostics and
+    /// for the cache-composition ablation.
+    pub fn cache_composition(&self) -> Vec<(HintSetId, usize)> {
+        let mut out: Vec<(HintSetId, usize)> =
+            self.lists.iter().map(|(&h, l)| (h, l.len())).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+
+    fn list_push(&mut self, hint: HintSetId, page: PageId) {
+        let list = self.lists.entry(hint).or_default();
+        let was_empty = list.is_empty();
+        list.push_back(page);
+        if was_empty {
+            self.victim_index
+                .insert((priority_key(self.priorities.priority(hint)), hint));
+        }
+    }
+
+    fn list_remove(&mut self, hint: HintSetId, page: PageId) {
+        if let Some(list) = self.lists.get_mut(&hint) {
+            list.remove(page);
+            if list.is_empty() {
+                self.victim_index
+                    .remove(&(priority_key(self.priorities.priority(hint)), hint));
+                self.lists.remove(&hint);
+            }
+        }
+    }
+
+    /// Rebuilds the victim index after priorities change at a window
+    /// boundary.
+    fn rebuild_victim_index(&mut self) {
+        self.victim_index = self
+            .lists
+            .keys()
+            .map(|&hint| (priority_key(self.priorities.priority(hint)), hint))
+            .collect();
+    }
+
+    /// Finds the eviction victim per Figure 4: the minimum-priority hint set,
+    /// breaking ties by the smallest sequence number among those hint sets'
+    /// oldest pages. Returns `(priority, page, hint)`.
+    fn find_victim(&self) -> Option<(f64, PageId, HintSetId)> {
+        let &(min_key, _) = self.victim_index.iter().next()?;
+        let mut best: Option<(u64, PageId, HintSetId)> = None;
+        for &(key, hint) in self
+            .victim_index
+            .range((min_key, HintSetId(0))..=(min_key, HintSetId(u32::MAX)))
+        {
+            debug_assert_eq!(key, min_key);
+            let list = self.lists.get(&hint).expect("indexed hint set has a list");
+            let page = list.front().expect("indexed list is non-empty");
+            let seq = self.cached.get(&page).expect("cached page has metadata").seq;
+            match best {
+                Some((best_seq, _, _)) if best_seq <= seq => {}
+                _ => best = Some((seq, page, hint)),
+            }
+        }
+        best.map(|(_, page, hint)| (f64::from_bits(min_key), page, hint))
+    }
+
+    /// Statistics tracking for one request (Section 3.1): detect read
+    /// re-references using the cache metadata and the outqueue, then count
+    /// the request itself.
+    fn track_statistics(&mut self, req: &Request, seq: u64) {
+        if req.is_read() {
+            let previous = self
+                .cached
+                .get(&req.page)
+                .copied()
+                .or_else(|| self.outqueue.get(req.page));
+            if let Some(prev) = previous {
+                let distance = seq.saturating_sub(prev.seq);
+                self.tracker
+                    .as_dyn_mut()
+                    .record_read_rereference(prev.hint, distance);
+            }
+        }
+        self.tracker.as_dyn_mut().record_request(req.hint);
+    }
+
+    /// Window boundary: convert the tracker's statistics into new priorities
+    /// (Equations 2 and 3) and rebuild the victim index.
+    fn end_window(&mut self) {
+        let window = self.tracker.as_dyn_mut().end_window();
+        self.priorities.apply_window(&window, self.config.smoothing);
+        self.rebuild_victim_index();
+    }
+
+    /// Inserts `page` into the cache with the given record.
+    fn admit(&mut self, page: PageId, record: PageRecord) {
+        self.outqueue.remove(page);
+        self.cached.insert(page, record);
+        self.list_push(record.hint, page);
+    }
+
+    /// Removes `page` from the cache and remembers it in the outqueue.
+    fn evict_to_outqueue(&mut self, page: PageId, hint: HintSetId) {
+        if let Some(record) = self.cached.remove(&page) {
+            self.list_remove(hint, page);
+            self.outqueue.insert(page, record);
+        }
+    }
+}
+
+impl CachePolicy for Clic {
+    fn name(&self) -> String {
+        match self.config.tracking {
+            TrackingMode::Full => "CLIC".to_string(),
+            TrackingMode::TopK(k) => format!("CLIC(k={k})"),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.nominal_capacity
+    }
+
+    fn access(&mut self, req: &Request, seq: u64) -> AccessOutcome {
+        // 1. On-line hint analysis.
+        self.track_statistics(req, seq);
+
+        // 2. Cache management per Figure 4.
+        let record = PageRecord {
+            seq,
+            hint: req.hint,
+        };
+        let outcome = if let Some(old) = self.cached.get(&req.page).copied() {
+            // Lines 23-25: refresh seq(p) and H(p); the most recent request
+            // always determines the page's caching priority.
+            if old.hint == req.hint {
+                // Same hint set: move to the back of its list (sequence
+                // numbers are monotonically increasing).
+                if let Some(list) = self.lists.get_mut(&req.hint) {
+                    list.touch(req.page);
+                }
+            } else {
+                self.list_remove(old.hint, req.page);
+                self.list_push(req.hint, req.page);
+            }
+            self.cached.insert(req.page, record);
+            AccessOutcome::hit()
+        } else if self.cached.len() < self.capacity {
+            // Lines 2-5: the cache has room.
+            self.admit(req.page, record);
+            AccessOutcome::miss(0)
+        } else {
+            // Lines 6-22: full cache; compare priorities.
+            let new_priority = self.priorities.priority(req.hint);
+            match self.find_victim() {
+                Some((min_priority, victim_page, victim_hint))
+                    if new_priority > min_priority =>
+                {
+                    self.evict_to_outqueue(victim_page, victim_hint);
+                    self.admit(req.page, record);
+                    AccessOutcome::miss(1)
+                }
+                _ => {
+                    // Lines 19-22: do not cache p; remember it in the
+                    // outqueue instead.
+                    self.outqueue.insert(req.page, record);
+                    AccessOutcome::bypass()
+                }
+            }
+        };
+
+        // 3. Window accounting.
+        self.requests_seen += 1;
+        if self.requests_seen % self.config.window == 0 {
+            self.end_window();
+        }
+        outcome
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.cached.contains_key(&page)
+    }
+
+    fn len(&self) -> usize {
+        self.cached.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{simulate, AccessKind, ClientId, TraceBuilder};
+
+    fn read(page: u64, hint: HintSetId) -> Request {
+        Request::read(ClientId(0), PageId(page), hint)
+    }
+
+    fn write(page: u64, hint: HintSetId) -> Request {
+        Request::write(ClientId(0), PageId(page), None, hint)
+    }
+
+    fn small_config(window: u64) -> ClicConfig {
+        ClicConfig::default()
+            .with_window(window)
+            .with_metadata_charging(false)
+    }
+
+    #[test]
+    fn fills_cache_before_applying_priorities() {
+        let mut clic = Clic::new(2, small_config(1000));
+        let h = HintSetId(0);
+        assert!(!clic.access(&read(1, h), 0).hit);
+        assert!(!clic.access(&read(2, h), 1).hit);
+        assert_eq!(clic.len(), 2);
+        assert!(clic.access(&read(1, h), 2).hit);
+    }
+
+    #[test]
+    fn unknown_priorities_lead_to_bypass_when_full() {
+        // All hint sets start at priority zero; a full cache therefore
+        // bypasses new pages (Pr(H) > m is false when both are zero).
+        let mut clic = Clic::new(2, small_config(1_000_000));
+        let h = HintSetId(0);
+        clic.access(&read(1, h), 0);
+        clic.access(&read(2, h), 1);
+        let out = clic.access(&read(3, h), 2);
+        assert!(out.bypassed);
+        assert!(!clic.contains(PageId(3)));
+        assert!(clic.contains(PageId(1)));
+        assert_eq!(clic.outqueue_len(), 1);
+    }
+
+    #[test]
+    fn learns_to_prefer_rereferenced_hint_sets() {
+        // Hint A pages are re-read shortly after being written; hint B pages
+        // never are. After one window CLIC must prioritize hint A.
+        let config = small_config(200);
+        let mut clic = Clic::new(8, config);
+        let hint_a = HintSetId(1);
+        let hint_b = HintSetId(2);
+        let mut seq = 0u64;
+        for round in 0..300u64 {
+            let a_page = 100 + (round % 20);
+            let b_page = 10_000 + round;
+            clic.access(&write(a_page, hint_a), seq);
+            seq += 1;
+            clic.access(&write(b_page, hint_b), seq);
+            seq += 1;
+            clic.access(&read(a_page, hint_a), seq);
+            seq += 1;
+        }
+        assert!(clic.windows_completed() >= 1);
+        assert!(
+            clic.priority_of(hint_a) > clic.priority_of(hint_b),
+            "hint A ({}) must outrank hint B ({})",
+            clic.priority_of(hint_a),
+            clic.priority_of(hint_b)
+        );
+        // The cache should now be dominated by hint-A pages.
+        let a_cached = (0..20u64).filter(|i| clic.contains(PageId(100 + i))).count();
+        assert!(a_cached >= 6, "expected hint-A pages to fill the cache, got {a_cached}");
+    }
+
+    #[test]
+    fn end_to_end_beats_lru_when_hints_are_informative() {
+        use cache_sim::policies::Lru;
+
+        // Build a trace where the useful signal is entirely in the hint set:
+        // "loop" pages are revisited with a reuse distance larger than the
+        // cache, while "scan" pages are never revisited. LRU cannot tell them
+        // apart; CLIC can.
+        let mut b = TraceBuilder::new();
+        let client = b.add_client("db", &[("class", 2)]);
+        let loop_hint = b.intern_hints(client, &[0]);
+        let scan_hint = b.intern_hints(client, &[1]);
+        let loop_pages = 64u64;
+        for round in 0..2_000u64 {
+            let lp = round % loop_pages;
+            b.push(client, lp, AccessKind::Read, None, loop_hint);
+            for s in 0..3u64 {
+                b.push(client, 1_000_000 + round * 3 + s, AccessKind::Read, None, scan_hint);
+            }
+        }
+        let trace = b.build();
+
+        let mut clic = Clic::new(48, small_config(2_000));
+        let mut lru = Lru::new(48);
+        let clic_res = simulate(&mut clic, &trace);
+        let lru_res = simulate(&mut lru, &trace);
+        assert!(
+            clic_res.read_hit_ratio() > lru_res.read_hit_ratio() + 0.1,
+            "CLIC {:.3} should clearly beat LRU {:.3}",
+            clic_res.read_hit_ratio(),
+            lru_res.read_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn topk_mode_matches_full_mode_with_few_hint_sets() {
+        // With only a handful of hint sets, tracking the top 8 must behave
+        // like full tracking.
+        let mut b = TraceBuilder::new();
+        let client = b.add_client("db", &[("class", 4)]);
+        let hints: Vec<HintSetId> = (0..4).map(|v| b.intern_hints(client, &[v])).collect();
+        for round in 0..3_000u64 {
+            let hint = hints[(round % 4) as usize];
+            let page = (round % 4) * 1000 + (round % 37);
+            b.push(client, page, AccessKind::Read, None, hint);
+        }
+        let trace = b.build();
+
+        let full = {
+            let mut c = Clic::new(32, small_config(500));
+            simulate(&mut c, &trace).read_hit_ratio()
+        };
+        let topk = {
+            let cfg = small_config(500).with_tracking(TrackingMode::TopK(8));
+            let mut c = Clic::new(32, cfg);
+            simulate(&mut c, &trace).read_hit_ratio()
+        };
+        assert!(
+            (full - topk).abs() < 0.02,
+            "full {full:.3} and top-k {topk:.3} should agree when k covers all hint sets"
+        );
+    }
+
+    #[test]
+    fn victim_is_oldest_page_of_lowest_priority_hint_set() {
+        let mut clic = Clic::new(3, small_config(10));
+        let low = HintSetId(1);
+        let high = HintSetId(2);
+        let mut seq = 0u64;
+        // Teach CLIC that `high` pages are re-read quickly and `low` pages
+        // are not: pages 1..3 (low) written then never read; pages 50..52
+        // (high) written then read.
+        for i in 0..30u64 {
+            clic.access(&write(500 + i, low), seq);
+            seq += 1;
+            clic.access(&write(50 + (i % 3), high), seq);
+            seq += 1;
+            clic.access(&read(50 + (i % 3), high), seq);
+            seq += 1;
+        }
+        assert!(clic.priority_of(high) > clic.priority_of(low));
+        // Now fill the cache with low pages (they were admitted while the
+        // cache had room) and check that a high-priority page displaces the
+        // *oldest* low page.
+        let len_before = clic.len();
+        assert_eq!(len_before, 3);
+        let victim = clic.find_victim().expect("cache is full");
+        let new_page = 999u64;
+        let out = clic.access(&write(new_page, high), seq);
+        if !out.hit && !out.bypassed {
+            assert!(!clic.contains(victim.1), "the reported victim must be evicted");
+            assert!(clic.contains(PageId(new_page)));
+        }
+    }
+
+    #[test]
+    fn metadata_charge_reduces_usable_capacity() {
+        let charged = Clic::new(1000, ClicConfig::default());
+        assert_eq!(charged.capacity(), 1000);
+        assert_eq!(charged.effective_capacity(), 990);
+        let free = Clic::new(1000, ClicConfig::default().with_metadata_charging(false));
+        assert_eq!(free.effective_capacity(), 1000);
+    }
+
+    #[test]
+    fn writes_update_page_hint_and_sequence() {
+        let mut clic = Clic::new(4, small_config(1000));
+        let a = HintSetId(1);
+        let b = HintSetId(2);
+        clic.access(&read(1, a), 0);
+        // A later write with a different hint set re-labels the cached page.
+        assert!(clic.access(&write(1, b), 1).hit);
+        // The page now lives in hint set b's list; evicting by priority uses b.
+        assert_eq!(clic.len(), 1);
+        assert!(clic.contains(PageId(1)));
+        let victim = clic.find_victim().unwrap();
+        assert_eq!(victim.2, b);
+    }
+
+    #[test]
+    fn outqueue_is_bounded_by_config() {
+        let cfg = small_config(1_000_000).with_outqueue_factor(2.0);
+        let mut clic = Clic::new(4, cfg);
+        let h = HintSetId(0);
+        for i in 0..100u64 {
+            clic.access(&read(i, h), i);
+        }
+        // Cache holds 4 pages; outqueue is bounded at 2 * 4 = 8 entries.
+        assert!(clic.outqueue_len() <= 8);
+        assert_eq!(clic.len(), 4);
+    }
+}

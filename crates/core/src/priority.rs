@@ -1,0 +1,166 @@
+//! The hint-set priority table and its exponentially smoothed updates.
+//!
+//! At the end of every window CLIC converts the window's per-hint-set
+//! statistics into raw priorities `P̂r(H)` (Equation 2) and folds them into
+//! the working priorities with exponential smoothing (Equation 3):
+//!
+//! ```text
+//! Pr(H)_i = r · P̂r(H)_i + (1 − r) · Pr(H)_{i−1}
+//! ```
+//!
+//! Hint sets for which the window produced no statistics keep their previous
+//! priority scaled by `(1 − r)` — with the paper's `r = 1` this means they
+//! drop to zero, i.e. priorities are based entirely on the latest window.
+
+use std::collections::HashMap;
+
+use cache_sim::HintSetId;
+
+use crate::stats::HintWindowStats;
+
+/// The current caching priority `Pr(H)` of every known hint set.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityTable {
+    priorities: HashMap<HintSetId, f64>,
+    windows_completed: u64,
+}
+
+impl PriorityTable {
+    /// Creates an empty table (every hint set starts at priority zero).
+    pub fn new() -> Self {
+        PriorityTable::default()
+    }
+
+    /// The current priority of `hint` (zero if never seen).
+    pub fn priority(&self, hint: HintSetId) -> f64 {
+        self.priorities.get(&hint).copied().unwrap_or(0.0)
+    }
+
+    /// Number of hint sets with a recorded (possibly zero) priority.
+    pub fn len(&self) -> usize {
+        self.priorities.len()
+    }
+
+    /// Returns `true` if no priorities have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.priorities.is_empty()
+    }
+
+    /// Number of windows that have been folded into the table.
+    pub fn windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+
+    /// Folds one window's statistics into the table using smoothing factor
+    /// `r` (Equation 3). Hint sets absent from `window` decay by `(1 − r)`.
+    pub fn apply_window(&mut self, window: &[(HintSetId, HintWindowStats)], r: f64) {
+        // First decay every existing priority; hint sets present in the new
+        // window will have the `r · P̂r` term added below.
+        if (r - 1.0).abs() > f64::EPSILON {
+            for value in self.priorities.values_mut() {
+                *value *= 1.0 - r;
+            }
+        } else {
+            for value in self.priorities.values_mut() {
+                *value = 0.0;
+            }
+        }
+        for (hint, stats) in window {
+            let fresh = stats.priority();
+            let entry = self.priorities.entry(*hint).or_insert(0.0);
+            *entry += r * fresh;
+        }
+        self.windows_completed += 1;
+    }
+
+    /// Iterates over `(hint set, priority)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (HintSetId, f64)> + '_ {
+        self.priorities.iter().map(|(&h, &p)| (h, p))
+    }
+
+    /// Clears all priorities and the window counter.
+    pub fn clear(&mut self) {
+        self.priorities.clear();
+        self.windows_completed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(requests: u64, rerefs: u64, dist_sum: u64) -> HintWindowStats {
+        HintWindowStats {
+            requests,
+            read_rereferences: rerefs,
+            distance_sum: dist_sum,
+        }
+    }
+
+    #[test]
+    fn unknown_hints_have_zero_priority() {
+        let table = PriorityTable::new();
+        assert_eq!(table.priority(HintSetId(7)), 0.0);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn r_equal_one_uses_only_the_latest_window() {
+        let mut table = PriorityTable::new();
+        let h = HintSetId(1);
+        table.apply_window(&[(h, stats(10, 5, 500))], 1.0);
+        let first = table.priority(h);
+        assert!(first > 0.0);
+        // Second window: the hint set vanished; with r = 1 its priority must
+        // drop to zero.
+        table.apply_window(&[], 1.0);
+        assert_eq!(table.priority(h), 0.0);
+        assert_eq!(table.windows_completed(), 2);
+    }
+
+    #[test]
+    fn smoothing_blends_old_and_new() {
+        let mut table = PriorityTable::new();
+        let h = HintSetId(1);
+        // Window 1: priority 0.01 (fhit 0.5, D 50).
+        table.apply_window(&[(h, stats(10, 5, 250))], 0.5);
+        let p1 = table.priority(h);
+        assert!((p1 - 0.5 * 0.01).abs() < 1e-12);
+        // Window 2: no observations; priority halves.
+        table.apply_window(&[], 0.5);
+        assert!((table.priority(h) - p1 * 0.5).abs() < 1e-12);
+        // Window 3: fresh priority 0.02 (fhit 1.0, D 50).
+        table.apply_window(&[(h, stats(10, 10, 500))], 0.5);
+        let expected = p1 * 0.25 + 0.5 * 0.02;
+        assert!((table.priority(h) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_hint_sets_are_ranked_sensibly() {
+        let mut table = PriorityTable::new();
+        let hot = HintSetId(1); // frequently and quickly re-referenced
+        let warm = HintSetId(2); // re-referenced but slowly
+        let cold = HintSetId(3); // never re-referenced
+        table.apply_window(
+            &[
+                (hot, stats(100, 90, 90 * 20)),
+                (warm, stats(100, 90, 90 * 2_000)),
+                (cold, stats(100, 0, 0)),
+            ],
+            1.0,
+        );
+        assert!(table.priority(hot) > table.priority(warm));
+        assert!(table.priority(warm) > table.priority(cold));
+        assert_eq!(table.priority(cold), 0.0);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn clear_resets_table() {
+        let mut table = PriorityTable::new();
+        table.apply_window(&[(HintSetId(1), stats(1, 1, 1))], 1.0);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.windows_completed(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-hint-set window statistics and the benefit/cost priority formula.
+
+/// The statistics CLIC accumulates for one hint set over one request window
+/// (Section 3 of the paper): `N(H)`, `Nr(H)`, and the data needed to compute
+/// the mean read re-reference distance `D(H)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HintWindowStats {
+    /// `N(H)`: number of requests observed with this hint set.
+    pub requests: u64,
+    /// `Nr(H)`: number of those requests that were followed by a *read*
+    /// re-reference of the same page.
+    pub read_rereferences: u64,
+    /// Sum of the observed read re-reference distances (in requests), used
+    /// to compute the mean distance `D(H)`.
+    pub distance_sum: u64,
+}
+
+impl HintWindowStats {
+    /// An all-zero record.
+    pub fn new() -> Self {
+        HintWindowStats::default()
+    }
+
+    /// Records one request carrying this hint set (increments `N(H)`).
+    pub fn record_request(&mut self) {
+        self.requests += 1;
+    }
+
+    /// Records a read re-reference at the given distance (increments `Nr(H)`
+    /// and accumulates the distance).
+    pub fn record_read_rereference(&mut self, distance: u64) {
+        self.read_rereferences += 1;
+        self.distance_sum += distance;
+    }
+
+    /// `fhit(H) = Nr(H) / N(H)`: the expected benefit of caching pages
+    /// requested with this hint set. Clamped to `[0, 1]` to guard against the
+    /// top-k tracker's underestimated `N(H)`.
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.read_rereferences as f64 / self.requests as f64).min(1.0)
+        }
+    }
+
+    /// `D(H)`: the mean read re-reference distance, or `None` if no read
+    /// re-reference has been observed.
+    pub fn mean_distance(&self) -> Option<f64> {
+        if self.read_rereferences == 0 {
+            None
+        } else {
+            Some(self.distance_sum as f64 / self.read_rereferences as f64)
+        }
+    }
+
+    /// `P̂r(H) = fhit(H) / D(H)` (Equation 2): the benefit/cost ratio used as
+    /// the hint set's caching priority. Zero when no read re-reference has
+    /// been observed (no evidence of benefit).
+    pub fn priority(&self) -> f64 {
+        match self.mean_distance() {
+            Some(d) if d > 0.0 => self.read_hit_rate() / d,
+            // A distance of zero cannot occur for a genuine re-reference
+            // (the re-referencing request has a larger sequence number), but
+            // guard against it to keep the priority finite.
+            Some(_) => self.read_hit_rate(),
+            None => 0.0,
+        }
+    }
+
+    /// Merges another window record into this one (used by the offline
+    /// analysis when aggregating across windows).
+    pub fn merge(&mut self, other: &HintWindowStats) {
+        self.requests += other.requests;
+        self.read_rereferences += other.read_rereferences;
+        self.distance_sum += other.distance_sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_zero_priority() {
+        let s = HintWindowStats::new();
+        assert_eq!(s.read_hit_rate(), 0.0);
+        assert_eq!(s.mean_distance(), None);
+        assert_eq!(s.priority(), 0.0);
+    }
+
+    #[test]
+    fn priority_is_benefit_over_cost() {
+        let mut s = HintWindowStats::new();
+        for _ in 0..10 {
+            s.record_request();
+        }
+        // 5 of the 10 requests re-referenced at distance 100.
+        for _ in 0..5 {
+            s.record_read_rereference(100);
+        }
+        assert!((s.read_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.mean_distance(), Some(100.0));
+        assert!((s.priority() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_rereferences_outrank_slow_ones() {
+        let mut fast = HintWindowStats::new();
+        let mut slow = HintWindowStats::new();
+        for _ in 0..10 {
+            fast.record_request();
+            slow.record_request();
+        }
+        for _ in 0..5 {
+            fast.record_read_rereference(10);
+            slow.record_read_rereference(10_000);
+        }
+        assert!(fast.priority() > slow.priority());
+    }
+
+    #[test]
+    fn frequent_rereferences_outrank_rare_ones() {
+        let mut often = HintWindowStats::new();
+        let mut rarely = HintWindowStats::new();
+        for _ in 0..100 {
+            often.record_request();
+            rarely.record_request();
+        }
+        for _ in 0..80 {
+            often.record_read_rereference(50);
+        }
+        rarely.record_read_rereference(50);
+        assert!(often.priority() > rarely.priority());
+    }
+
+    #[test]
+    fn hit_rate_is_clamped_when_n_is_underestimated() {
+        // The top-k tracker can underestimate N(H); fhit must stay <= 1.
+        let s = HintWindowStats {
+            requests: 3,
+            read_rereferences: 7,
+            distance_sum: 70,
+        };
+        assert_eq!(s.read_hit_rate(), 1.0);
+        assert!(s.priority() <= 1.0 / 10.0 + 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = HintWindowStats {
+            requests: 5,
+            read_rereferences: 2,
+            distance_sum: 30,
+        };
+        let b = HintWindowStats {
+            requests: 3,
+            read_rereferences: 1,
+            distance_sum: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 8);
+        assert_eq!(a.read_rereferences, 3);
+        assert_eq!(a.distance_sum, 40);
+    }
+}

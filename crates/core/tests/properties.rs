@@ -1,0 +1,184 @@
+//! Property-based tests for the CLIC policy and its supporting structures.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cache_sim::{
+    simulate, AccessKind, CachePolicy, HintSetId, PageId, Trace, TraceBuilder, WriteHint,
+};
+use clic_core::{analyze_trace, Clic, ClicConfig, OutQueue, TrackingMode};
+use clic_core::outqueue::PageRecord;
+
+#[derive(Debug, Clone, Copy)]
+struct GenReq {
+    page: u64,
+    write: bool,
+    hint: u8,
+}
+
+fn gen_request() -> impl Strategy<Value = GenReq> {
+    (0u64..80, any::<bool>(), 0u8..6).prop_map(|(page, write, hint)| GenReq { page, write, hint })
+}
+
+fn trace_from(reqs: &[GenReq]) -> Trace {
+    let mut b = TraceBuilder::new().with_name("prop");
+    let c = b.add_client("prop", &[("h", 6)]);
+    let hints: Vec<HintSetId> = (0..6).map(|v| b.intern_hints(c, &[v])).collect();
+    for r in reqs {
+        let kind = if r.write { AccessKind::Write } else { AccessKind::Read };
+        let wh = if r.write { Some(WriteHint::Replacement) } else { None };
+        b.push(c, r.page, kind, wh, hints[r.hint as usize]);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CLIC never exceeds its effective capacity, reports hits consistently
+    /// with membership, and bounds its outqueue, for arbitrary request
+    /// streams, window sizes, and tracking modes.
+    #[test]
+    fn clic_structural_invariants(
+        reqs in vec(gen_request(), 1..500),
+        capacity in 2usize..32,
+        window in 10u64..200,
+        topk in prop::option::of(1usize..8),
+        outqueue_factor in 0u8..6,
+    ) {
+        let trace = trace_from(&reqs);
+        let tracking = match topk {
+            Some(k) => TrackingMode::TopK(k),
+            None => TrackingMode::Full,
+        };
+        let config = ClicConfig::default()
+            .with_window(window)
+            .with_tracking(tracking)
+            .with_outqueue_factor(f64::from(outqueue_factor))
+            .with_metadata_charging(false);
+        let outqueue_cap = config.outqueue_entries(capacity);
+        let mut clic = Clic::new(capacity, config);
+        for (seq, req) in trace.iter() {
+            let cached_before = clic.contains(req.page);
+            let outcome = clic.access(req, seq);
+            prop_assert_eq!(outcome.hit, cached_before);
+            prop_assert!(clic.len() <= capacity);
+            prop_assert!(clic.outqueue_len() <= outqueue_cap);
+            if !outcome.hit {
+                prop_assert_eq!(clic.contains(req.page), !outcome.bypassed);
+            }
+            // The cache composition always sums to the cache occupancy.
+            let composition: usize = clic.cache_composition().iter().map(|(_, n)| n).sum();
+            prop_assert_eq!(composition, clic.len());
+        }
+    }
+
+    /// The driver accounts for every request when running CLIC, and the
+    /// number of completed windows matches the trace length and window size.
+    #[test]
+    fn clic_window_accounting(
+        reqs in vec(gen_request(), 1..400),
+        window in 10u64..100,
+    ) {
+        let trace = trace_from(&reqs);
+        let mut clic = Clic::new(
+            16,
+            ClicConfig::default().with_window(window).with_metadata_charging(false),
+        );
+        let result = simulate(&mut clic, &trace);
+        prop_assert_eq!(result.stats.requests(), trace.len() as u64);
+        prop_assert_eq!(clic.windows_completed(), trace.len() as u64 / window);
+    }
+
+    /// Offline analysis invariants: frequencies sum to one, `Nr <= N`, and
+    /// priorities are finite and non-negative for arbitrary traces.
+    #[test]
+    fn offline_analysis_invariants(reqs in vec(gen_request(), 1..500)) {
+        let trace = trace_from(&reqs);
+        let reports = analyze_trace(&trace);
+        let total_freq: f64 = reports.iter().map(|r| r.frequency).sum();
+        prop_assert!((total_freq - 1.0).abs() < 1e-9);
+        let total_requests: u64 = reports.iter().map(|r| r.requests).sum();
+        prop_assert_eq!(total_requests, trace.len() as u64);
+        for r in &reports {
+            prop_assert!(r.read_rereferences <= r.requests);
+            prop_assert!(r.priority.is_finite());
+            prop_assert!(r.priority >= 0.0);
+            prop_assert!(r.read_hit_rate <= 1.0);
+            if r.read_rereferences == 0 {
+                prop_assert_eq!(r.priority, 0.0);
+            }
+        }
+    }
+
+    /// The outqueue is a bounded map: it never exceeds its capacity, always
+    /// remembers the most recently inserted entries, and lookups agree with a
+    /// naive model.
+    #[test]
+    fn outqueue_matches_model(
+        ops in vec((0u8..3, 0u64..30, 0u64..1000), 1..300),
+        capacity in 1usize..16,
+    ) {
+        let mut queue = OutQueue::new(capacity);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (page, seq) insertion order
+        for (op, page, seq) in ops {
+            match op {
+                0 => {
+                    queue.insert(PageId(page), PageRecord { seq, hint: HintSetId(0) });
+                    if let Some(pos) = model.iter().position(|(p, _)| *p == page) {
+                        model.remove(pos);
+                    } else if model.len() >= capacity {
+                        model.remove(0);
+                    }
+                    model.push((page, seq));
+                }
+                1 => {
+                    let removed = queue.remove(PageId(page));
+                    let model_pos = model.iter().position(|(p, _)| *p == page);
+                    prop_assert_eq!(removed.is_some(), model_pos.is_some());
+                    if let Some(pos) = model_pos {
+                        let (_, expected_seq) = model.remove(pos);
+                        prop_assert_eq!(removed.unwrap().seq, expected_seq);
+                    }
+                }
+                _ => {
+                    let found = queue.get(PageId(page));
+                    let expected = model.iter().find(|(p, _)| *p == page).map(|(_, s)| *s);
+                    prop_assert_eq!(found.map(|r| r.seq), expected);
+                }
+            }
+            prop_assert!(queue.len() <= capacity);
+            prop_assert_eq!(queue.len(), model.len());
+        }
+    }
+
+    /// Top-k tracking with k well above the number of distinct hint sets
+    /// closely matches full tracking. (It is not bit-identical: as the paper
+    /// notes in Section 5, `Nr(H)` is only accumulated while `H` is being
+    /// tracked, and the Space-Saving state restarts at every window boundary,
+    /// so re-references that land before the hint set's first request of a
+    /// window are missed.)
+    #[test]
+    fn topk_closely_matches_full_when_k_covers_all_hint_sets(
+        reqs in vec(gen_request(), 50..400),
+        capacity in 4usize..24,
+    ) {
+        let trace = trace_from(&reqs);
+        let window = 50u64;
+        let full = {
+            let mut c = Clic::new(capacity, ClicConfig::default()
+                .with_window(window)
+                .with_metadata_charging(false));
+            simulate(&mut c, &trace).read_hit_ratio()
+        };
+        let topk = {
+            let mut c = Clic::new(capacity, ClicConfig::default()
+                .with_window(window)
+                .with_tracking(TrackingMode::TopK(16))
+                .with_metadata_charging(false));
+            simulate(&mut c, &trace).read_hit_ratio()
+        };
+        prop_assert!((full - topk).abs() < 0.1,
+            "full {} vs top-k {} should be close when k >= #hint sets", full, topk);
+    }
+}

@@ -1,0 +1,120 @@
+//! Streaming frequent-item estimation for the CLIC reproduction.
+//!
+//! CLIC bounds the space needed to track hint-set statistics by tracking only
+//! the most frequently occurring hint sets, using the **Space-Saving**
+//! algorithm of Metwally, Agrawal & El Abbadi (ICDT '05), slightly adapted to
+//! carry auxiliary per-item counters (the `Nr(H)` and `D(H)` statistics of
+//! the paper's Section 5).
+//!
+//! This crate provides:
+//!
+//! * [`SpaceSaving`] — the Space-Saving algorithm, generic over the item type
+//!   and over an auxiliary payload attached to each monitored counter (the
+//!   CLIC adaptation),
+//! * [`ExactCounter`] — exact frequency counting, used to verify the
+//!   approximate algorithms in tests and in the accuracy ablation,
+//! * [`MisraGries`] and [`LossyCounting`] — two alternative frequent-item
+//!   algorithms used by the ablation benchmark that justifies the paper's
+//!   choice of Space-Saving,
+//! * the [`FrequencyEstimator`] trait that all of the above implement.
+//!
+//! # Example
+//!
+//! ```
+//! use stream_stats::{FrequencyEstimator, SpaceSaving};
+//!
+//! let mut ss: SpaceSaving<&str> = SpaceSaving::new(2);
+//! for item in ["a", "b", "a", "c", "a", "a", "b"] {
+//!     ss.observe(item);
+//! }
+//! // "a" is genuinely frequent and must be monitored with a tight estimate.
+//! let est = ss.estimate(&"a").expect("a is monitored");
+//! assert!(est.count >= 4);
+//! assert_eq!(ss.observations(), 7);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod exact;
+pub mod lossy;
+pub mod misra_gries;
+pub mod space_saving;
+
+pub use exact::ExactCounter;
+pub use lossy::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use space_saving::{Estimate, SpaceSaving};
+
+use std::hash::Hash;
+
+/// Common interface over frequency estimators, used by the accuracy/space
+/// ablation that compares Space-Saving against alternatives.
+pub trait FrequencyEstimator<T: Eq + Hash + Clone> {
+    /// Records one occurrence of `item`.
+    fn observe(&mut self, item: T);
+
+    /// Returns the estimated number of occurrences of `item`, or `None` if
+    /// the estimator is not currently tracking it.
+    fn estimated_count(&self, item: &T) -> Option<u64>;
+
+    /// Returns the tracked items with their estimated counts, ordered from
+    /// most to least frequent.
+    fn tracked(&self) -> Vec<(T, u64)>;
+
+    /// Total number of observations made so far.
+    fn observations(&self) -> u64;
+
+    /// Forgets all state (used at CLIC window boundaries).
+    fn clear(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All estimators must agree with exact counting on a stream whose
+    /// distinct-item count fits within their budget.
+    #[test]
+    fn estimators_are_exact_when_capacity_suffices() {
+        let stream: Vec<u32> = (0..1000u32).map(|i| i % 7).collect();
+        let mut exact = ExactCounter::new();
+        let mut ss: SpaceSaving<u32> = SpaceSaving::new(16);
+        let mut mg = MisraGries::new(16);
+        let mut lossy = LossyCounting::new(0.01);
+        for &x in &stream {
+            exact.observe(x);
+            ss.observe(x);
+            mg.observe(x);
+            lossy.observe(x);
+        }
+        for item in 0..7u32 {
+            let truth = exact.estimated_count(&item).unwrap();
+            assert_eq!(ss.estimate(&item).unwrap().count, truth, "space-saving item {item}");
+            assert_eq!(mg.estimated_count(&item).unwrap(), truth, "misra-gries item {item}");
+            assert_eq!(lossy.estimated_count(&item).unwrap(), truth, "lossy item {item}");
+        }
+    }
+
+    #[test]
+    fn observations_are_counted_by_all_estimators() {
+        let mut ss: SpaceSaving<u8> = SpaceSaving::new(2);
+        let mut mg = MisraGries::new(2);
+        let mut lossy = LossyCounting::new(0.1);
+        let mut exact = ExactCounter::new();
+        for x in [1u8, 2, 3, 4, 1, 1] {
+            ss.observe(x);
+            mg.observe(x);
+            lossy.observe(x);
+            exact.observe(x);
+        }
+        for obs in [
+            FrequencyEstimator::observations(&ss),
+            mg.observations(),
+            lossy.observations(),
+            exact.observations(),
+        ] {
+            assert_eq!(obs, 6);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Lossy Counting (Manku & Motwani, VLDB '02).
+//!
+//! Divides the stream into buckets of width `⌈1/ε⌉`. Every tracked item
+//! carries a count and the maximum possible undercount `delta` (the bucket in
+//! which it was first tracked minus one). At bucket boundaries, items whose
+//! `count + delta` no longer exceeds the current bucket id are pruned.
+//! Included as the third alternative in the frequent-item ablation.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::FrequencyEstimator;
+
+#[derive(Debug, Clone, Copy)]
+struct Tracked {
+    count: u64,
+    delta: u64,
+}
+
+/// The Lossy Counting summary with error parameter `epsilon`.
+#[derive(Debug, Clone)]
+pub struct LossyCounting<T>
+where
+    T: Eq + Hash + Clone,
+{
+    bucket_width: u64,
+    current_bucket: u64,
+    entries: HashMap<T, Tracked>,
+    observations: u64,
+}
+
+impl<T> LossyCounting<T>
+where
+    T: Eq + Hash + Clone,
+{
+    /// Creates a summary with error bound `epsilon` (counts are
+    /// underestimated by at most `epsilon * observations`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        LossyCounting {
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            current_bucket: 1,
+            entries: HashMap::new(),
+            observations: 0,
+        }
+    }
+
+    /// Records one occurrence of `item`.
+    pub fn observe(&mut self, item: T) {
+        self.observations += 1;
+        match self.entries.get_mut(&item) {
+            Some(t) => t.count += 1,
+            None => {
+                self.entries.insert(
+                    item,
+                    Tracked {
+                        count: 1,
+                        delta: self.current_bucket - 1,
+                    },
+                );
+            }
+        }
+        if self.observations % self.bucket_width == 0 {
+            let bucket = self.current_bucket;
+            self.entries.retain(|_, t| t.count + t.delta > bucket);
+            self.current_bucket += 1;
+        }
+    }
+
+    /// The tracked count of `item` (an underestimate), if still tracked.
+    pub fn count(&self, item: &T) -> Option<u64> {
+        self.entries.get(item).map(|t| t.count)
+    }
+
+    /// Number of items currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total observations so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Forgets everything (the error parameter is retained).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.observations = 0;
+        self.current_bucket = 1;
+    }
+}
+
+impl<T> FrequencyEstimator<T> for LossyCounting<T>
+where
+    T: Eq + Hash + Clone,
+{
+    fn observe(&mut self, item: T) {
+        LossyCounting::observe(self, item);
+    }
+
+    fn estimated_count(&self, item: &T) -> Option<u64> {
+        self.count(item)
+    }
+
+    fn tracked(&self) -> Vec<(T, u64)> {
+        let mut all: Vec<(T, u64)> = self
+            .entries
+            .iter()
+            .map(|(item, t)| (item.clone(), t.count))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1));
+        all
+    }
+
+    fn observations(&self) -> u64 {
+        LossyCounting::observations(self)
+    }
+
+    fn clear(&mut self) {
+        LossyCounting::clear(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_items_survive_pruning() {
+        let mut lc = LossyCounting::new(0.05); // bucket width 20
+        for i in 0..2000u64 {
+            lc.observe(1u8); // every other observation is item 1
+            lc.observe((i % 97 + 10) as u8);
+        }
+        let est = lc.count(&1).expect("heavy hitter must survive");
+        let truth = 2000;
+        assert!(est <= truth);
+        assert!(
+            (truth - est) as f64 <= 0.05 * lc.observations() as f64 + 1.0,
+            "undercount {} exceeds the epsilon bound",
+            truth - est
+        );
+    }
+
+    #[test]
+    fn infrequent_items_are_pruned() {
+        let mut lc = LossyCounting::new(0.1); // bucket width 10
+        // 200 distinct one-shot items: almost all must be pruned.
+        for i in 0..200u64 {
+            lc.observe(i);
+        }
+        assert!(lc.len() < 20, "one-shot items should be pruned, kept {}", lc.len());
+    }
+
+    #[test]
+    fn clear_resets_buckets() {
+        let mut lc = LossyCounting::new(0.5);
+        for i in 0..10u64 {
+            lc.observe(i);
+        }
+        lc.clear();
+        assert!(lc.is_empty());
+        assert_eq!(lc.observations(), 0);
+        lc.observe(3);
+        assert_eq!(lc.count(&3), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_rejected() {
+        let _ = LossyCounting::<u8>::new(1.5);
+    }
+}

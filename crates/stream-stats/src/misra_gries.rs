@@ -1,0 +1,168 @@
+//! The Misra-Gries frequent-item summary (a.k.a. the "Frequent" algorithm).
+//!
+//! Maintains at most `k` counters. An arriving monitored item increments its
+//! counter; an arriving unmonitored item either claims a free counter or
+//! decrements *all* counters (dropping any that reach zero). Counts are
+//! therefore *under*-estimates — the opposite bias from Space-Saving — which
+//! is why the ablation benchmark compares the two.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::FrequencyEstimator;
+
+/// The Misra-Gries summary with `k` counters.
+#[derive(Debug, Clone)]
+pub struct MisraGries<T>
+where
+    T: Eq + Hash + Clone,
+{
+    capacity: usize,
+    counts: HashMap<T, u64>,
+    observations: u64,
+}
+
+impl<T> MisraGries<T>
+where
+    T: Eq + Hash + Clone,
+{
+    /// Creates a summary with `k` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "misra-gries capacity must be positive");
+        MisraGries {
+            capacity: k,
+            counts: HashMap::with_capacity(k),
+            observations: 0,
+        }
+    }
+
+    /// Records one occurrence of `item`.
+    pub fn observe(&mut self, item: T) {
+        self.observations += 1;
+        if let Some(c) = self.counts.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts.insert(item, 1);
+            return;
+        }
+        // Decrement every counter; drop the ones that hit zero.
+        self.counts.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Underestimated count of `item`, if currently tracked.
+    pub fn count(&self, item: &T) -> Option<u64> {
+        self.counts.get(item).copied()
+    }
+
+    /// Number of items currently tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Maximum number of counters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total observations so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.observations = 0;
+    }
+}
+
+impl<T> FrequencyEstimator<T> for MisraGries<T>
+where
+    T: Eq + Hash + Clone,
+{
+    fn observe(&mut self, item: T) {
+        MisraGries::observe(self, item);
+    }
+
+    fn estimated_count(&self, item: &T) -> Option<u64> {
+        self.count(item)
+    }
+
+    fn tracked(&self) -> Vec<(T, u64)> {
+        let mut all: Vec<(T, u64)> = self
+            .counts
+            .iter()
+            .map(|(item, &c)| (item.clone(), c))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1));
+        all
+    }
+
+    fn observations(&self) -> u64 {
+        MisraGries::observations(self)
+    }
+
+    fn clear(&mut self) {
+        MisraGries::clear(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_overestimates() {
+        let mut mg = MisraGries::new(2);
+        let stream = [1u8, 2, 3, 1, 1, 2, 4, 1, 5, 1];
+        let mut truth: HashMap<u8, u64> = HashMap::new();
+        for &x in &stream {
+            mg.observe(x);
+            *truth.entry(x).or_default() += 1;
+        }
+        for (item, count) in mg.tracked() {
+            assert!(count <= truth[&item], "MG must underestimate");
+        }
+    }
+
+    #[test]
+    fn majority_item_survives() {
+        let mut mg = MisraGries::new(1);
+        // Item 7 is a strict majority: with k=1 it must still be tracked.
+        let stream = [7u8, 1, 7, 2, 7, 3, 7, 4, 7, 7];
+        for &x in &stream {
+            mg.observe(x);
+        }
+        assert!(mg.count(&7).is_some());
+    }
+
+    #[test]
+    fn decrement_drops_zeroed_counters() {
+        let mut mg = MisraGries::new(2);
+        mg.observe(1u8);
+        mg.observe(2);
+        mg.observe(3); // decrements both to zero and drops them
+        assert!(mg.is_empty());
+        assert_eq!(mg.observations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = MisraGries::<u8>::new(0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The Space-Saving frequent-item algorithm (Metwally et al., ICDT '05),
+//! extended with auxiliary per-counter payloads as required by CLIC.
+//!
+//! Space-Saving monitors at most `k` items. When an unmonitored item arrives
+//! and all `k` counters are occupied, the item with the *minimum* count is
+//! replaced: the new item inherits the old count plus one and records the old
+//! count as its *error bound*. The guarantees are:
+//!
+//! * every monitored item's true count is at most its estimated `count` and
+//!   at least `count - error`,
+//! * any item whose true frequency exceeds `observations / k` is guaranteed
+//!   to be monitored.
+//!
+//! CLIC attaches additional statistics (`Nr(H)`, a re-reference distance
+//! accumulator) to each monitored hint set; these must be reset whenever the
+//! counter is recycled for a different hint set. [`SpaceSaving`] therefore
+//! carries a generic auxiliary payload `A` per counter that is reset to
+//! `A::default()` on recycling.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::FrequencyEstimator;
+
+/// Frequency estimate for a monitored item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Estimate {
+    /// Estimated (over-)count of the item.
+    pub count: u64,
+    /// Maximum possible overestimation: the true count is at least
+    /// `count - error`.
+    pub error: u64,
+}
+
+impl Estimate {
+    /// A conservative lower bound on the item's true count (`count - error`).
+    /// This is the value the paper uses as `N(H)`.
+    pub fn guaranteed(&self) -> u64 {
+        self.count.saturating_sub(self.error)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<A> {
+    count: u64,
+    error: u64,
+    aux: A,
+}
+
+/// The Space-Saving summary: monitors at most `k` items together with an
+/// auxiliary payload per monitored item.
+///
+/// The default payload is `()`; CLIC instantiates `A` with its re-reference
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<T, A = ()>
+where
+    T: Eq + Hash + Clone,
+    A: Default,
+{
+    capacity: usize,
+    entries: HashMap<T, Entry<A>>,
+    // count -> set of items with that count; the first key is the minimum.
+    buckets: BTreeMap<u64, HashSet<T>>,
+    observations: u64,
+}
+
+impl<T, A> SpaceSaving<T, A>
+where
+    T: Eq + Hash + Clone,
+    A: Default,
+{
+    /// Creates a summary monitoring at most `k` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "space-saving capacity must be positive");
+        SpaceSaving {
+            capacity: k,
+            entries: HashMap::with_capacity(k),
+            buckets: BTreeMap::new(),
+            observations: 0,
+        }
+    }
+
+    /// Maximum number of items monitored simultaneously.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently monitored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no items are monitored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of observations since creation or the last [`clear`].
+    ///
+    /// [`clear`]: SpaceSaving::clear
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Returns `true` if `item` is currently monitored.
+    pub fn is_monitored(&self, item: &T) -> bool {
+        self.entries.contains_key(item)
+    }
+
+    /// Records one occurrence of `item`, returning a mutable reference to its
+    /// auxiliary payload. If the item was not monitored and a counter had to
+    /// be recycled, the payload starts fresh at `A::default()`.
+    pub fn observe_mut(&mut self, item: T) -> &mut A {
+        self.observations += 1;
+        if let Some(entry) = self.entries.get(&item) {
+            let old_count = entry.count;
+            self.remove_from_bucket(&item, old_count);
+            self.add_to_bucket(item.clone(), old_count + 1);
+            let entry = self.entries.get_mut(&item).expect("entry exists");
+            entry.count += 1;
+            return &mut self.entries.get_mut(&item).expect("entry exists").aux;
+        }
+        if self.entries.len() < self.capacity {
+            self.add_to_bucket(item.clone(), 1);
+            self.entries.insert(
+                item.clone(),
+                Entry {
+                    count: 1,
+                    error: 0,
+                    aux: A::default(),
+                },
+            );
+            return &mut self.entries.get_mut(&item).expect("just inserted").aux;
+        }
+        // Recycle the minimum-count entry.
+        let (min_count, victim) = {
+            let (count, set) = self
+                .buckets
+                .iter()
+                .next()
+                .expect("capacity > 0 and entries is full");
+            let victim = set.iter().next().expect("bucket sets are non-empty").clone();
+            (*count, victim)
+        };
+        self.remove_from_bucket(&victim, min_count);
+        self.entries.remove(&victim);
+        self.add_to_bucket(item.clone(), min_count + 1);
+        self.entries.insert(
+            item.clone(),
+            Entry {
+                count: min_count + 1,
+                error: min_count,
+                aux: A::default(),
+            },
+        );
+        &mut self.entries.get_mut(&item).expect("just inserted").aux
+    }
+
+    /// Records one occurrence of `item` (discarding the payload reference).
+    pub fn observe(&mut self, item: T) {
+        let _ = self.observe_mut(item);
+    }
+
+    /// Returns the frequency estimate for `item`, if it is monitored.
+    pub fn estimate(&self, item: &T) -> Option<Estimate> {
+        self.entries.get(item).map(|e| Estimate {
+            count: e.count,
+            error: e.error,
+        })
+    }
+
+    /// Returns the auxiliary payload for `item`, if monitored.
+    pub fn aux(&self, item: &T) -> Option<&A> {
+        self.entries.get(item).map(|e| &e.aux)
+    }
+
+    /// Returns a mutable reference to the auxiliary payload for `item`
+    /// without recording an observation.
+    pub fn aux_mut(&mut self, item: &T) -> Option<&mut A> {
+        self.entries.get_mut(item).map(|e| &mut e.aux)
+    }
+
+    /// Returns all monitored items with their estimates and payloads, sorted
+    /// by decreasing estimated count.
+    pub fn entries(&self) -> Vec<(T, Estimate, &A)> {
+        let mut out: Vec<(T, Estimate, &A)> = self
+            .entries
+            .iter()
+            .map(|(item, e)| {
+                (
+                    item.clone(),
+                    Estimate {
+                        count: e.count,
+                        error: e.error,
+                    },
+                    &e.aux,
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+        out
+    }
+
+    /// Returns the monitored items that are *guaranteed* to be among the true
+    /// top-`len()` items (their guaranteed count exceeds the smallest
+    /// estimated count among the others).
+    pub fn guaranteed_frequent(&self) -> Vec<T> {
+        let min_count = self
+            .buckets
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(0);
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.count.saturating_sub(e.error) >= min_count)
+            .map(|(item, _)| item.clone())
+            .collect()
+    }
+
+    /// Forgets all monitored items and resets the observation count. CLIC
+    /// calls this at every window boundary (Section 5).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.buckets.clear();
+        self.observations = 0;
+    }
+
+    fn add_to_bucket(&mut self, item: T, count: u64) {
+        self.buckets.entry(count).or_default().insert(item);
+    }
+
+    fn remove_from_bucket(&mut self, item: &T, count: u64) {
+        if let Some(set) = self.buckets.get_mut(&count) {
+            set.remove(item);
+            if set.is_empty() {
+                self.buckets.remove(&count);
+            }
+        }
+    }
+}
+
+impl<T> FrequencyEstimator<T> for SpaceSaving<T, ()>
+where
+    T: Eq + Hash + Clone,
+{
+    fn observe(&mut self, item: T) {
+        SpaceSaving::observe(self, item);
+    }
+
+    fn estimated_count(&self, item: &T) -> Option<u64> {
+        self.estimate(item).map(|e| e.count)
+    }
+
+    fn tracked(&self) -> Vec<(T, u64)> {
+        self.entries()
+            .into_iter()
+            .map(|(item, est, _)| (item, est.count))
+            .collect()
+    }
+
+    fn observations(&self) -> u64 {
+        SpaceSaving::observations(self)
+    }
+
+    fn clear(&mut self) {
+        SpaceSaving::clear(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exactly_when_under_capacity() {
+        let mut ss: SpaceSaving<char> = SpaceSaving::new(8);
+        for c in "aaabbc".chars() {
+            ss.observe(c);
+        }
+        assert_eq!(ss.estimate(&'a'), Some(Estimate { count: 3, error: 0 }));
+        assert_eq!(ss.estimate(&'b'), Some(Estimate { count: 2, error: 0 }));
+        assert_eq!(ss.estimate(&'c'), Some(Estimate { count: 1, error: 0 }));
+        assert_eq!(ss.estimate(&'z'), None);
+        assert_eq!(ss.len(), 3);
+        assert_eq!(ss.observations(), 6);
+    }
+
+    #[test]
+    fn recycles_minimum_and_records_error() {
+        let mut ss: SpaceSaving<char> = SpaceSaving::new(2);
+        ss.observe('a');
+        ss.observe('a');
+        ss.observe('b');
+        // 'c' arrives: the minimum counter ('b', count 1) is recycled.
+        ss.observe('c');
+        assert!(!ss.is_monitored(&'b'));
+        let c = ss.estimate(&'c').unwrap();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.error, 1);
+        assert_eq!(c.guaranteed(), 1);
+        // 'a' is untouched.
+        assert_eq!(ss.estimate(&'a'), Some(Estimate { count: 2, error: 0 }));
+    }
+
+    #[test]
+    fn heavy_hitter_is_always_monitored() {
+        // One item takes 50% of a long stream; with k=4 it is guaranteed to
+        // be monitored at the end with a close estimate.
+        let mut ss: SpaceSaving<u32> = SpaceSaving::new(4);
+        let mut true_count = 0u64;
+        let mut noise = 0u32;
+        for i in 0..10_000u64 {
+            if i % 2 == 0 {
+                ss.observe(42);
+                true_count += 1;
+            } else {
+                noise = noise.wrapping_add(1).wrapping_mul(2654435761) % 1000;
+                ss.observe(noise + 100);
+            }
+        }
+        let est = ss.estimate(&42).expect("heavy hitter must be monitored");
+        assert!(est.count >= true_count, "Space-Saving never undercounts");
+        assert!(
+            est.guaranteed() <= true_count,
+            "guaranteed bound must not exceed the true count"
+        );
+        // The estimate should be reasonably tight for a 50% hitter.
+        assert!(est.count - est.error <= true_count);
+        assert!(est.count < true_count + 5_000);
+    }
+
+    #[test]
+    fn aux_payload_is_reset_on_recycle() {
+        #[derive(Default, Debug, PartialEq)]
+        struct Aux {
+            hits: u64,
+        }
+        let mut ss: SpaceSaving<char, Aux> = SpaceSaving::new(1);
+        ss.observe_mut('a').hits = 7;
+        assert_eq!(ss.aux(&'a').unwrap().hits, 7);
+        // 'b' recycles 'a''s counter; its payload must start from default.
+        let aux_b = ss.observe_mut('b');
+        assert_eq!(aux_b.hits, 0);
+        assert!(ss.aux(&'a').is_none());
+        // aux_mut does not count as an observation.
+        let before = ss.observations();
+        ss.aux_mut(&'b').unwrap().hits += 1;
+        assert_eq!(ss.observations(), before);
+        assert_eq!(ss.aux(&'b').unwrap().hits, 1);
+    }
+
+    #[test]
+    fn entries_are_sorted_by_count() {
+        let mut ss: SpaceSaving<u8> = SpaceSaving::new(8);
+        for x in [1u8, 2, 2, 3, 3, 3] {
+            ss.observe(x);
+        }
+        let entries = ss.entries();
+        let counts: Vec<u64> = entries.iter().map(|(_, e, _)| e.count).collect();
+        assert_eq!(counts, vec![3, 2, 1]);
+        assert_eq!(entries[0].0, 3);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut ss: SpaceSaving<u8> = SpaceSaving::new(2);
+        ss.observe(1);
+        ss.observe(2);
+        ss.observe(3);
+        ss.clear();
+        assert!(ss.is_empty());
+        assert_eq!(ss.observations(), 0);
+        assert_eq!(ss.estimate(&1), None);
+        // Reusable after clear.
+        ss.observe(9);
+        assert_eq!(ss.estimate(&9).unwrap().count, 1);
+    }
+
+    #[test]
+    fn overestimate_invariant_holds_under_skewed_stream() {
+        // Zipf-ish stream over 200 items, k = 10: for every monitored item,
+        // count >= true >= count - error.
+        let mut ss: SpaceSaving<u64> = SpaceSaving::new(10);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 99u64;
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Approximate Zipf: item = floor(200 / (1 + (r % 200)))
+            let r = (state >> 33) % 200;
+            let item = 200 / (1 + r);
+            ss.observe(item);
+            *truth.entry(item).or_default() += 1;
+        }
+        for (item, est, _) in ss.entries() {
+            let t = truth.get(&item).copied().unwrap_or(0);
+            assert!(est.count >= t, "item {item}: estimate {} < true {t}", est.count);
+            assert!(
+                est.guaranteed() <= t,
+                "item {item}: guaranteed {} > true {t}",
+                est.guaranteed()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _: SpaceSaving<u8> = SpaceSaving::new(0);
+    }
+
+    #[test]
+    fn guaranteed_frequent_subset_of_monitored() {
+        let mut ss: SpaceSaving<u8> = SpaceSaving::new(3);
+        for x in [1u8, 1, 1, 1, 2, 2, 3, 4, 5] {
+            ss.observe(x);
+        }
+        let guaranteed = ss.guaranteed_frequent();
+        assert!(guaranteed.contains(&1));
+        for g in &guaranteed {
+            assert!(ss.is_monitored(g));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the frequent-item estimators: the published
+//! error guarantees must hold for arbitrary streams.
+
+use std::collections::HashMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use stream_stats::{ExactCounter, FrequencyEstimator, LossyCounting, MisraGries, SpaceSaving};
+
+fn exact_counts(stream: &[u16]) -> HashMap<u16, u64> {
+    let mut counts = HashMap::new();
+    for &x in stream {
+        *counts.entry(x).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Space-Saving invariants (Metwally et al.):
+    /// * estimates never undercount,
+    /// * `count - error` never overcounts,
+    /// * any item with true frequency > N/k is monitored,
+    /// * at most k items are monitored.
+    #[test]
+    fn space_saving_error_bounds(
+        stream in vec(0u16..50, 1..2000),
+        k in 1usize..20,
+    ) {
+        let mut ss: SpaceSaving<u16> = SpaceSaving::new(k);
+        for &x in &stream {
+            ss.observe(x);
+        }
+        let truth = exact_counts(&stream);
+        prop_assert!(ss.len() <= k);
+        prop_assert_eq!(ss.observations(), stream.len() as u64);
+        for (item, estimate, _) in ss.entries() {
+            let t = truth.get(&item).copied().unwrap_or(0);
+            prop_assert!(estimate.count >= t, "estimate {} < true {}", estimate.count, t);
+            prop_assert!(estimate.guaranteed() <= t, "guaranteed {} > true {}", estimate.guaranteed(), t);
+        }
+        let threshold = stream.len() as u64 / k as u64;
+        for (item, &count) in &truth {
+            if count > threshold {
+                prop_assert!(
+                    ss.is_monitored(item),
+                    "item {} with count {} > N/k {} must be monitored", item, count, threshold
+                );
+            }
+        }
+    }
+
+    /// Misra-Gries invariants: never overcounts, undercounts by at most N/(k+1),
+    /// and never tracks more than k items.
+    #[test]
+    fn misra_gries_error_bounds(
+        stream in vec(0u16..50, 1..2000),
+        k in 1usize..20,
+    ) {
+        let mut mg = MisraGries::new(k);
+        for &x in &stream {
+            mg.observe(x);
+        }
+        let truth = exact_counts(&stream);
+        prop_assert!(mg.len() <= k);
+        let max_undercount = stream.len() as u64 / (k as u64 + 1);
+        for (item, count) in mg.tracked() {
+            let t = truth[&item];
+            prop_assert!(count <= t, "MG overcounted {}: {} > {}", item, count, t);
+            prop_assert!(
+                t - count <= max_undercount,
+                "MG undercounted {} by {} > bound {}", item, t - count, max_undercount
+            );
+        }
+    }
+
+    /// Lossy Counting invariant: tracked counts undercount by at most
+    /// epsilon * N, and every item with true count > epsilon * N is tracked.
+    #[test]
+    fn lossy_counting_error_bounds(
+        stream in vec(0u16..50, 1..2000),
+        denom in 5u32..100,
+    ) {
+        let epsilon = 1.0 / f64::from(denom);
+        let mut lc = LossyCounting::new(epsilon);
+        for &x in &stream {
+            lc.observe(x);
+        }
+        let truth = exact_counts(&stream);
+        let n = stream.len() as f64;
+        for (item, count) in lc.tracked() {
+            let t = truth[&item];
+            prop_assert!(count <= t);
+            prop_assert!(
+                (t - count) as f64 <= epsilon * n + 1.0,
+                "undercount {} exceeds eps*N {}", t - count, epsilon * n
+            );
+        }
+        for (item, &count) in &truth {
+            if (count as f64) > epsilon * n + 1.0 {
+                prop_assert!(
+                    lc.count(item).is_some(),
+                    "item {} with count {} should still be tracked", item, count
+                );
+            }
+        }
+    }
+
+    /// The exact counter is, in fact, exact — and agrees with every other
+    /// estimator's observation count.
+    #[test]
+    fn exact_counter_is_exact(stream in vec(0u16..50, 0..2000)) {
+        let mut exact: ExactCounter<u16> = ExactCounter::new();
+        for &x in &stream {
+            exact.observe(x);
+        }
+        let truth = exact_counts(&stream);
+        prop_assert_eq!(exact.distinct(), truth.len());
+        for (item, &count) in &truth {
+            prop_assert_eq!(exact.count(item), count);
+        }
+        prop_assert_eq!(exact.observations(), stream.len() as u64);
+    }
+
+    /// Clearing any estimator really forgets everything.
+    #[test]
+    fn clear_forgets_state(stream in vec(0u16..20, 1..200)) {
+        let mut ss: SpaceSaving<u16> = SpaceSaving::new(4);
+        let mut mg = MisraGries::new(4);
+        let mut lc = LossyCounting::new(0.1);
+        for &x in &stream {
+            ss.observe(x);
+            mg.observe(x);
+            lc.observe(x);
+        }
+        ss.clear();
+        mg.clear();
+        FrequencyEstimator::clear(&mut lc);
+        prop_assert!(ss.is_empty());
+        prop_assert!(mg.is_empty());
+        prop_assert!(lc.is_empty());
+        prop_assert_eq!(ss.observations(), 0);
+        prop_assert_eq!(mg.observations(), 0);
+        prop_assert_eq!(lc.observations(), 0);
+    }
+
+    /// The auxiliary payload attached to Space-Saving counters never leaks
+    /// from one item to another across recycling.
+    #[test]
+    fn space_saving_aux_never_leaks(stream in vec(0u16..30, 1..500), k in 1usize..6) {
+        #[derive(Default, Clone, Debug, PartialEq)]
+        struct Tag(Option<u16>);
+        let mut ss: SpaceSaving<u16, Tag> = SpaceSaving::new(k);
+        for &x in &stream {
+            let aux = ss.observe_mut(x);
+            match aux.0 {
+                None => aux.0 = Some(x),
+                Some(owner) => prop_assert_eq!(owner, x, "aux payload leaked across items"),
+            }
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! First-tier (DBMS) buffer-pool simulator.
+//!
+//! The paper's traces were collected *underneath* the buffer caches of DB2
+//! and MySQL: the storage server only sees the misses and write-backs that
+//! escape the first tier. This module reproduces that filter. It simulates a
+//! buffer pool with:
+//!
+//! * priority-aware LRU replacement (DB2 buffer priorities),
+//! * an asynchronous page cleaner that writes out dirty pages *near the
+//!   eviction end* of the pool — these become **replacement writes**,
+//! * periodic checkpoints that write out the oldest-dirtied (typically hot)
+//!   pages — these become **recovery writes**,
+//! * **synchronous writes** when a dirty page reaches the eviction point
+//!   before the cleaner got to it.
+//!
+//! The pool emits [`PoolEvent`]s describing the storage-level I/O it
+//! performs; the [`crate::client::DbmsSimulator`] turns those into hinted
+//! requests.
+
+use std::collections::HashMap;
+
+use cache_sim::policies::util::OrderedPageSet;
+use cache_sim::{PageId, WriteHint};
+
+/// One storage-level I/O performed by the buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// The pool read `page` from the storage server.
+    Read {
+        /// The page that was fetched.
+        page: PageId,
+        /// `true` if the fetch was issued by the prefetcher.
+        prefetch: bool,
+    },
+    /// The pool wrote `page` back to the storage server.
+    Write {
+        /// The page that was written.
+        page: PageId,
+        /// Why the write happened (replacement / recovery / synchronous).
+        hint: WriteHint,
+    },
+}
+
+/// Tuning parameters of the simulated buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferPoolConfig {
+    /// Number of page frames in the pool.
+    pub capacity: usize,
+    /// Fraction of dirty frames that triggers the asynchronous page cleaner.
+    pub dirty_high_watermark: f64,
+    /// Maximum number of pages the cleaner writes per activation.
+    pub cleaner_batch: usize,
+    /// Number of logical page operations between checkpoints
+    /// (`0` disables checkpoints).
+    pub checkpoint_interval: u64,
+    /// Maximum number of dirty pages written per checkpoint.
+    pub checkpoint_batch: usize,
+    /// Number of distinct priority levels used by the client (DB2 uses 4,
+    /// MySQL effectively 1).
+    pub priority_levels: u32,
+}
+
+impl BufferPoolConfig {
+    /// A reasonable default configuration for a pool of `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        BufferPoolConfig {
+            capacity,
+            dirty_high_watermark: 0.25,
+            cleaner_batch: 32,
+            checkpoint_interval: 50_000,
+            checkpoint_batch: 64,
+            priority_levels: 4,
+        }
+    }
+
+    /// Sets the number of priority levels.
+    pub fn with_priority_levels(mut self, levels: u32) -> Self {
+        self.priority_levels = levels.max(1);
+        self
+    }
+
+    /// Sets the checkpoint interval (0 disables checkpoints).
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    dirty: bool,
+    priority: u32,
+}
+
+/// The simulated buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    config: BufferPoolConfig,
+    frames: HashMap<PageId, Frame>,
+    /// One LRU list per priority level; victims are taken from the lowest
+    /// non-empty level.
+    lru: Vec<OrderedPageSet>,
+    /// Dirty pages in the order they first became dirty (checkpoint source).
+    dirty_fifo: OrderedPageSet,
+    dirty_count: usize,
+    ops: u64,
+}
+
+impl BufferPool {
+    /// Creates a buffer pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is zero.
+    pub fn new(config: BufferPoolConfig) -> Self {
+        assert!(config.capacity > 0, "buffer pool capacity must be positive");
+        let levels = config.priority_levels.max(1) as usize;
+        BufferPool {
+            config,
+            frames: HashMap::with_capacity(config.capacity),
+            lru: (0..levels).map(|_| OrderedPageSet::new()).collect(),
+            dirty_fifo: OrderedPageSet::new(),
+            dirty_count: 0,
+            ops: 0,
+        }
+    }
+
+    /// Number of frames currently occupied.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` if the pool holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Number of dirty frames.
+    pub fn dirty(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Returns `true` if `page` currently resides in the pool.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.frames.contains_key(&page)
+    }
+
+    /// Accesses `page` with the given buffer `priority`. If `write` is true
+    /// the page is dirtied. Returns `true` if the access hit in the pool
+    /// (i.e. produced no storage read). Storage I/O, if any, is appended to
+    /// `events`.
+    pub fn access(
+        &mut self,
+        page: PageId,
+        priority: u32,
+        write: bool,
+        prefetch: bool,
+        events: &mut Vec<PoolEvent>,
+    ) -> bool {
+        self.tick(events);
+        let priority = priority.min(self.config.priority_levels - 1);
+        if let Some(frame) = self.frames.get_mut(&page) {
+            let old_priority = frame.priority;
+            frame.priority = priority;
+            if write && !frame.dirty {
+                frame.dirty = true;
+                self.dirty_count += 1;
+                self.dirty_fifo.push_back(page);
+            }
+            if old_priority as usize != priority as usize {
+                self.lru[old_priority as usize].remove(page);
+                self.lru[priority as usize].push_back(page);
+            } else {
+                self.lru[priority as usize].touch(page);
+            }
+            self.maybe_clean(events);
+            return true;
+        }
+        self.make_room(events);
+        events.push(PoolEvent::Read { page, prefetch });
+        self.install(page, priority, write);
+        self.maybe_clean(events);
+        false
+    }
+
+    /// Installs a newly created page (for example a freshly allocated insert
+    /// page) without reading it from storage. The page starts dirty.
+    pub fn create(&mut self, page: PageId, priority: u32, events: &mut Vec<PoolEvent>) {
+        self.tick(events);
+        let priority = priority.min(self.config.priority_levels - 1);
+        if let Some(frame) = self.frames.get_mut(&page) {
+            if !frame.dirty {
+                frame.dirty = true;
+                self.dirty_count += 1;
+                self.dirty_fifo.push_back(page);
+            }
+            self.lru[frame.priority as usize].touch(page);
+        } else {
+            self.make_room(events);
+            self.install(page, priority, true);
+        }
+        self.maybe_clean(events);
+    }
+
+    /// Flushes every dirty page (used at end of run); the writes are tagged
+    /// as recovery writes, mirroring a final checkpoint.
+    pub fn flush_all(&mut self, events: &mut Vec<PoolEvent>) {
+        let dirty: Vec<PageId> = self.dirty_fifo.iter().collect();
+        for page in dirty {
+            self.clean_page(page, WriteHint::Recovery, events);
+        }
+    }
+
+    fn install(&mut self, page: PageId, priority: u32, dirty: bool) {
+        self.frames.insert(page, Frame { dirty, priority });
+        self.lru[priority as usize].push_back(page);
+        if dirty {
+            self.dirty_count += 1;
+            self.dirty_fifo.push_back(page);
+        }
+    }
+
+    fn tick(&mut self, events: &mut Vec<PoolEvent>) {
+        self.ops += 1;
+        if self.config.checkpoint_interval > 0 && self.ops % self.config.checkpoint_interval == 0 {
+            self.checkpoint(events);
+        }
+    }
+
+    /// Evicts frames until there is room for one more page.
+    fn make_room(&mut self, events: &mut Vec<PoolEvent>) {
+        while self.frames.len() >= self.config.capacity {
+            let victim = self
+                .lru
+                .iter()
+                .find_map(|q| q.front())
+                .expect("pool is full so some queue is non-empty");
+            let frame = self.frames.remove(&victim).expect("victim has a frame");
+            self.lru[frame.priority as usize].remove(victim);
+            if frame.dirty {
+                // The cleaner did not get to this page in time: the eviction
+                // must wait for a synchronous write.
+                self.dirty_fifo.remove(victim);
+                self.dirty_count -= 1;
+                events.push(PoolEvent::Write {
+                    page: victim,
+                    hint: WriteHint::Synchronous,
+                });
+            }
+        }
+    }
+
+    /// Asynchronous page cleaner: when too many frames are dirty, write out
+    /// dirty pages that are close to the eviction end of the LRU lists
+    /// (lowest priority first) as replacement writes. The pages stay cached
+    /// but become clean, so their later eviction is silent.
+    fn maybe_clean(&mut self, events: &mut Vec<PoolEvent>) {
+        let threshold =
+            (self.config.capacity as f64 * self.config.dirty_high_watermark).ceil() as usize;
+        if self.dirty_count <= threshold {
+            return;
+        }
+        let mut to_clean = Vec::new();
+        let mut budget = self.config.cleaner_batch;
+        let scan_limit = self.config.cleaner_batch * 8;
+        let mut scanned = 0usize;
+        'outer: for queue in &self.lru {
+            for page in queue.iter() {
+                if budget == 0 || scanned >= scan_limit {
+                    break 'outer;
+                }
+                scanned += 1;
+                if self.frames.get(&page).map(|f| f.dirty).unwrap_or(false) {
+                    to_clean.push(page);
+                    budget -= 1;
+                }
+            }
+        }
+        for page in to_clean {
+            self.clean_page(page, WriteHint::Replacement, events);
+        }
+    }
+
+    /// Checkpoint: write out the oldest-dirtied pages (typically hot pages
+    /// that keep getting re-dirtied) as recovery writes.
+    fn checkpoint(&mut self, events: &mut Vec<PoolEvent>) {
+        let batch: Vec<PageId> = self
+            .dirty_fifo
+            .iter()
+            .take(self.config.checkpoint_batch)
+            .collect();
+        for page in batch {
+            self.clean_page(page, WriteHint::Recovery, events);
+        }
+    }
+
+    fn clean_page(&mut self, page: PageId, hint: WriteHint, events: &mut Vec<PoolEvent>) {
+        if let Some(frame) = self.frames.get_mut(&page) {
+            if frame.dirty {
+                frame.dirty = false;
+                self.dirty_count -= 1;
+                self.dirty_fifo.remove(page);
+                events.push(PoolEvent::Write { page, hint });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(capacity: usize) -> BufferPoolConfig {
+        BufferPoolConfig {
+            capacity,
+            dirty_high_watermark: 0.5,
+            cleaner_batch: 2,
+            checkpoint_interval: 0,
+            checkpoint_batch: 4,
+            priority_levels: 4,
+        }
+    }
+
+    #[test]
+    fn hits_produce_no_storage_reads() {
+        let mut pool = BufferPool::new(config(4));
+        let mut events = Vec::new();
+        assert!(!pool.access(PageId(1), 0, false, false, &mut events));
+        assert!(pool.access(PageId(1), 0, false, false, &mut events));
+        let reads = events
+            .iter()
+            .filter(|e| matches!(e, PoolEvent::Read { .. }))
+            .count();
+        assert_eq!(reads, 1, "only the first access should reach storage");
+    }
+
+    #[test]
+    fn clean_eviction_is_silent_dirty_eviction_writes_synchronously() {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            dirty_high_watermark: 1.1, // cleaner never runs
+            ..config(2)
+        });
+        let mut events = Vec::new();
+        pool.access(PageId(1), 0, true, false, &mut events); // dirty
+        pool.access(PageId(2), 0, false, false, &mut events); // clean
+        events.clear();
+        // Page 3 evicts page 1 (LRU), which is dirty -> synchronous write.
+        pool.access(PageId(3), 0, false, false, &mut events);
+        assert!(events.contains(&PoolEvent::Write {
+            page: PageId(1),
+            hint: WriteHint::Synchronous
+        }));
+        events.clear();
+        // Page 4 evicts page 2, which is clean -> no write, just the read.
+        pool.access(PageId(4), 0, false, false, &mut events);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, PoolEvent::Write { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn cleaner_emits_replacement_writes_and_keeps_pages() {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            dirty_high_watermark: 0.25,
+            cleaner_batch: 8,
+            ..config(8)
+        });
+        let mut events = Vec::new();
+        for p in 0..6u64 {
+            pool.access(PageId(p), 0, true, false, &mut events);
+        }
+        let replacement_writes: Vec<PageId> = events
+            .iter()
+            .filter_map(|e| match e {
+                PoolEvent::Write {
+                    page,
+                    hint: WriteHint::Replacement,
+                } => Some(*page),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !replacement_writes.is_empty(),
+            "cleaner should have produced replacement writes"
+        );
+        // Cleaned pages are still resident.
+        for p in &replacement_writes {
+            assert!(pool.contains(*p));
+        }
+        assert!(pool.dirty() < 6);
+    }
+
+    #[test]
+    fn checkpoint_emits_recovery_writes() {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            checkpoint_interval: 10,
+            checkpoint_batch: 4,
+            dirty_high_watermark: 1.1, // isolate the checkpoint path
+            ..config(16)
+        });
+        let mut events = Vec::new();
+        // Keep re-dirtying a hot page while doing other work.
+        for i in 0..40u64 {
+            pool.access(PageId(1), 3, true, false, &mut events);
+            pool.access(PageId(2 + (i % 4)), 0, false, false, &mut events);
+        }
+        let recovery_writes = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    PoolEvent::Write {
+                        hint: WriteHint::Recovery,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(recovery_writes > 0, "checkpoints must produce recovery writes");
+        assert!(pool.contains(PageId(1)), "checkpointed hot page stays resident");
+    }
+
+    #[test]
+    fn low_priority_pages_are_evicted_before_high_priority_ones() {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            dirty_high_watermark: 1.1,
+            ..config(2)
+        });
+        let mut events = Vec::new();
+        pool.access(PageId(1), 3, false, false, &mut events); // high priority
+        pool.access(PageId(2), 0, false, false, &mut events); // low priority
+        pool.access(PageId(3), 0, false, false, &mut events); // evicts page 2
+        assert!(pool.contains(PageId(1)));
+        assert!(!pool.contains(PageId(2)));
+        assert!(pool.contains(PageId(3)));
+    }
+
+    #[test]
+    fn prefetch_flag_is_propagated() {
+        let mut pool = BufferPool::new(config(4));
+        let mut events = Vec::new();
+        pool.access(PageId(9), 0, false, true, &mut events);
+        assert_eq!(
+            events[0],
+            PoolEvent::Read {
+                page: PageId(9),
+                prefetch: true
+            }
+        );
+    }
+
+    #[test]
+    fn create_does_not_read_from_storage() {
+        let mut pool = BufferPool::new(config(4));
+        let mut events = Vec::new();
+        pool.create(PageId(7), 0, &mut events);
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, PoolEvent::Read { .. })));
+        assert!(pool.contains(PageId(7)));
+        assert_eq!(pool.dirty(), 1);
+    }
+
+    #[test]
+    fn flush_all_writes_every_dirty_page_as_recovery() {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            dirty_high_watermark: 1.1,
+            ..config(8)
+        });
+        let mut events = Vec::new();
+        for p in 0..5u64 {
+            pool.access(PageId(p), 0, true, false, &mut events);
+        }
+        events.clear();
+        pool.flush_all(&mut events);
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| matches!(
+            e,
+            PoolEvent::Write {
+                hint: WriteHint::Recovery,
+                ..
+            }
+        )));
+        assert_eq!(pool.dirty(), 0);
+    }
+
+    #[test]
+    fn pool_never_exceeds_capacity() {
+        let mut pool = BufferPool::new(config(16));
+        let mut events = Vec::new();
+        for i in 0..2000u64 {
+            let write = i % 3 == 0;
+            pool.access(PageId(i % 97), (i % 4) as u32, write, false, &mut events);
+            assert!(pool.len() <= 16);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Zipf-distributed sampling.
+//!
+//! Used in two places that mirror the paper: the skewed key-selection of the
+//! synthetic TPC-C/TPC-H workloads, and the noise-hint injection experiment
+//! of Section 6.3, which draws each injected hint value "using a Zipf
+//! distribution with skew parameter z = 1".
+
+use rand::Rng;
+
+/// A sampler over `{0, 1, ..., n-1}` where value `i` has probability
+/// proportional to `1 / (i + 1)^s`.
+///
+/// The implementation precomputes the cumulative distribution and samples by
+/// binary search, so construction is `O(n)` and each sample is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` values with skew parameter `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf domain size must be positive");
+        assert!(s.is_finite() && s >= 0.0, "zipf skew must be non-negative, got {s}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize so the last entry is exactly 1.0.
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of values in the domain.
+    pub fn domain(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one value in `0..domain()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skew_one_prefers_small_values() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Value 0 should be roughly (1/1) / (1/2) = 2x more likely than value 1.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[9]);
+        // The head (first 10 values) should dominate the tail under z = 1.
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[90..].iter().sum();
+        assert!(head > 10 * tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 1_000.0,
+                "uniform sampling expected, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = Zipf::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+        assert_eq!(zipf.domain(), 3);
+    }
+
+    #[test]
+    fn single_value_domain_always_returns_zero() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn empty_domain_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

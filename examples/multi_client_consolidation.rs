@@ -1,0 +1,93 @@
+//! Domain scenario: several database instances consolidated onto one storage
+//! server (the paper's Section 6.4). Compares a single shared CLIC-managed
+//! cache against statically partitioning the same space among the clients,
+//! and shows the per-client hit ratios.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multi_client_consolidation
+//! ```
+
+use cache_sim::policy::PolicyFactory;
+use cache_sim::BoxedPolicy;
+use clic::prelude::*;
+
+/// Builds per-partition CLIC instances for the partitioned baseline.
+struct ClicFactory {
+    window: u64,
+}
+
+impl PolicyFactory for ClicFactory {
+    fn name(&self) -> String {
+        "CLIC".to_string()
+    }
+
+    fn build(&self, capacity: usize) -> BoxedPolicy {
+        Box::new(Clic::new(
+            capacity,
+            ClicConfig::default()
+                .with_window(self.window)
+                .with_tracking(TrackingMode::TopK(100)),
+        ))
+    }
+}
+
+fn main() {
+    let scale = PresetScale::Smoke;
+    let presets = [TracePreset::Db2C60, TracePreset::Db2C300, TracePreset::Db2C540];
+
+    // Each client is an independent DB2 instance with its own database, so
+    // their page ranges must not overlap.
+    let traces: Vec<Trace> = presets
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.build_with_offset(scale, i as u64 * 100_000_000, 7 + i as u64))
+        .collect();
+    for t in &traces {
+        println!("client trace: {}", t.summary());
+    }
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let (combined, clients) = interleave(&refs);
+    println!("combined:     {}", combined.summary());
+
+    let shared_pages = 1_800;
+    let per_client = shared_pages / clients.len();
+    let window = (combined.len() as u64 / 20).max(2_000);
+
+    // One shared cache managed by CLIC: it sees hints from all clients and
+    // prioritizes whichever client offers the best caching opportunities.
+    let mut shared = Clic::new(
+        shared_pages,
+        ClicConfig::default()
+            .with_window(window)
+            .with_tracking(TrackingMode::TopK(100)),
+    );
+    let shared_result = simulate(&mut shared, &combined);
+
+    // The baseline: a static equal partition of the same space.
+    let factory = ClicFactory { window };
+    let mut partitioned = PartitionedCache::new(&factory, &clients, per_client);
+    let partitioned_result = simulate(&mut partitioned, &combined);
+
+    println!("\n{:<10} {:>22} {:>22}", "client", "shared (CLIC)", "3 private partitions");
+    for (preset, client) in presets.iter().zip(&clients) {
+        println!(
+            "{:<10} {:>21.1}% {:>21.1}%",
+            preset.name(),
+            shared_result.client_read_hit_ratio(*client) * 100.0,
+            partitioned_result.client_read_hit_ratio(*client) * 100.0
+        );
+    }
+    println!(
+        "{:<10} {:>21.1}% {:>21.1}%",
+        "overall",
+        shared_result.read_hit_ratio() * 100.0,
+        partitioned_result.read_hit_ratio() * 100.0
+    );
+    println!(
+        "\nCLIC maximizes the overall hit ratio of the shared cache by giving space to\n\
+         the client whose hint sets show the best benefit/cost ratio, instead of\n\
+         splitting the cache evenly regardless of how cacheable each client is."
+    );
+}

@@ -1,0 +1,49 @@
+//! Domain scenario: clients that emit low-value hints. CLIC must learn to
+//! ignore hint types that carry no information (the paper's Section 6.3):
+//! this example injects 0-3 synthetic noise hint types into a TPC-C trace and
+//! shows how the hit ratio of CLIC with bounded (top-k) hint tracking reacts,
+//! and how raising `k` restores it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example noisy_hints
+//! ```
+
+use clic::prelude::*;
+
+fn main() {
+    let preset = TracePreset::Db2C60;
+    let base = preset.build(PresetScale::Smoke);
+    println!("base trace: {}", base.summary());
+
+    let cache_pages = 1_800;
+
+    println!(
+        "\n{:<8} {:>12} {:>14} {:>14} {:>14}",
+        "T", "hint sets", "CLIC k=20", "CLIC k=100", "CLIC k=400"
+    );
+    for noise_types in 0..=3u32 {
+        let noisy = inject_noise(&base, NoiseConfig::new(noise_types));
+        let hint_sets = noisy.summary().distinct_hint_sets;
+        let window = (noisy.len() as u64 / 20).max(2_000);
+        let mut row = format!("{noise_types:<8} {hint_sets:>12}");
+        for k in [20usize, 100, 400] {
+            let mut clic = Clic::new(
+                cache_pages,
+                ClicConfig::default()
+                    .with_window(window)
+                    .with_tracking(TrackingMode::TopK(k)),
+            );
+            let ratio = simulate(&mut clic, &noisy).read_hit_ratio();
+            row.push_str(&format!(" {:>13.1}%", ratio * 100.0));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nEach injected hint type multiplies the number of distinct hint sets, diluting\n\
+         the statistics of the genuinely useful ones. A larger tracking budget k buys\n\
+         back most of the loss — the space/accuracy trade-off discussed in the paper."
+    );
+}

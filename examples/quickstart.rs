@@ -1,0 +1,59 @@
+//! Quickstart: generate a hinted storage-server trace from a simulated DB2
+//! TPC-C client, run CLIC and the classical baselines over it, and print the
+//! read hit ratios.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clic::prelude::*;
+
+fn main() {
+    // 1. Generate a scaled-down version of the paper's DB2_C60 trace: a
+    //    TPC-C-like workload running above a DBMS buffer pool; the storage
+    //    server sees only what the buffer pool misses or writes back, each
+    //    request tagged with DB2-style hints.
+    let trace = TracePreset::Db2C60.build(PresetScale::Smoke);
+    let summary = trace.summary();
+    println!("trace: {summary}");
+
+    // 2. Pick a storage-server cache size (pages) and compare policies.
+    let cache_pages = 1_800;
+    let window = (trace.len() as u64 / 20).max(2_000);
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+
+    let mut opt = Opt::from_trace(&trace, cache_pages);
+    results.push(("OPT (offline bound)".into(), simulate(&mut opt, &trace).read_hit_ratio()));
+
+    let mut lru = Lru::new(cache_pages);
+    results.push(("LRU".into(), simulate(&mut lru, &trace).read_hit_ratio()));
+
+    let mut arc = Arc::new(cache_pages);
+    results.push(("ARC".into(), simulate(&mut arc, &trace).read_hit_ratio()));
+
+    let mut tq = Tq::new(cache_pages);
+    results.push(("TQ (write hints)".into(), simulate(&mut tq, &trace).read_hit_ratio()));
+
+    let mut clic = Clic::new(cache_pages, ClicConfig::default().with_window(window));
+    results.push(("CLIC".into(), simulate(&mut clic, &trace).read_hit_ratio()));
+
+    // 3. Report.
+    println!("\nserver cache: {cache_pages} pages");
+    for (name, ratio) in &results {
+        println!("  {name:<22} read hit ratio {:>5.1}%", ratio * 100.0);
+    }
+
+    // 4. Peek at what CLIC learned: the five highest-priority hint sets.
+    let mut reports = analyze_trace(&trace);
+    reports.sort_by(|a, b| b.priority.partial_cmp(&a.priority).unwrap());
+    println!("\nhighest-priority hint sets (offline analysis):");
+    for report in reports.iter().take(5) {
+        println!(
+            "  Pr = {:.6}  fhit = {:.2}  D = {:>9.0}  {}",
+            report.priority, report.read_hit_rate, report.mean_distance, report.label
+        );
+    }
+}

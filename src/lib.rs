@@ -1,0 +1,89 @@
+//! # CLIC: CLient-Informed Caching for Storage Servers — a reproduction
+//!
+//! This crate is the top-level facade of a full reproduction of
+//! *CLIC: CLient-Informed Caching for Storage Servers*
+//! (Liu, Aboulnaga, Salem, Li — FAST '09). It re-exports the workspace
+//! crates so that applications can depend on a single crate:
+//!
+//! * [`core`] ([`clic_core`]) — the CLIC policy itself: generic hint-set
+//!   analysis, windowed benefit/cost priorities, the priority-based
+//!   replacement policy, and bounded top-k hint tracking,
+//! * [`sim`] ([`cache_sim`]) — the storage-server cache model, the
+//!   [`CachePolicy`] trait, the baseline policies (OPT, LRU, ARC, TQ, and
+//!   more), the simulation driver, and multi-client partitioned caches,
+//! * [`stats`] ([`stream_stats`]) — Space-Saving and other frequent-item
+//!   summaries,
+//! * [`workloads`] ([`trace_gen`]) — the simulated DB2/MySQL storage clients,
+//!   TPC-C-like and TPC-H-like workload generators, the eight trace presets
+//!   of the paper's Figure 5, noise injection, and trace interleaving.
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper lives in the `clic-bench` crate (`crates/bench`), with one binary
+//! per figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use clic::prelude::*;
+//!
+//! // 1. Generate a storage-server trace from a simulated DB2 TPC-C client.
+//! let trace = TracePreset::Db2C60.build(PresetScale::Smoke);
+//!
+//! // 2. Run CLIC and LRU over it at the same server-cache size.
+//! let cache_pages = 1_000;
+//! let mut clic = Clic::new(cache_pages, ClicConfig::default().with_window(10_000));
+//! let mut lru = Lru::new(cache_pages);
+//! let clic_result = simulate(&mut clic, &trace);
+//! let lru_result = simulate(&mut lru, &trace);
+//!
+//! // 3. Compare read hit ratios.
+//! println!(
+//!     "CLIC {:.1}% vs LRU {:.1}%",
+//!     clic_result.read_hit_ratio() * 100.0,
+//!     lru_result.read_hit_ratio() * 100.0
+//! );
+//! # assert!(clic_result.read_hit_ratio() >= 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use cache_sim as sim;
+pub use clic_core as core;
+pub use stream_stats as stats;
+pub use trace_gen as workloads;
+
+pub use cache_sim::CachePolicy;
+
+/// The most commonly used items, re-exported in one place.
+pub mod prelude {
+    pub use cache_sim::policies::{Arc, Lru, Opt, Tq};
+    pub use cache_sim::{
+        simulate, sweep, AccessKind, CachePolicy, CacheStats, ClientId, HintSetId, PageId,
+        PartitionedCache, Request, SimulationResult, Trace, TraceBuilder, WriteHint,
+    };
+    pub use clic_core::{analyze_trace, Clic, ClicConfig, HintSetReport, TrackingMode};
+    pub use stream_stats::{FrequencyEstimator, SpaceSaving};
+    pub use trace_gen::{
+        inject_noise, interleave, NoiseConfig, PresetScale, TpccConfig, TpccWorkload, TpchConfig,
+        TpchVariant, TpchWorkload, TracePreset,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        // Build a tiny trace through the workload crate, run it through both
+        // a baseline and CLIC via the re-exported names.
+        let trace = TracePreset::MyH65.build(PresetScale::Smoke);
+        let mut lru = Lru::new(500);
+        let mut clic = Clic::new(500, ClicConfig::default().with_window(5_000));
+        let lru_result = simulate(&mut lru, &trace);
+        let clic_result = simulate(&mut clic, &trace);
+        assert!(lru_result.stats.requests() == trace.len() as u64);
+        assert!(clic_result.stats.requests() == trace.len() as u64);
+    }
+}

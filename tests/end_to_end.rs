@@ -1,0 +1,142 @@
+//! End-to-end integration tests: generate the paper's workloads (at smoke
+//! scale), run the full policy comparison, and assert the qualitative
+//! findings of the paper's evaluation (Section 6.1).
+
+use clic::prelude::*;
+
+fn hit_ratio(policy: &mut dyn CachePolicy, trace: &Trace) -> f64 {
+    simulate(policy, trace).read_hit_ratio()
+}
+
+fn window(trace: &Trace) -> u64 {
+    (trace.len() as u64 / 20).max(2_000)
+}
+
+/// OPT upper-bounds every online policy on every preset workload family.
+#[test]
+fn opt_upper_bounds_every_policy_on_tpcc() {
+    let trace = TracePreset::Db2C300.build(PresetScale::Smoke);
+    let cache = 1_800;
+    let opt = hit_ratio(&mut Opt::from_trace(&trace, cache), &trace);
+    let lru = hit_ratio(&mut Lru::new(cache), &trace);
+    let arc = hit_ratio(&mut Arc::new(cache), &trace);
+    let tq = hit_ratio(&mut Tq::new(cache), &trace);
+    let clic = hit_ratio(
+        &mut Clic::new(cache, ClicConfig::default().with_window(window(&trace))),
+        &trace,
+    );
+    for (name, ratio) in [("LRU", lru), ("ARC", arc), ("TQ", tq), ("CLIC", clic)] {
+        assert!(
+            opt >= ratio - 1e-9,
+            "OPT ({opt:.3}) must dominate {name} ({ratio:.3})"
+        );
+    }
+}
+
+/// The paper's headline TPC-C result: with a mid-sized DBMS buffer the
+/// hint-aware policies (TQ and CLIC) clearly beat the hint-oblivious ones
+/// (LRU and ARC).
+#[test]
+fn hint_aware_policies_beat_hint_oblivious_on_tpcc_c300() {
+    let trace = TracePreset::Db2C300.build(PresetScale::Smoke);
+    let cache = 1_800;
+    let lru = hit_ratio(&mut Lru::new(cache), &trace);
+    let arc = hit_ratio(&mut Arc::new(cache), &trace);
+    let tq = hit_ratio(&mut Tq::new(cache), &trace);
+    let clic = hit_ratio(
+        &mut Clic::new(cache, ClicConfig::default().with_window(window(&trace))),
+        &trace,
+    );
+    let best_oblivious = lru.max(arc);
+    assert!(
+        clic > best_oblivious + 0.05,
+        "CLIC ({clic:.3}) should clearly beat the best hint-oblivious policy ({best_oblivious:.3})"
+    );
+    assert!(
+        tq > best_oblivious + 0.05,
+        "TQ ({tq:.3}) should clearly beat the best hint-oblivious policy ({best_oblivious:.3})"
+    );
+}
+
+/// The paper's TPC-H result: CLIC beats every online baseline, often by a
+/// large factor, because it avoids caching one-shot scan pages.
+#[test]
+fn clic_dominates_online_baselines_on_tpch() {
+    for preset in [TracePreset::Db2H80, TracePreset::Db2H400] {
+        let trace = preset.build(PresetScale::Smoke);
+        let cache = 1_800;
+        let lru = hit_ratio(&mut Lru::new(cache), &trace);
+        let arc = hit_ratio(&mut Arc::new(cache), &trace);
+        let tq = hit_ratio(&mut Tq::new(cache), &trace);
+        let clic = hit_ratio(
+            &mut Clic::new(cache, ClicConfig::default().with_window(window(&trace))),
+            &trace,
+        );
+        let best_other = lru.max(arc).max(tq);
+        assert!(
+            clic > best_other,
+            "{}: CLIC ({clic:.3}) should beat the best online baseline ({best_other:.3})",
+            preset.name()
+        );
+    }
+}
+
+/// The C540 configuration (very large first-tier cache) is where CLIC's
+/// fine-grained hint analysis pays off over TQ's hard-coded write-hint rule
+/// at small server caches.
+#[test]
+fn clic_beats_tq_on_c540_at_small_server_cache() {
+    let trace = TracePreset::Db2C540.build(PresetScale::Smoke);
+    let cache = 600;
+    let tq = hit_ratio(&mut Tq::new(cache), &trace);
+    let clic = hit_ratio(
+        &mut Clic::new(cache, ClicConfig::default().with_window(window(&trace))),
+        &trace,
+    );
+    assert!(
+        clic > tq,
+        "CLIC ({clic:.3}) should beat TQ ({tq:.3}) on DB2_C540 with a small server cache"
+    );
+}
+
+/// Offline hint analysis reproduces the Figure 3 observation: STOCK-table
+/// replacement writes are a far better caching opportunity than ORDER_LINE
+/// reads, without CLIC knowing what either hint means.
+#[test]
+fn figure3_hint_ordering_holds() {
+    let trace = TracePreset::Db2C60.build(PresetScale::Smoke);
+    let reports = analyze_trace(&trace);
+    let stock_repl = reports
+        .iter()
+        .find(|r| r.label.contains("object ID=8") && r.label.contains("request type=3"))
+        .expect("stock replacement writes must appear in the trace");
+    let orderline_reads = reports
+        .iter()
+        .find(|r| r.label.contains("object ID=6") && r.label.contains("request type=0"))
+        .expect("order-line reads must appear in the trace");
+    assert!(
+        stock_repl.priority > orderline_reads.priority,
+        "stock replacement writes (Pr {:.6}) must outrank order-line reads (Pr {:.6})",
+        stock_repl.priority,
+        orderline_reads.priority
+    );
+}
+
+/// Read hit ratios are monotone (within tolerance) in the server cache size
+/// for CLIC, as in Figures 6-8.
+#[test]
+fn clic_hit_ratio_grows_with_cache_size() {
+    let trace = TracePreset::Db2C300.build(PresetScale::Smoke);
+    let mut previous = -1.0f64;
+    for cache in [600usize, 1_200, 2_400] {
+        let ratio = hit_ratio(
+            &mut Clic::new(cache, ClicConfig::default().with_window(window(&trace))),
+            &trace,
+        );
+        assert!(
+            ratio >= previous - 0.02,
+            "hit ratio should not collapse when the cache grows ({previous:.3} -> {ratio:.3})"
+        );
+        previous = ratio;
+    }
+}

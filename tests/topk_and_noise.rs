@@ -1,0 +1,89 @@
+//! Integration tests for the bounded hint-tracking experiments: top-k
+//! filtering (Section 6.2 / Figure 9) and noise-hint injection
+//! (Section 6.3 / Figure 10).
+
+use clic::prelude::*;
+
+fn run_clic(trace: &Trace, cache: usize, tracking: TrackingMode) -> f64 {
+    let window = (trace.len() as u64 / 20).max(2_000);
+    let mut clic = Clic::new(
+        cache,
+        ClicConfig::default().with_window(window).with_tracking(tracking),
+    );
+    simulate(&mut clic, trace).read_hit_ratio()
+}
+
+/// Tracking a small number of frequent hint sets is enough to match full
+/// tracking (Figure 9: k = 20 suffices for TPC-C, k = 10 for TPC-H).
+#[test]
+fn small_k_matches_full_tracking() {
+    let cache = 1_800;
+    for (preset, k) in [(TracePreset::Db2C300, 20), (TracePreset::Db2H400, 10)] {
+        let trace = preset.build(PresetScale::Smoke);
+        let full = run_clic(&trace, cache, TrackingMode::Full);
+        let topk = run_clic(&trace, cache, TrackingMode::TopK(k));
+        assert!(
+            topk >= full - 0.05,
+            "{}: top-{k} ({topk:.3}) should be within 5 points of full tracking ({full:.3})",
+            preset.name()
+        );
+    }
+}
+
+/// Extremely small k costs performance on at least one workload — otherwise
+/// the whole top-k mechanism would be pointless to study.
+#[test]
+fn k_of_one_is_worse_than_full_tracking_somewhere() {
+    let cache = 1_800;
+    let mut any_gap = false;
+    for preset in [TracePreset::Db2C300, TracePreset::Db2C540] {
+        let trace = preset.build(PresetScale::Smoke);
+        let full = run_clic(&trace, cache, TrackingMode::Full);
+        let k1 = run_clic(&trace, cache, TrackingMode::TopK(1));
+        if full - k1 > 0.05 {
+            any_gap = true;
+        }
+    }
+    assert!(any_gap, "k = 1 should hurt on at least one TPC-C trace");
+}
+
+/// Injecting useless hint types multiplies the number of distinct hint sets
+/// (up to D^T) and, with a fixed tracking budget, degrades CLIC's hit ratio
+/// on the traces that depend on fine-grained hint distinctions (Figure 10).
+#[test]
+fn noise_hints_dilute_fixed_budget_tracking() {
+    let preset = TracePreset::Db2C540;
+    let base = preset.build(PresetScale::Smoke);
+    let cache = 1_800;
+
+    let clean_sets = base.summary().distinct_hint_sets;
+    let noisy = inject_noise(&base, NoiseConfig::new(3));
+    let noisy_sets = noisy.summary().distinct_hint_sets;
+    assert!(
+        noisy_sets > 10 * clean_sets,
+        "T=3 should blow up the hint-set count ({clean_sets} -> {noisy_sets})"
+    );
+
+    let clean_ratio = run_clic(&base, cache, TrackingMode::TopK(100));
+    let noisy_ratio = run_clic(&noisy, cache, TrackingMode::TopK(100));
+    assert!(
+        noisy_ratio < clean_ratio,
+        "noise should not improve the hit ratio ({clean_ratio:.3} -> {noisy_ratio:.3})"
+    );
+    assert!(
+        clean_ratio - noisy_ratio > 0.05,
+        "T=3 with k=100 should visibly degrade DB2_C540 ({clean_ratio:.3} -> {noisy_ratio:.3})"
+    );
+}
+
+/// Noise injection leaves the request structure (pages, kinds, ordering)
+/// untouched, so hint-oblivious policies are unaffected by it.
+#[test]
+fn noise_does_not_affect_hint_oblivious_policies() {
+    let base = TracePreset::Db2C60.build(PresetScale::Smoke);
+    let noisy = inject_noise(&base, NoiseConfig::new(2));
+    let cache = 1_200;
+    let base_lru = simulate(&mut Lru::new(cache), &base).read_hit_ratio();
+    let noisy_lru = simulate(&mut Lru::new(cache), &noisy).read_hit_ratio();
+    assert!((base_lru - noisy_lru).abs() < 1e-12);
+}

@@ -1,0 +1,47 @@
+//! Integration tests for trace persistence: generated workload traces
+//! survive a save/load round trip bit-for-bit, so experiments can cache
+//! expensive trace generation on disk.
+
+use clic::prelude::*;
+
+#[test]
+fn generated_trace_roundtrips_through_disk() {
+    let trace = TracePreset::MyH65.build(PresetScale::Smoke);
+    let dir = std::env::temp_dir().join(format!("clic-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("my_h65.trace");
+
+    trace.save(&path).expect("save trace");
+    let loaded = Trace::load(&path).expect("load trace");
+
+    assert_eq!(loaded.name, trace.name);
+    assert_eq!(loaded.requests, trace.requests);
+    assert_eq!(loaded.catalog.hint_set_count(), trace.catalog.hint_set_count());
+    assert_eq!(loaded.catalog.client_count(), trace.catalog.client_count());
+    // The hint labels survive too (schema round trip).
+    let some_hint = trace.requests[0].hint;
+    assert_eq!(
+        loaded.catalog.describe(some_hint),
+        trace.catalog.describe(some_hint)
+    );
+
+    // Simulation results over the loaded trace are identical.
+    let mut a = Lru::new(500);
+    let mut b = Lru::new(500);
+    let original = simulate(&mut a, &trace);
+    let reloaded = simulate(&mut b, &loaded);
+    assert_eq!(original.stats, reloaded.stats);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loading_garbage_fails_cleanly() {
+    let dir = std::env::temp_dir().join(format!("clic-garbage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.trace");
+    std::fs::write(&path, b"this is not a trace file at all").unwrap();
+    let err = Trace::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_dir_all(&dir).ok();
+}
