@@ -65,7 +65,9 @@ fn bench_clic_overhead(criterion: &mut Criterion) {
             b.iter(|| {
                 let mut clic = Clic::new(
                     capacity,
-                    ClicConfig::default().with_window(50_000).with_tracking(mode),
+                    ClicConfig::default()
+                        .with_window(50_000)
+                        .with_tracking(mode),
                 );
                 simulate(&mut clic, trace).stats.read_hits
             })
@@ -74,8 +76,7 @@ fn bench_clic_overhead(criterion: &mut Criterion) {
     for window in [10_000u64, 100_000, 1_000_000] {
         group.bench_with_input(BenchmarkId::new("window", window), &trace, |b, trace| {
             b.iter(|| {
-                let mut clic =
-                    Clic::new(capacity, ClicConfig::default().with_window(window));
+                let mut clic = Clic::new(capacity, ClicConfig::default().with_window(window));
                 simulate(&mut clic, trace).stats.read_hits
             })
         });

@@ -27,14 +27,24 @@ fn synthetic_trace(requests: usize, pages: u64) -> Trace {
     };
     for _ in 0..requests {
         let r = next();
-        let page = if r % 4 == 0 { r % (pages / 16).max(1) } else { r % pages };
+        let page = if r % 4 == 0 {
+            r % (pages / 16).max(1)
+        } else {
+            r % pages
+        };
         let object = (page % 4) as u32;
         let (kind, write_hint, hint_kind) = match next() % 5 {
             0 => (AccessKind::Write, Some(WriteHint::Replacement), 1),
             1 => (AccessKind::Write, Some(WriteHint::Recovery), 2),
             _ => (AccessKind::Read, None, 0),
         };
-        b.push(c, page, kind, write_hint, hints[(object * 3 + hint_kind) as usize]);
+        b.push(
+            c,
+            page,
+            kind,
+            write_hint,
+            hints[(object * 3 + hint_kind) as usize],
+        );
     }
     b.build()
 }
@@ -49,12 +59,16 @@ fn bench_policies(criterion: &mut Criterion) {
     group.sample_size(10);
 
     for kind in BaselinePolicy::ALL {
-        group.bench_with_input(BenchmarkId::new("baseline", kind.name()), &trace, |bench, trace| {
-            bench.iter(|| {
-                let mut policy = kind.build(capacity);
-                simulate(policy.as_mut(), trace).stats.read_hits
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline", kind.name()),
+            &trace,
+            |bench, trace| {
+                bench.iter(|| {
+                    let mut policy = kind.build(capacity);
+                    simulate(policy.as_mut(), trace).stats.read_hits
+                })
+            },
+        );
     }
     group.bench_with_input(BenchmarkId::new("clic", "full"), &trace, |bench, trace| {
         bench.iter(|| {

@@ -50,24 +50,32 @@ fn bench_frequent_items(criterion: &mut Criterion) {
             mg.len()
         })
     });
-    group.bench_with_input(BenchmarkId::new("lossy_counting", "eps=0.001"), &stream, |b, stream| {
-        b.iter(|| {
-            let mut lc = LossyCounting::new(0.001);
-            for &item in stream {
-                lc.observe(item);
-            }
-            lc.len()
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("exact", "unbounded"), &stream, |b, stream| {
-        b.iter(|| {
-            let mut exact: ExactCounter<u64> = ExactCounter::new();
-            for &item in stream {
-                exact.observe(item);
-            }
-            exact.distinct()
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("lossy_counting", "eps=0.001"),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                let mut lc = LossyCounting::new(0.001);
+                for &item in stream {
+                    lc.observe(item);
+                }
+                lc.len()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("exact", "unbounded"),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                let mut exact: ExactCounter<u64> = ExactCounter::new();
+                for &item in stream {
+                    exact.observe(item);
+                }
+                exact.distinct()
+            })
+        },
+    );
     group.finish();
 
     // Report top-k recall once (printed, not timed) so the accuracy side of
@@ -83,7 +91,10 @@ fn bench_frequent_items(criterion: &mut Criterion) {
     let truth: std::collections::HashSet<u64> =
         exact.top_k(k).into_iter().map(|(item, _)| item).collect();
     let recall = |tracked: Vec<(u64, u64)>| {
-        let hits = tracked.iter().filter(|(item, _)| truth.contains(item)).count();
+        let hits = tracked
+            .iter()
+            .filter(|(item, _)| truth.contains(item))
+            .count();
         hits as f64 / truth.len() as f64
     };
     println!(

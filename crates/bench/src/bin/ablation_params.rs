@@ -29,7 +29,10 @@ fn main() -> std::io::Result<()> {
 
     // Outqueue factor sweep.
     let mut outqueue_table = ResultTable::new(
-        format!("Ablation: outqueue size (trace {}, {cache}-page cache)", preset.name()),
+        format!(
+            "Ablation: outqueue size (trace {}, {cache}-page cache)",
+            preset.name()
+        ),
         &["outqueue factor", "read hit ratio"],
     );
     for factor in [0.0, 1.0, 2.0, 5.0, 10.0] {
@@ -42,7 +45,10 @@ fn main() -> std::io::Result<()> {
 
     // Window sweep.
     let mut window_table = ResultTable::new(
-        format!("Ablation: priority window W (trace {}, {cache}-page cache)", preset.name()),
+        format!(
+            "Ablation: priority window W (trace {}, {cache}-page cache)",
+            preset.name()
+        ),
         &["window (requests)", "read hit ratio"],
     );
     for divisor in [80u64, 40, 20, 10, 5, 1] {
@@ -54,26 +60,40 @@ fn main() -> std::io::Result<()> {
 
     // Smoothing sweep.
     let mut smoothing_table = ResultTable::new(
-        format!("Ablation: smoothing factor r (trace {}, {cache}-page cache)", preset.name()),
+        format!(
+            "Ablation: smoothing factor r (trace {}, {cache}-page cache)",
+            preset.name()
+        ),
         &["r", "read hit ratio"],
     );
     for r in [0.1, 0.25, 0.5, 0.75, 1.0] {
-        let ratio = run(ClicConfig::default().with_window(base_window).with_smoothing(r));
+        let ratio = run(ClicConfig::default()
+            .with_window(base_window)
+            .with_smoothing(r));
         smoothing_table.push_row(vec![format!("{r}"), format!("{:.1}%", ratio * 100.0)]);
     }
     smoothing_table.emit(&ctx.out_dir, "ablation_smoothing")?;
 
     // Metadata charging and oracle statistics.
     let mut misc_table = ResultTable::new(
-        format!("Ablation: metadata charge and oracle statistics (trace {})", preset.name()),
+        format!(
+            "Ablation: metadata charge and oracle statistics (trace {})",
+            preset.name()
+        ),
         &["variant", "read hit ratio"],
     );
     let charged = run(ClicConfig::default().with_window(base_window));
     let uncharged = run(ClicConfig::default()
         .with_window(base_window)
         .with_metadata_charging(false));
-    misc_table.push_row(vec!["metadata charged (paper)".into(), format!("{:.1}%", charged * 100.0)]);
-    misc_table.push_row(vec!["metadata free".into(), format!("{:.1}%", uncharged * 100.0)]);
+    misc_table.push_row(vec![
+        "metadata charged (paper)".into(),
+        format!("{:.1}%", charged * 100.0),
+    ]);
+    misc_table.push_row(vec![
+        "metadata free".into(),
+        format!("{:.1}%", uncharged * 100.0),
+    ]);
     let reports = analyze_trace(&trace);
     let mut oracle = Clic::new(cache, ClicConfig::default().with_window(u64::MAX / 2));
     oracle.preload_priorities(reports.iter().map(|r| (r.hint, r.priority)));

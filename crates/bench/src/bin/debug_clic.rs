@@ -41,20 +41,29 @@ fn main() {
     let window = window_for_trace(&trace);
     let mut clic = Clic::new(cache, ClicConfig::default().with_window(window));
     let clic_res = simulate(&mut clic, &trace);
-    println!("CLIC     read hit ratio: {:.3} (window {window}, {} windows)", clic_res.read_hit_ratio(), clic.windows_completed());
+    println!(
+        "CLIC     read hit ratio: {:.3} (window {window}, {} windows)",
+        clic_res.read_hit_ratio(),
+        clic.windows_completed()
+    );
     println!("  final cache composition (top 10):");
     for (hint, count) in clic.cache_composition().into_iter().take(10) {
-        println!("    {:>6} pages  Pr={:<12.6} {}", count, clic.priority_of(hint), trace.catalog.describe(hint));
+        println!(
+            "    {:>6} pages  Pr={:<12.6} {}",
+            count,
+            clic.priority_of(hint),
+            trace.catalog.describe(hint)
+        );
     }
 
     // CLIC fed with oracle (whole-trace) priorities and no re-evaluation.
-    let mut oracle_clic = Clic::new(
-        cache,
-        ClicConfig::default().with_window(u64::MAX / 2),
-    );
+    let mut oracle_clic = Clic::new(cache, ClicConfig::default().with_window(u64::MAX / 2));
     oracle_clic.preload_priorities(reports.iter().map(|r| (r.hint, r.priority)));
     let oracle_res = simulate(&mut oracle_clic, &trace);
-    println!("CLIC(oracle stats) read hit ratio: {:.3}", oracle_res.read_hit_ratio());
+    println!(
+        "CLIC(oracle stats) read hit ratio: {:.3}",
+        oracle_res.read_hit_ratio()
+    );
     println!("  final cache composition (top 10):");
     for (hint, count) in oracle_clic.cache_composition().into_iter().take(10) {
         println!(

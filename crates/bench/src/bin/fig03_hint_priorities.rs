@@ -9,7 +9,10 @@ use trace_gen::TracePreset;
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
-    println!("Figure 3 reproduction (hint-set priorities, DB2_C60), scale = {}\n", ctx.scale_label());
+    println!(
+        "Figure 3 reproduction (hint-set priorities, DB2_C60), scale = {}\n",
+        ctx.scale_label()
+    );
 
     let trace = TracePreset::Db2C60.build(ctx.scale);
     println!("generated {}", trace.summary());

@@ -18,12 +18,18 @@ fn main() -> std::io::Result<()> {
         let sizes = preset.server_cache_sizes(ctx.scale);
         let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
         let table = comparison_table(
-            format!("Figure 7 ({}): read hit ratio vs server cache size", preset.name()),
+            format!(
+                "Figure 7 ({}): read hit ratio vs server cache size",
+                preset.name()
+            ),
             &points,
             &sizes,
             &PAPER_POLICIES,
         );
-        table.emit(&ctx.out_dir, &format!("fig07_{}", preset.name().to_lowercase()))?;
+        table.emit(
+            &ctx.out_dir,
+            &format!("fig07_{}", preset.name().to_lowercase()),
+        )?;
     }
     Ok(())
 }

@@ -3,15 +3,18 @@
 //! (Space-Saving based), with `k` swept from 1 to 100, on the DB2 TPC-C and
 //! DB2 TPC-H traces with the paper's 180 K-page reference cache.
 
-use clic_bench::{build_policy, window_for_trace, ExperimentContext, ResultTable};
 use cache_sim::simulate;
+use clic_bench::{build_policy, window_for_trace, ExperimentContext, ResultTable};
 use trace_gen::TracePreset;
 
 const K_VALUES: [usize; 8] = [1, 2, 5, 10, 20, 50, 100, usize::MAX];
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
-    println!("Figure 9 reproduction (top-k hint filtering), scale = {}\n", ctx.scale_label());
+    println!(
+        "Figure 9 reproduction (top-k hint filtering), scale = {}\n",
+        ctx.scale_label()
+    );
 
     for (group_name, presets, stem) in [
         ("DB2 TPC-C", &TracePreset::TPCC[..], "fig09_tpcc"),
@@ -37,7 +40,10 @@ fn main() -> std::io::Result<()> {
             println!("generated {summary}");
             let cache = preset.reference_cache_size(ctx.scale);
             let window = window_for_trace(&trace);
-            let mut row = vec![preset.name().to_string(), summary.distinct_hint_sets.to_string()];
+            let mut row = vec![
+                preset.name().to_string(),
+                summary.distinct_hint_sets.to_string(),
+            ];
             for &k in &K_VALUES {
                 let name = if k == usize::MAX {
                     "CLIC".to_string()

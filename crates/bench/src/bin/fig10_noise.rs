@@ -12,7 +12,10 @@ const NOISE_LEVELS: [u32; 4] = [0, 1, 2, 3];
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
-    println!("Figure 10 reproduction (noise hint types), scale = {}\n", ctx.scale_label());
+    println!(
+        "Figure 10 reproduction (noise hint types), scale = {}\n",
+        ctx.scale_label()
+    );
 
     let mut header = vec!["trace".to_string()];
     for &t in &NOISE_LEVELS {

@@ -13,7 +13,10 @@ use trace_gen::{interleave, TracePreset};
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
-    println!("Figure 11 reproduction (multiple storage clients), scale = {}\n", ctx.scale_label());
+    println!(
+        "Figure 11 reproduction (multiple storage clients), scale = {}\n",
+        ctx.scale_label()
+    );
 
     // Build the three client traces over disjoint page ranges, as three
     // independent DB2 instances would.
@@ -74,8 +77,14 @@ fn main() -> std::io::Result<()> {
     for (preset, client) in presets.iter().zip(clients.iter()) {
         table.push_row(vec![
             preset.name().to_string(),
-            format!("{:.1}%", shared_result.client_read_hit_ratio(*client) * 100.0),
-            format!("{:.1}%", partitioned_result.client_read_hit_ratio(*client) * 100.0),
+            format!(
+                "{:.1}%",
+                shared_result.client_read_hit_ratio(*client) * 100.0
+            ),
+            format!(
+                "{:.1}%",
+                partitioned_result.client_read_hit_ratio(*client) * 100.0
+            ),
         ]);
     }
     table.push_row(vec![

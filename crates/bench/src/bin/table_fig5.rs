@@ -7,7 +7,10 @@ use trace_gen::TracePreset;
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
-    println!("Figure 5 reproduction (trace inventory), scale = {}\n", ctx.scale_label());
+    println!(
+        "Figure 5 reproduction (trace inventory), scale = {}\n",
+        ctx.scale_label()
+    );
 
     let mut table = ResultTable::new(
         "Figure 5: I/O request traces",

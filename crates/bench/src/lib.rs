@@ -70,12 +70,11 @@ pub fn build_policy(name: &str, trace: &Trace, capacity: usize, window: u64) -> 
     }
 }
 
-/// Picks the CLIC priority-window size for a trace: the paper uses
-/// `W = 10⁶`; for scaled-down traces we shrink the window proportionally so
-/// that a comparable number of windows completes during the run.
+/// Picks the CLIC priority-window size for a trace. Delegates to
+/// [`clic_core::suggested_window`], the single source of truth for the
+/// heuristic (see its documentation for the convergence rationale).
 pub fn window_for_trace(trace: &Trace) -> u64 {
-    // Aim for roughly 20 windows over the trace, clamped to a sane range.
-    (trace.len() as u64 / 20).clamp(2_000, 1_000_000)
+    clic_core::suggested_window(trace.len() as u64)
 }
 
 /// One measured point of a policy-comparison experiment.
@@ -185,7 +184,11 @@ impl ResultTable {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }
@@ -205,7 +208,11 @@ impl ResultTable {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -413,8 +420,12 @@ mod tests {
     fn window_scales_with_trace_length() {
         let trace = toy_trace();
         let w = window_for_trace(&trace);
-        assert!(w >= 2_000);
+        assert!(w >= 1_000);
         assert!(w <= 1_000_000);
-        assert_eq!(w, trace.len() as u64 / 20);
+        assert_eq!(w, clic_core::suggested_window(trace.len() as u64));
+        // ~80 evaluations per run, clamped below by 1 000 requests.
+        assert_eq!(clic_core::suggested_window(800_000), 10_000);
+        assert_eq!(clic_core::suggested_window(10_000), 1_000);
+        assert_eq!(clic_core::suggested_window(1_000_000_000), 1_000_000);
     }
 }

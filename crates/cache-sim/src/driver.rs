@@ -170,8 +170,9 @@ mod tests {
     #[test]
     fn sweep_runs_every_capacity() {
         let trace = cyclic_trace(6, 3);
-        let factory: (String, fn(usize) -> BoxedPolicy) =
-            ("LRU".to_string(), |cap| Box::new(Lru::new(cap)) as BoxedPolicy);
+        let factory: (String, fn(usize) -> BoxedPolicy) = ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        });
         let points = sweep(&factory, &trace, &[2, 4, 6, 8]);
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].capacity, 2);

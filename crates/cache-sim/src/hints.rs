@@ -104,9 +104,9 @@ impl HintSchema {
     /// Upper bound on the number of distinct hint sets this client can emit
     /// (the product of its domain cardinalities), saturating at `u64::MAX`.
     pub fn max_hint_sets(&self) -> u64 {
-        self.types
-            .iter()
-            .fold(1u64, |acc, t| acc.saturating_mul(u64::from(t.domain_cardinality.max(1))))
+        self.types.iter().fold(1u64, |acc, t| {
+            acc.saturating_mul(u64::from(t.domain_cardinality.max(1)))
+        })
     }
 }
 
@@ -357,7 +357,10 @@ mod tests {
         let c2 = cat.add_client("B", &[("t", 4)]);
         let a = cat.intern(c1, &[1]);
         let b = cat.intern(c2, &[1]);
-        assert_ne!(a, b, "same values from different clients must stay distinct");
+        assert_ne!(
+            a, b,
+            "same values from different clients must stay distinct"
+        );
         assert_eq!(cat.client_of(a), c1);
         assert_eq!(cat.client_of(b), c2);
     }

@@ -42,10 +42,7 @@ impl PartitionedCache {
     }
 
     /// Creates a partitioned cache with explicit per-client capacities.
-    pub fn with_capacities(
-        factory: &dyn PolicyFactory,
-        allocations: &[(ClientId, usize)],
-    ) -> Self {
+    pub fn with_capacities(factory: &dyn PolicyFactory, allocations: &[(ClientId, usize)]) -> Self {
         let mut partitions = HashMap::new();
         let mut total = 0;
         for &(c, cap) in allocations {
@@ -100,7 +97,9 @@ mod tests {
     use crate::{simulate, HintSetId};
 
     fn lru_factory() -> (String, fn(usize) -> BoxedPolicy) {
-        ("LRU".to_string(), |cap| Box::new(Lru::new(cap)) as BoxedPolicy)
+        ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        })
     }
 
     #[test]
@@ -119,7 +118,10 @@ mod tests {
             cache.access(&req, p);
         }
         assert_eq!(cache.len(), 2);
-        assert!(!cache.contains(PageId(0)), "page 0 was evicted from c1's partition");
+        assert!(
+            !cache.contains(PageId(0)),
+            "page 0 was evicted from c1's partition"
+        );
         assert!(cache.contains(PageId(2)));
         assert_eq!(cache.partition(c2).unwrap().len(), 0);
     }

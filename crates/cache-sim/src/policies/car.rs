@@ -256,7 +256,10 @@ mod tests {
         for (i, p) in (10..16u64).enumerate() {
             car.access(&read(p), 100 + i as u64);
         }
-        let ghosted = car.b1.front().expect("a cold page should have been ghosted");
+        let ghosted = car
+            .b1
+            .front()
+            .expect("a cold page should have been ghosted");
         let p_before = car.adaptation();
         car.access(&read(ghosted.0), 200);
         assert!(car.t2.contains(ghosted), "ghost hit must re-enter via T2");

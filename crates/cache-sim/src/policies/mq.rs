@@ -227,7 +227,10 @@ mod tests {
         mq.access(&read(1), 13);
         let meta = mq.meta.get(&PageId(1)).unwrap();
         assert!(meta.frequency > 1, "ghost frequency was not restored");
-        assert!(meta.queue >= 2, "restored frequency should map to a high queue");
+        assert!(
+            meta.queue >= 2,
+            "restored frequency should map to a high queue"
+        );
     }
 
     #[test]
@@ -244,7 +247,10 @@ mod tests {
         }
         let q_after = mq.meta.get(&PageId(1)).map(|m| m.queue);
         if let Some(q_after) = q_after {
-            assert!(q_after < q_before, "expected demotion from {q_before} to below");
+            assert!(
+                q_after < q_before,
+                "expected demotion from {q_before} to below"
+            );
         }
     }
 

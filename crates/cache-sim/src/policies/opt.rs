@@ -118,8 +118,8 @@ mod tests {
     use super::*;
     use crate::policies::{Arc, Lru};
     use crate::request::AccessKind;
-    use crate::trace::TraceBuilder;
     use crate::simulate;
+    use crate::trace::TraceBuilder;
 
     fn trace_from_pages(pages: &[u64]) -> Trace {
         let mut b = TraceBuilder::new();
@@ -141,7 +141,10 @@ mod tests {
         let opt_res = simulate(&mut opt, &trace);
         let lru_res = simulate(&mut lru, &trace);
         assert_eq!(lru_res.stats.read_hits, 0);
-        assert!(opt_res.stats.read_hits > 30, "OPT should hit most of the scan");
+        assert!(
+            opt_res.stats.read_hits > 30,
+            "OPT should hit most of the scan"
+        );
     }
 
     #[test]
@@ -163,8 +166,14 @@ mod tests {
             let opt_hits = simulate(&mut opt, &trace).stats.read_hits;
             let lru_hits = simulate(&mut lru, &trace).stats.read_hits;
             let arc_hits = simulate(&mut arc, &trace).stats.read_hits;
-            assert!(opt_hits >= lru_hits, "cap {cap}: OPT {opt_hits} < LRU {lru_hits}");
-            assert!(opt_hits >= arc_hits, "cap {cap}: OPT {opt_hits} < ARC {arc_hits}");
+            assert!(
+                opt_hits >= lru_hits,
+                "cap {cap}: OPT {opt_hits} < LRU {lru_hits}"
+            );
+            assert!(
+                opt_hits >= arc_hits,
+                "cap {cap}: OPT {opt_hits} < ARC {arc_hits}"
+            );
         }
     }
 

@@ -92,7 +92,6 @@ impl Tq {
     fn total(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
     }
-
 }
 
 impl CachePolicy for Tq {
@@ -235,7 +234,13 @@ mod tests {
         for round in 0..300u64 {
             // A burst of recovery writes (checkpoint noise LRU would cache).
             for i in 0..4u64 {
-                b.push(c, 10_000 + (round * 4 + i) % 64, AccessKind::Write, Some(WriteHint::Recovery), h);
+                b.push(
+                    c,
+                    10_000 + (round * 4 + i) % 64,
+                    AccessKind::Write,
+                    Some(WriteHint::Recovery),
+                    h,
+                );
             }
             // Replacement writes of 4 fresh pages; they will be re-read three
             // rounds from now.

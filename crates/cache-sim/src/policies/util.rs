@@ -208,7 +208,11 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<PageId> {
         let idx = self.cursor?;
         let node = &self.set.nodes[idx];
-        self.cursor = if node.next == NIL { None } else { Some(node.next) };
+        self.cursor = if node.next == NIL {
+            None
+        } else {
+            Some(node.next)
+        };
         Some(node.page)
     }
 }

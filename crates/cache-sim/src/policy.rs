@@ -136,8 +136,9 @@ mod tests {
 
     #[test]
     fn factory_tuple_impl_builds_policies() {
-        let factory: (String, fn(usize) -> BoxedPolicy) =
-            ("LRU".to_string(), |cap| Box::new(Lru::new(cap)) as BoxedPolicy);
+        let factory: (String, fn(usize) -> BoxedPolicy) = ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        });
         assert_eq!(factory.name(), "LRU");
         let p = factory.build(16);
         assert_eq!(p.capacity(), 16);

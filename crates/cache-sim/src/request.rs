@@ -212,7 +212,11 @@ impl Request {
 
 impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} (hint {})", self.client, self.kind, self.page, self.hint)?;
+        write!(
+            f,
+            "{} {} {} (hint {})",
+            self.client, self.kind, self.page, self.hint
+        )?;
         if let Some(wh) = self.write_hint {
             write!(f, " [{wh}]")?;
         }

@@ -371,7 +371,13 @@ mod tests {
         let h_read = b.intern_hints(c, &[0, 0]);
         let h_repl = b.intern_hints(c, &[0, 2]);
         b.push(c, 1, AccessKind::Read, None, h_read);
-        b.push(c, 2, AccessKind::Write, Some(WriteHint::Replacement), h_repl);
+        b.push(
+            c,
+            2,
+            AccessKind::Write,
+            Some(WriteHint::Replacement),
+            h_repl,
+        );
         b.push(c, 1, AccessKind::Read, None, h_read);
         b.push(c, 3, AccessKind::Write, Some(WriteHint::Recovery), h_repl);
         b.push_request(Request::prefetch(c, PageId(4), h_read));

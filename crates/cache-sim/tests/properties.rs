@@ -38,7 +38,11 @@ fn trace_from(reqs: &[GenReq]) -> Trace {
     let c = b.add_client("prop", &[("h", 4)]);
     let hints: Vec<HintSetId> = (0..4).map(|v| b.intern_hints(c, &[v])).collect();
     for r in reqs {
-        let kind = if r.write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if r.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let wh = if r.write {
             Some(match r.write_hint {
                 0 => WriteHint::Replacement,

@@ -99,7 +99,13 @@ mod tests {
         // Hint "orderline read": read once, never again.
         let orderline = b.intern_hints(c, &[1, 0]);
         for i in 0..100u64 {
-            b.push(c, i, AccessKind::Write, Some(WriteHint::Replacement), stock_write);
+            b.push(
+                c,
+                i,
+                AccessKind::Write,
+                Some(WriteHint::Replacement),
+                stock_write,
+            );
             b.push(c, 1000 + i, AccessKind::Read, None, orderline);
             b.push(c, i, AccessKind::Read, None, stock_read);
         }

@@ -23,6 +23,23 @@ impl fmt::Display for TrackingMode {
     }
 }
 
+/// Suggests a priority-window size `W` for a trace of `trace_len` requests.
+///
+/// The paper uses `W = 10⁶` on traces of 3–640 M requests, i.e. between a few
+/// and a few hundred priority re-evaluations per run. Scaled-down traces need
+/// the *number of evaluations* preserved, not the absolute window: CLIC's
+/// statistics are censored by the bounded outqueue (re-references longer than
+/// its reach go unobserved while a page is uncached), and the resulting
+/// priority misestimates are only corrected a window or two after the
+/// affected pages become resident. With too few windows per run that
+/// correction loop cannot converge — on multi-client traces it visibly
+/// starves the best client. Targeting ~80 evaluations (floor 1 000, cap at
+/// the paper's 10⁶) keeps the loop fast enough to converge at smoke scale
+/// while staying inside the paper's evaluations-per-run range.
+pub fn suggested_window(trace_len: u64) -> u64 {
+    (trace_len / 80).clamp(1_000, 1_000_000)
+}
+
 /// Tunable parameters of the CLIC policy.
 ///
 /// The defaults reproduce the configuration used throughout the paper's
@@ -99,7 +116,10 @@ impl ClicConfig {
     ///
     /// Panics if `r` is not in `(0, 1]`.
     pub fn with_smoothing(mut self, r: f64) -> Self {
-        assert!(r > 0.0 && r <= 1.0, "smoothing factor must be in (0, 1], got {r}");
+        assert!(
+            r > 0.0 && r <= 1.0,
+            "smoothing factor must be in (0, 1], got {r}"
+        );
         self.smoothing = r;
         self
     }

@@ -143,7 +143,9 @@ impl HintDecisionTree {
             let left_to_place = partition_count - rank as u32;
             let share = (remaining_budget / left_to_place.max(1)).max(1);
             let child = self.build(samples, &part, share, min_weight);
-            remaining_budget = remaining_budget.saturating_sub(share).max(left_to_place - 1);
+            remaining_budget = remaining_budget
+                .saturating_sub(share)
+                .max(left_to_place - 1);
             children.insert(value, child);
             if default_child.is_none() {
                 // The heaviest partition doubles as the default route for
@@ -242,7 +244,10 @@ impl HintSetGrouping {
                 .map(|t| t.groups())
                 .unwrap_or(1)
                 .max(1);
-            catalog.add_client(format!("{}(grouped)", schema.client_name), &[("hint group", groups)]);
+            catalog.add_client(
+                format!("{}(grouped)", schema.client_name),
+                &[("hint group", groups)],
+            );
         }
         let mut requests = Vec::with_capacity(trace.requests.len());
         for req in &trace.requests {
@@ -295,13 +300,13 @@ pub fn train_grouping(
             // Require at least 0.1% of the training weight before splitting a
             // node, so rare noise combinations do not get their own groups.
             let min_weight = (total_weight * 0.001).max(1.0);
-            (client, HintDecisionTree::fit(&samples, max_groups, min_weight))
+            (
+                client,
+                HintDecisionTree::fit(&samples, max_groups, min_weight),
+            )
         })
         .collect();
-    HintSetGrouping {
-        trees,
-        max_groups,
-    }
+    HintSetGrouping { trees, max_groups }
 }
 
 /// Convenience wrapper: analyze a training prefix of `trace` (its first
@@ -411,7 +416,9 @@ mod tests {
         let trace = informative_plus_noise_trace();
         let grouping = train_grouping_from_prefix(&trace, 0.25, 4);
         let grouped = grouping.apply(&trace);
-        let config = ClicConfig::default().with_window(5_000).with_metadata_charging(false);
+        let config = ClicConfig::default()
+            .with_window(5_000)
+            .with_metadata_charging(false);
         let ungrouped_ratio = {
             let mut clic = Clic::new(96, config);
             simulate(&mut clic, &trace).read_hit_ratio()

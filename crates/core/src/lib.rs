@@ -66,7 +66,7 @@ pub mod stats;
 pub mod tracker;
 
 pub use analysis::{analyze_trace, HintSetReport};
-pub use config::{ClicConfig, TrackingMode};
+pub use config::{suggested_window, ClicConfig, TrackingMode};
 pub use generalize::{
     train_grouping, train_grouping_from_prefix, HintDecisionTree, HintSetGrouping,
 };

@@ -231,7 +231,11 @@ impl Clic {
             debug_assert_eq!(key, min_key);
             let list = self.lists.get(&hint).expect("indexed hint set has a list");
             let page = list.front().expect("indexed list is non-empty");
-            let seq = self.cached.get(&page).expect("cached page has metadata").seq;
+            let seq = self
+                .cached
+                .get(&page)
+                .expect("cached page has metadata")
+                .seq;
             match best {
                 Some((best_seq, _, _)) if best_seq <= seq => {}
                 _ => best = Some((seq, page, hint)),
@@ -328,9 +332,7 @@ impl CachePolicy for Clic {
             // Lines 6-22: full cache; compare priorities.
             let new_priority = self.priorities.priority(req.hint);
             match self.find_victim() {
-                Some((min_priority, victim_page, victim_hint))
-                    if new_priority > min_priority =>
-                {
+                Some((min_priority, victim_page, victim_hint)) if new_priority > min_priority => {
                     self.evict_to_outqueue(victim_page, victim_hint);
                     self.admit(req.page, record);
                     AccessOutcome::miss(1)
@@ -432,8 +434,13 @@ mod tests {
             clic.priority_of(hint_b)
         );
         // The cache should now be dominated by hint-A pages.
-        let a_cached = (0..20u64).filter(|i| clic.contains(PageId(100 + i))).count();
-        assert!(a_cached >= 6, "expected hint-A pages to fill the cache, got {a_cached}");
+        let a_cached = (0..20u64)
+            .filter(|i| clic.contains(PageId(100 + i)))
+            .count();
+        assert!(
+            a_cached >= 6,
+            "expected hint-A pages to fill the cache, got {a_cached}"
+        );
     }
 
     #[test]
@@ -453,7 +460,13 @@ mod tests {
             let lp = round % loop_pages;
             b.push(client, lp, AccessKind::Read, None, loop_hint);
             for s in 0..3u64 {
-                b.push(client, 1_000_000 + round * 3 + s, AccessKind::Read, None, scan_hint);
+                b.push(
+                    client,
+                    1_000_000 + round * 3 + s,
+                    AccessKind::Read,
+                    None,
+                    scan_hint,
+                );
             }
         }
         let trace = b.build();
@@ -526,7 +539,10 @@ mod tests {
         let new_page = 999u64;
         let out = clic.access(&write(new_page, high), seq);
         if !out.hit && !out.bypassed {
-            assert!(!clic.contains(victim.1), "the reported victim must be evicted");
+            assert!(
+                !clic.contains(victim.1),
+                "the reported victim must be evicted"
+            );
             assert!(clic.contains(PageId(new_page)));
         }
     }

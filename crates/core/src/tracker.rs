@@ -227,7 +227,10 @@ mod tests {
             .iter()
             .find(|(hint, _)| *hint == h(1))
             .expect("the dominant hint set must be monitored");
-        assert!(hot.1.requests >= 900, "guaranteed count should be close to 1000");
+        assert!(
+            hot.1.requests >= 900,
+            "guaranteed count should be close to 1000"
+        );
         assert_eq!(hot.1.read_rereferences, 1000);
         // State restarts after the window.
         assert_eq!(t.tracked_len(), 0);

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use cache_sim::{
     simulate, AccessKind, CachePolicy, HintSetId, PageId, Trace, TraceBuilder, WriteHint,
 };
-use clic_core::{analyze_trace, Clic, ClicConfig, OutQueue, TrackingMode};
 use clic_core::outqueue::PageRecord;
+use clic_core::{analyze_trace, Clic, ClicConfig, OutQueue, TrackingMode};
 
 #[derive(Debug, Clone, Copy)]
 struct GenReq {
@@ -25,8 +25,16 @@ fn trace_from(reqs: &[GenReq]) -> Trace {
     let c = b.add_client("prop", &[("h", 6)]);
     let hints: Vec<HintSetId> = (0..6).map(|v| b.intern_hints(c, &[v])).collect();
     for r in reqs {
-        let kind = if r.write { AccessKind::Write } else { AccessKind::Read };
-        let wh = if r.write { Some(WriteHint::Replacement) } else { None };
+        let kind = if r.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let wh = if r.write {
+            Some(WriteHint::Replacement)
+        } else {
+            None
+        };
         b.push(c, r.page, kind, wh, hints[r.hint as usize]);
     }
     b.build()

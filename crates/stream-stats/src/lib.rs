@@ -90,9 +90,21 @@ mod tests {
         }
         for item in 0..7u32 {
             let truth = exact.estimated_count(&item).unwrap();
-            assert_eq!(ss.estimate(&item).unwrap().count, truth, "space-saving item {item}");
-            assert_eq!(mg.estimated_count(&item).unwrap(), truth, "misra-gries item {item}");
-            assert_eq!(lossy.estimated_count(&item).unwrap(), truth, "lossy item {item}");
+            assert_eq!(
+                ss.estimate(&item).unwrap().count,
+                truth,
+                "space-saving item {item}"
+            );
+            assert_eq!(
+                mg.estimated_count(&item).unwrap(),
+                truth,
+                "misra-gries item {item}"
+            );
+            assert_eq!(
+                lossy.estimated_count(&item).unwrap(),
+                truth,
+                "lossy item {item}"
+            );
         }
     }
 

@@ -157,11 +157,15 @@ mod tests {
     #[test]
     fn infrequent_items_are_pruned() {
         let mut lc = LossyCounting::new(0.1); // bucket width 10
-        // 200 distinct one-shot items: almost all must be pruned.
+                                              // 200 distinct one-shot items: almost all must be pruned.
         for i in 0..200u64 {
             lc.observe(i);
         }
-        assert!(lc.len() < 20, "one-shot items should be pruned, kept {}", lc.len());
+        assert!(
+            lc.len() < 20,
+            "one-shot items should be pruned, kept {}",
+            lc.len()
+        );
     }
 
     #[test]

@@ -144,7 +144,11 @@ where
                 .iter()
                 .next()
                 .expect("capacity > 0 and entries is full");
-            let victim = set.iter().next().expect("bucket sets are non-empty").clone();
+            let victim = set
+                .iter()
+                .next()
+                .expect("bucket sets are non-empty")
+                .clone();
             (*count, victim)
         };
         self.remove_from_bucket(&victim, min_count);
@@ -210,12 +214,7 @@ where
     /// top-`len()` items (their guaranteed count exceeds the smallest
     /// estimated count among the others).
     pub fn guaranteed_frequent(&self) -> Vec<T> {
-        let min_count = self
-            .buckets
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or(0);
+        let min_count = self.buckets.keys().next().copied().unwrap_or(0);
         self.entries
             .iter()
             .filter(|(_, e)| e.count.saturating_sub(e.error) >= min_count)
@@ -401,7 +400,11 @@ mod tests {
         }
         for (item, est, _) in ss.entries() {
             let t = truth.get(&item).copied().unwrap_or(0);
-            assert!(est.count >= t, "item {item}: estimate {} < true {t}", est.count);
+            assert!(
+                est.count >= t,
+                "item {item}: estimate {} < true {t}",
+                est.count
+            );
             assert!(
                 est.guaranteed() <= t,
                 "item {item}: guaranteed {} > true {t}",

@@ -420,8 +420,14 @@ mod tests {
                 )
             })
             .count();
-        assert!(recovery_writes > 0, "checkpoints must produce recovery writes");
-        assert!(pool.contains(PageId(1)), "checkpointed hot page stays resident");
+        assert!(
+            recovery_writes > 0,
+            "checkpoints must produce recovery writes"
+        );
+        assert!(
+            pool.contains(PageId(1)),
+            "checkpointed hot page stays resident"
+        );
     }
 
     #[test]
@@ -458,9 +464,7 @@ mod tests {
         let mut pool = BufferPool::new(config(4));
         let mut events = Vec::new();
         pool.create(PageId(7), 0, &mut events);
-        assert!(events
-            .iter()
-            .all(|e| !matches!(e, PoolEvent::Read { .. })));
+        assert!(events.iter().all(|e| !matches!(e, PoolEvent::Read { .. })));
         assert!(pool.contains(PageId(7)));
         assert_eq!(pool.dirty(), 1);
     }

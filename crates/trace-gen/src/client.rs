@@ -89,7 +89,10 @@ impl DbmsSimulator {
         layout: DatabaseLayout,
         pool_configs: &[BufferPoolConfig],
     ) -> Self {
-        assert!(!pool_configs.is_empty(), "at least one buffer pool is required");
+        assert!(
+            !pool_configs.is_empty(),
+            "at least one buffer pool is required"
+        );
         for (_, spec) in layout.objects() {
             assert!(
                 (spec.pool as usize) < pool_configs.len(),
@@ -244,7 +247,10 @@ impl DbmsSimulator {
                     Request::read(self.client, page, hint)
                 }
             }
-            PoolEvent::Write { page, hint: write_hint } => {
+            PoolEvent::Write {
+                page,
+                hint: write_hint,
+            } => {
                 let hint = self.hint_for(page, Some(write_hint), false);
                 Request::write(self.client, page, Some(write_hint), hint)
             }
@@ -287,10 +293,8 @@ impl DbmsSimulator {
                 // the background flusher (thread 0), as in InnoDB.
                 let thread = if write.is_some() { 0 } else { self.thread };
                 let fix_count = if kind == ObjectKind::Index { 1 } else { 0 };
-                self.builder.intern_hints(
-                    self.client,
-                    &[thread, request_type, group, fix_count],
-                )
+                self.builder
+                    .intern_hints(self.client, &[thread, request_type, group, fix_count])
             }
         }
     }
@@ -357,7 +361,10 @@ mod tests {
         dbms.scan(table, 0, 4, true);
         let trace = dbms.finish();
         let prefetch_reads = trace.requests.iter().filter(|r| r.prefetch).count();
-        assert_eq!(prefetch_reads, 3, "all but the first scan page are prefetched");
+        assert_eq!(
+            prefetch_reads, 3,
+            "all but the first scan page are prefetched"
+        );
     }
 
     #[test]
@@ -411,14 +418,7 @@ mod tests {
         assert!(dbms.layout().pages_of(table) > before);
         let trace = dbms.finish();
         // Inserts never read from storage.
-        assert_eq!(
-            trace
-                .requests
-                .iter()
-                .filter(|r| r.is_read())
-                .count(),
-            0
-        );
+        assert_eq!(trace.requests.iter().filter(|r| r.is_read()).count(), 0);
         // But dirty tail pages do get written back eventually.
         assert!(trace.requests.iter().any(|r| r.is_write()));
     }

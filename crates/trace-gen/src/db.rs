@@ -108,7 +108,10 @@ impl DatabaseLayout {
     ///
     /// Panics if `initial_pages` is zero.
     pub fn add_object(&mut self, spec: ObjectSpec) -> ObjectId {
-        assert!(spec.initial_pages > 0, "objects must start with at least one page");
+        assert!(
+            spec.initial_pages > 0,
+            "objects must start with at least one page"
+        );
         let id = ObjectId(self.objects.len());
         let extent = Extent {
             object: id,
@@ -188,10 +191,7 @@ impl DatabaseLayout {
         }
         // Extents are allocated in increasing page order, so binary search on
         // the start page finds the candidate extent.
-        let idx = match self
-            .extents
-            .binary_search_by(|e| e.start.cmp(&page.0))
-        {
+        let idx = match self.extents.binary_search_by(|e| e.start.cmp(&page.0)) {
             Ok(i) => i,
             Err(0) => return None,
             Err(i) => i - 1,

@@ -26,7 +26,11 @@ use cache_sim::{ClientId, Request, Trace};
 pub fn interleave(traces: &[&Trace]) -> (Trace, Vec<ClientId>) {
     assert!(!traces.is_empty(), "at least one trace is required");
     for t in traces {
-        assert!(!t.is_empty(), "cannot interleave an empty trace ({})", t.name);
+        assert!(
+            !t.is_empty(),
+            "cannot interleave an empty trace ({})",
+            t.name
+        );
     }
     let truncate_to = traces.iter().map(|t| t.len()).min().unwrap_or(0);
 

@@ -307,7 +307,10 @@ mod tests {
         // generation pipeline holds together.
         let c60 = TracePreset::Db2C60.build(PresetScale::Smoke);
         let summary = c60.summary();
-        assert!(summary.requests > 10_000, "C60 smoke trace too small: {summary}");
+        assert!(
+            summary.requests > 10_000,
+            "C60 smoke trace too small: {summary}"
+        );
         assert!(summary.distinct_hint_sets >= 20);
         assert_eq!(c60.name, "DB2_C60");
 

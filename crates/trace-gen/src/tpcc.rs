@@ -99,12 +99,12 @@ fn build_layout(database_pages: u64, page_offset: u64) -> (DatabaseLayout, Schem
     let pages = |fraction: f64| ((database_pages as f64 * fraction) as u64).max(1);
     // Group ids: a table and its indexes share a group ("object ID" hint).
     let add = |layout: &mut DatabaseLayout,
-                   name: &str,
-                   kind: ObjectKind,
-                   group: u32,
-                   pool: u32,
-                   priority: u32,
-                   p: u64| {
+               name: &str,
+               kind: ObjectKind,
+               group: u32,
+               pool: u32,
+               priority: u32,
+               p: u64| {
         layout.add_object(ObjectSpec {
             name: name.to_string(),
             kind,
@@ -115,20 +115,124 @@ fn build_layout(database_pages: u64, page_offset: u64) -> (DatabaseLayout, Schem
         })
     };
     let schema = Schema {
-        warehouse: add(&mut layout, "WAREHOUSE", ObjectKind::Table, 0, 0, 3, pages(0.0002)),
-        district: add(&mut layout, "DISTRICT", ObjectKind::Table, 1, 0, 3, pages(0.0005)),
-        customer: add(&mut layout, "CUSTOMER", ObjectKind::Table, 2, 0, 1, pages(0.18)),
-        customer_idx: add(&mut layout, "CUSTOMER_PK", ObjectKind::Index, 2, 1, 2, pages(0.035)),
-        history: add(&mut layout, "HISTORY", ObjectKind::Table, 3, 0, 0, pages(0.04)),
-        new_order: add(&mut layout, "NEW_ORDER", ObjectKind::Table, 4, 0, 0, pages(0.01)),
-        orders: add(&mut layout, "ORDERS", ObjectKind::Table, 5, 0, 0, pages(0.04)),
-        orders_idx: add(&mut layout, "ORDERS_PK", ObjectKind::Index, 5, 1, 2, pages(0.01)),
-        order_line: add(&mut layout, "ORDER_LINE", ObjectKind::Table, 6, 0, 0, pages(0.12)),
-        order_line_idx: add(&mut layout, "ORDER_LINE_PK", ObjectKind::Index, 6, 1, 2, pages(0.03)),
+        warehouse: add(
+            &mut layout,
+            "WAREHOUSE",
+            ObjectKind::Table,
+            0,
+            0,
+            3,
+            pages(0.0002),
+        ),
+        district: add(
+            &mut layout,
+            "DISTRICT",
+            ObjectKind::Table,
+            1,
+            0,
+            3,
+            pages(0.0005),
+        ),
+        customer: add(
+            &mut layout,
+            "CUSTOMER",
+            ObjectKind::Table,
+            2,
+            0,
+            1,
+            pages(0.18),
+        ),
+        customer_idx: add(
+            &mut layout,
+            "CUSTOMER_PK",
+            ObjectKind::Index,
+            2,
+            1,
+            2,
+            pages(0.035),
+        ),
+        history: add(
+            &mut layout,
+            "HISTORY",
+            ObjectKind::Table,
+            3,
+            0,
+            0,
+            pages(0.04),
+        ),
+        new_order: add(
+            &mut layout,
+            "NEW_ORDER",
+            ObjectKind::Table,
+            4,
+            0,
+            0,
+            pages(0.01),
+        ),
+        orders: add(
+            &mut layout,
+            "ORDERS",
+            ObjectKind::Table,
+            5,
+            0,
+            0,
+            pages(0.04),
+        ),
+        orders_idx: add(
+            &mut layout,
+            "ORDERS_PK",
+            ObjectKind::Index,
+            5,
+            1,
+            2,
+            pages(0.01),
+        ),
+        order_line: add(
+            &mut layout,
+            "ORDER_LINE",
+            ObjectKind::Table,
+            6,
+            0,
+            0,
+            pages(0.12),
+        ),
+        order_line_idx: add(
+            &mut layout,
+            "ORDER_LINE_PK",
+            ObjectKind::Index,
+            6,
+            1,
+            2,
+            pages(0.03),
+        ),
         item: add(&mut layout, "ITEM", ObjectKind::Table, 7, 0, 3, pages(0.03)),
-        item_idx: add(&mut layout, "ITEM_PK", ObjectKind::Index, 7, 1, 3, pages(0.006)),
-        stock: add(&mut layout, "STOCK", ObjectKind::Table, 8, 0, 1, pages(0.42)),
-        stock_idx: add(&mut layout, "STOCK_PK", ObjectKind::Index, 8, 1, 2, pages(0.05)),
+        item_idx: add(
+            &mut layout,
+            "ITEM_PK",
+            ObjectKind::Index,
+            7,
+            1,
+            3,
+            pages(0.006),
+        ),
+        stock: add(
+            &mut layout,
+            "STOCK",
+            ObjectKind::Table,
+            8,
+            0,
+            1,
+            pages(0.42),
+        ),
+        stock_idx: add(
+            &mut layout,
+            "STOCK_PK",
+            ObjectKind::Index,
+            8,
+            1,
+            2,
+            pages(0.05),
+        ),
     };
     (layout, schema)
 }
@@ -157,12 +261,7 @@ impl TpccWorkload {
             BufferPoolConfig::new(data_pool),
             BufferPoolConfig::new(index_pool),
         ];
-        let mut dbms = DbmsSimulator::new(
-            &self.config.client_name,
-            HintStyle::Db2,
-            layout,
-            &pools,
-        );
+        let mut dbms = DbmsSimulator::new(&self.config.client_name, HintStyle::Db2, layout, &pools);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         let customer_pages = dbms.layout().pages_of(schema.customer);
@@ -203,25 +302,46 @@ impl TpccWorkload {
         item_skew: &Zipf,
         stock_skew: &Zipf,
     ) {
-        dbms.read(s.warehouse, rng.gen_range(0..dbms.layout().pages_of(s.warehouse)));
-        dbms.update(s.district, rng.gen_range(0..dbms.layout().pages_of(s.district)));
+        dbms.read(
+            s.warehouse,
+            rng.gen_range(0..dbms.layout().pages_of(s.warehouse)),
+        );
+        dbms.update(
+            s.district,
+            rng.gen_range(0..dbms.layout().pages_of(s.district)),
+        );
         let customer_slot = rng.gen_range(0..dbms.layout().pages_of(s.customer));
-        dbms.read(s.customer_idx, index_path(rng, dbms.layout().pages_of(s.customer_idx)));
+        dbms.read(
+            s.customer_idx,
+            index_path(rng, dbms.layout().pages_of(s.customer_idx)),
+        );
         dbms.read(s.customer, customer_slot);
 
         let lines = rng.gen_range(5u32..=15);
         for _ in 0..lines {
             let item_slot = item_skew.sample(rng) as u64;
-            dbms.read(s.item_idx, index_path(rng, dbms.layout().pages_of(s.item_idx)));
+            dbms.read(
+                s.item_idx,
+                index_path(rng, dbms.layout().pages_of(s.item_idx)),
+            );
             dbms.read(s.item, item_slot);
             let stock_slot = stock_skew.sample(rng) as u64;
-            dbms.read(s.stock_idx, index_path(rng, dbms.layout().pages_of(s.stock_idx)));
+            dbms.read(
+                s.stock_idx,
+                index_path(rng, dbms.layout().pages_of(s.stock_idx)),
+            );
             dbms.update(s.stock, stock_slot);
             dbms.insert_append(s.order_line);
         }
         dbms.insert_append(s.orders);
-        dbms.update(s.orders_idx, index_path(rng, dbms.layout().pages_of(s.orders_idx)));
-        dbms.update(s.order_line_idx, index_path(rng, dbms.layout().pages_of(s.order_line_idx)));
+        dbms.update(
+            s.orders_idx,
+            index_path(rng, dbms.layout().pages_of(s.orders_idx)),
+        );
+        dbms.update(
+            s.order_line_idx,
+            index_path(rng, dbms.layout().pages_of(s.order_line_idx)),
+        );
         dbms.insert_append(s.new_order);
     }
 
@@ -233,10 +353,19 @@ impl TpccWorkload {
         rng: &mut StdRng,
         customer_skew: &Zipf,
     ) {
-        dbms.update(s.warehouse, rng.gen_range(0..dbms.layout().pages_of(s.warehouse)));
-        dbms.update(s.district, rng.gen_range(0..dbms.layout().pages_of(s.district)));
+        dbms.update(
+            s.warehouse,
+            rng.gen_range(0..dbms.layout().pages_of(s.warehouse)),
+        );
+        dbms.update(
+            s.district,
+            rng.gen_range(0..dbms.layout().pages_of(s.district)),
+        );
         let customer_slot = customer_skew.sample(rng) as u64;
-        dbms.read(s.customer_idx, index_path(rng, dbms.layout().pages_of(s.customer_idx)));
+        dbms.read(
+            s.customer_idx,
+            index_path(rng, dbms.layout().pages_of(s.customer_idx)),
+        );
         dbms.update(s.customer, customer_slot);
         dbms.insert_append(s.history);
     }
@@ -252,12 +381,21 @@ impl TpccWorkload {
         customer_skew: &Zipf,
     ) {
         let customer_slot = customer_skew.sample(rng) as u64;
-        dbms.read(s.customer_idx, index_path(rng, dbms.layout().pages_of(s.customer_idx)));
+        dbms.read(
+            s.customer_idx,
+            index_path(rng, dbms.layout().pages_of(s.customer_idx)),
+        );
         dbms.read(s.customer, customer_slot);
-        dbms.read(s.orders_idx, index_path(rng, dbms.layout().pages_of(s.orders_idx)));
+        dbms.read(
+            s.orders_idx,
+            index_path(rng, dbms.layout().pages_of(s.orders_idx)),
+        );
         // Recent orders live on the most recently appended pages.
         let orders_pages = dbms.layout().pages_of(s.orders);
-        dbms.read(s.orders, orders_pages.saturating_sub(1 + rng.gen_range(0..4.min(orders_pages))));
+        dbms.read(
+            s.orders,
+            orders_pages.saturating_sub(1 + rng.gen_range(0..4.min(orders_pages))),
+        );
         let ol_pages = dbms.layout().pages_of(s.order_line);
         for back in 0..2u64 {
             dbms.read(s.order_line, ol_pages.saturating_sub(1 + back));
@@ -271,7 +409,13 @@ impl TpccWorkload {
     /// DBMS buffer and are read from the server exactly once (they are not
     /// revisited afterwards) — the behaviour that makes "ORDER_LINE reads" a
     /// poor caching hint in the paper's Figure 3.
-    fn delivery(&self, dbms: &mut DbmsSimulator, s: &Schema, rng: &mut StdRng, state: &mut RunState) {
+    fn delivery(
+        &self,
+        dbms: &mut DbmsSimulator,
+        s: &Schema,
+        rng: &mut StdRng,
+        state: &mut RunState,
+    ) {
         // One delivery processes 10 orders (one per district), roughly 110
         // order-line rows.
         state.delivered_order_rows += 10;
@@ -280,7 +424,10 @@ impl TpccWorkload {
         let ol_cursor = state.delivered_order_line_rows / 24;
         let no_pages = dbms.layout().pages_of(s.new_order);
         dbms.update(s.new_order, state.delivered_order_rows / 24 % no_pages);
-        dbms.read(s.orders_idx, index_path(rng, dbms.layout().pages_of(s.orders_idx)));
+        dbms.read(
+            s.orders_idx,
+            index_path(rng, dbms.layout().pages_of(s.orders_idx)),
+        );
         dbms.update(s.orders, orders_cursor);
         // The ~5 order-line pages belonging to the delivered orders.
         dbms.scan(s.order_line, ol_cursor, 5, false);
@@ -300,13 +447,19 @@ impl TpccWorkload {
         rng: &mut StdRng,
         stock_skew: &Zipf,
     ) {
-        dbms.read(s.district, rng.gen_range(0..dbms.layout().pages_of(s.district)));
+        dbms.read(
+            s.district,
+            rng.gen_range(0..dbms.layout().pages_of(s.district)),
+        );
         let ol_pages = dbms.layout().pages_of(s.order_line);
         let start = ol_pages.saturating_sub(4.min(ol_pages));
         dbms.scan(s.order_line, start, 4, false);
         for _ in 0..12 {
             let stock_slot = stock_skew.sample(rng) as u64;
-            dbms.read(s.stock_idx, index_path(rng, dbms.layout().pages_of(s.stock_idx)));
+            dbms.read(
+                s.stock_idx,
+                index_path(rng, dbms.layout().pages_of(s.stock_idx)),
+            );
             dbms.read(s.stock, stock_slot);
         }
     }
@@ -397,7 +550,11 @@ mod tests {
         // that the trace is non-trivial and deterministic.
         assert!(summary.distinct_pages > 100);
         let again = small_trace(400);
-        assert_eq!(trace.len(), again.len(), "same seed must give the same trace");
+        assert_eq!(
+            trace.len(),
+            again.len(),
+            "same seed must give the same trace"
+        );
     }
 
     #[test]

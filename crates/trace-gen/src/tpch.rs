@@ -128,11 +128,11 @@ fn build_layout(
         TpchVariant::MySql => 0,
     };
     let add = |layout: &mut DatabaseLayout,
-                   name: &str,
-                   kind: ObjectKind,
-                   group: u32,
-                   p: u32,
-                   frac: f64| {
+               name: &str,
+               kind: ObjectKind,
+               group: u32,
+               p: u32,
+               frac: f64| {
         layout.add_object(ObjectSpec {
             name: name.to_string(),
             kind,
@@ -146,19 +146,75 @@ fn build_layout(
     };
     let schema = Schema {
         lineitem: add(&mut layout, "LINEITEM", ObjectKind::Table, 0, pool(0), 0.46),
-        lineitem_idx: add(&mut layout, "LINEITEM_PK", ObjectKind::Index, 0, pool(1), 0.03),
-        lineitem_idx2: add(&mut layout, "LINEITEM_SUPPKEY", ObjectKind::Index, 0, pool(1), 0.02),
+        lineitem_idx: add(
+            &mut layout,
+            "LINEITEM_PK",
+            ObjectKind::Index,
+            0,
+            pool(1),
+            0.03,
+        ),
+        lineitem_idx2: add(
+            &mut layout,
+            "LINEITEM_SUPPKEY",
+            ObjectKind::Index,
+            0,
+            pool(1),
+            0.02,
+        ),
         orders: add(&mut layout, "ORDERS", ObjectKind::Table, 1, pool(0), 0.15),
-        orders_idx: add(&mut layout, "ORDERS_PK", ObjectKind::Index, 1, pool(1), 0.012),
-        orders_idx2: add(&mut layout, "ORDERS_CUSTKEY", ObjectKind::Index, 1, pool(1), 0.01),
-        partsupp: add(&mut layout, "PARTSUPP", ObjectKind::Table, 2, pool(2), 0.095),
-        partsupp_idx: add(&mut layout, "PARTSUPP_PK", ObjectKind::Index, 2, pool(1), 0.008),
+        orders_idx: add(
+            &mut layout,
+            "ORDERS_PK",
+            ObjectKind::Index,
+            1,
+            pool(1),
+            0.012,
+        ),
+        orders_idx2: add(
+            &mut layout,
+            "ORDERS_CUSTKEY",
+            ObjectKind::Index,
+            1,
+            pool(1),
+            0.01,
+        ),
+        partsupp: add(
+            &mut layout,
+            "PARTSUPP",
+            ObjectKind::Table,
+            2,
+            pool(2),
+            0.095,
+        ),
+        partsupp_idx: add(
+            &mut layout,
+            "PARTSUPP_PK",
+            ObjectKind::Index,
+            2,
+            pool(1),
+            0.008,
+        ),
         part: add(&mut layout, "PART", ObjectKind::Table, 3, pool(2), 0.035),
         part_idx: add(&mut layout, "PART_PK", ObjectKind::Index, 3, pool(1), 0.006),
         customer: add(&mut layout, "CUSTOMER", ObjectKind::Table, 4, pool(3), 0.05),
-        customer_idx: add(&mut layout, "CUSTOMER_PK", ObjectKind::Index, 4, pool(1), 0.006),
+        customer_idx: add(
+            &mut layout,
+            "CUSTOMER_PK",
+            ObjectKind::Index,
+            4,
+            pool(1),
+            0.006,
+        ),
         supplier: add(&mut layout, "SUPPLIER", ObjectKind::Table, 5, pool(3), 0.01),
-        supplier_idx: add(&mut layout, "SUPPLIER_PK", ObjectKind::Index, 5, pool(1), 0.002),
+        supplier_idx: add(
+            &mut layout,
+            "SUPPLIER_PK",
+            ObjectKind::Index,
+            5,
+            pool(1),
+            0.002,
+        ),
         nation: add(&mut layout, "NATION", ObjectKind::Table, 6, pool(3), 0.0002),
         region: add(&mut layout, "REGION", ObjectKind::Table, 7, pool(3), 0.0002),
         temp: add(&mut layout, "TEMP", ObjectKind::Temporary, 8, pool(4), 0.02),
@@ -180,8 +236,11 @@ impl TpchWorkload {
 
     /// Runs the query stream(s) and returns the resulting storage trace.
     pub fn generate(&self) -> Trace {
-        let (layout, schema) =
-            build_layout(self.config.database_pages, self.config.page_offset, self.config.variant);
+        let (layout, schema) = build_layout(
+            self.config.database_pages,
+            self.config.page_offset,
+            self.config.variant,
+        );
         let style = match self.config.variant {
             TpchVariant::Db2 => HintStyle::Db2,
             TpchVariant::MySql => HintStyle::MySql,
@@ -227,9 +286,9 @@ impl TpchWorkload {
                     })
                     .collect()
             }
-            TpchVariant::MySql => vec![
-                BufferPoolConfig::new(self.config.buffer_pages.max(1)).with_priority_levels(1)
-            ],
+            TpchVariant::MySql => {
+                vec![BufferPoolConfig::new(self.config.buffer_pages.max(1)).with_priority_levels(1)]
+            }
         }
     }
 
@@ -278,7 +337,11 @@ impl TpchWorkload {
             dbms.scan(s.lineitem, start, pages.max(1), true);
             // Point lookups through the indexes for join probes; odd queries
             // use the primary key, even ones the secondary index.
-            let idx = if query % 2 == 0 { s.lineitem_idx2 } else { s.lineitem_idx };
+            let idx = if query % 2 == 0 {
+                s.lineitem_idx2
+            } else {
+                s.lineitem_idx
+            };
             for _ in 0..(pages / 64).min(64) {
                 dbms.read(idx, hot_index_slot(rng, dbms.layout().pages_of(idx)));
             }
@@ -287,7 +350,11 @@ impl TpchWorkload {
             let pages = ((ord_pages as f64) * ord_frac) as u64;
             let start = rng.gen_range(0..ord_pages.max(1));
             dbms.scan(s.orders, start, pages.max(1), true);
-            let idx = if query % 3 == 0 { s.orders_idx2 } else { s.orders_idx };
+            let idx = if query % 3 == 0 {
+                s.orders_idx2
+            } else {
+                s.orders_idx
+            };
             for _ in 0..(pages / 64).min(32) {
                 dbms.read(idx, hot_index_slot(rng, dbms.layout().pages_of(idx)));
             }
@@ -300,7 +367,10 @@ impl TpchWorkload {
                 0 => {
                     dbms.scan(s.part, 0, (part_pages / 2).max(1), true);
                     for _ in 0..16 {
-                        dbms.read(s.part_idx, hot_index_slot(rng, dbms.layout().pages_of(s.part_idx)));
+                        dbms.read(
+                            s.part_idx,
+                            hot_index_slot(rng, dbms.layout().pages_of(s.part_idx)),
+                        );
                     }
                 }
                 1 => {
@@ -315,7 +385,10 @@ impl TpchWorkload {
                 2 => {
                     for _ in 0..48 {
                         let slot = cust_skew.sample(rng) as u64;
-                        dbms.read(s.customer_idx, hot_index_slot(rng, dbms.layout().pages_of(s.customer_idx)));
+                        dbms.read(
+                            s.customer_idx,
+                            hot_index_slot(rng, dbms.layout().pages_of(s.customer_idx)),
+                        );
                         dbms.read(s.customer, slot);
                     }
                 }
@@ -352,7 +425,10 @@ impl TpchWorkload {
         let batch = 64;
         for _ in 0..batch {
             dbms.insert_append(s.orders);
-            dbms.update(s.orders_idx, hot_index_slot(rng, dbms.layout().pages_of(s.orders_idx)));
+            dbms.update(
+                s.orders_idx,
+                hot_index_slot(rng, dbms.layout().pages_of(s.orders_idx)),
+            );
             for _ in 0..rng.gen_range(1..=5) {
                 dbms.insert_append(s.lineitem);
                 dbms.update(
@@ -406,7 +482,10 @@ mod tests {
         let trace = tiny(TpchVariant::Db2, 600);
         let summary = trace.summary();
         assert!(summary.reads > 1_000);
-        assert!(summary.writes > 0, "refresh functions and spills must write");
+        assert!(
+            summary.writes > 0,
+            "refresh functions and spills must write"
+        );
         assert!(trace.requests.iter().any(|r| r.prefetch));
     }
 
@@ -445,7 +524,10 @@ mod tests {
     fn bigger_buffer_absorbs_more_traffic() {
         let small = tiny(TpchVariant::Db2, 300).len();
         let large = tiny(TpchVariant::Db2, 4_000).len();
-        assert!(large < small, "large buffer {large} should be below small buffer {small}");
+        assert!(
+            large < small,
+            "large buffer {large} should be below small buffer {small}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Zipf {
     /// Panics if `n` is zero or `s` is negative or not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf domain size must be positive");
-        assert!(s.is_finite() && s >= 0.0, "zipf skew must be non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf skew must be non-negative, got {s}"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for i in 0..n {

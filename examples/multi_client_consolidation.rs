@@ -35,7 +35,11 @@ impl PolicyFactory for ClicFactory {
 
 fn main() {
     let scale = PresetScale::Smoke;
-    let presets = [TracePreset::Db2C60, TracePreset::Db2C300, TracePreset::Db2C540];
+    let presets = [
+        TracePreset::Db2C60,
+        TracePreset::Db2C300,
+        TracePreset::Db2C540,
+    ];
 
     // Each client is an independent DB2 instance with its own database, so
     // their page ranges must not overlap.
@@ -53,7 +57,7 @@ fn main() {
 
     let shared_pages = 1_800;
     let per_client = shared_pages / clients.len();
-    let window = (combined.len() as u64 / 20).max(2_000);
+    let window = suggested_window(combined.len() as u64);
 
     // One shared cache managed by CLIC: it sees hints from all clients and
     // prioritizes whichever client offers the best caching opportunities.
@@ -70,7 +74,10 @@ fn main() {
     let mut partitioned = PartitionedCache::new(&factory, &clients, per_client);
     let partitioned_result = simulate(&mut partitioned, &combined);
 
-    println!("\n{:<10} {:>22} {:>22}", "client", "shared (CLIC)", "3 private partitions");
+    println!(
+        "\n{:<10} {:>22} {:>22}",
+        "client", "shared (CLIC)", "3 private partitions"
+    );
     for (preset, client) in presets.iter().zip(&clients) {
         println!(
             "{:<10} {:>21.1}% {:>21.1}%",

@@ -26,7 +26,7 @@ fn main() {
     for noise_types in 0..=3u32 {
         let noisy = inject_noise(&base, NoiseConfig::new(noise_types));
         let hint_sets = noisy.summary().distinct_hint_sets;
-        let window = (noisy.len() as u64 / 20).max(2_000);
+        let window = suggested_window(noisy.len() as u64);
         let mut row = format!("{noise_types:<8} {hint_sets:>12}");
         for k in [20usize, 100, 400] {
             let mut clic = Clic::new(

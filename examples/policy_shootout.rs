@@ -17,7 +17,7 @@ fn main() {
     println!("trace: {}", trace.summary());
 
     let cache_pages = 1_800;
-    let window = (trace.len() as u64 / 20).max(2_000);
+    let window = suggested_window(trace.len() as u64);
 
     let mut rows: Vec<(String, f64)> = Vec::new();
 
@@ -41,7 +41,10 @@ fn main() {
             .with_window(window)
             .with_tracking(TrackingMode::TopK(10)),
     );
-    rows.push(("CLIC(k=10)".into(), simulate(&mut clic_topk, &trace).read_hit_ratio()));
+    rows.push((
+        "CLIC(k=10)".into(),
+        simulate(&mut clic_topk, &trace).read_hit_ratio(),
+    ));
 
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\n{:<12} {:>16}", "policy", "read hit ratio");

@@ -21,12 +21,15 @@ fn main() {
 
     // 2. Pick a storage-server cache size (pages) and compare policies.
     let cache_pages = 1_800;
-    let window = (trace.len() as u64 / 20).max(2_000);
+    let window = suggested_window(trace.len() as u64);
 
     let mut results: Vec<(String, f64)> = Vec::new();
 
     let mut opt = Opt::from_trace(&trace, cache_pages);
-    results.push(("OPT (offline bound)".into(), simulate(&mut opt, &trace).read_hit_ratio()));
+    results.push((
+        "OPT (offline bound)".into(),
+        simulate(&mut opt, &trace).read_hit_ratio(),
+    ));
 
     let mut lru = Lru::new(cache_pages);
     results.push(("LRU".into(), simulate(&mut lru, &trace).read_hit_ratio()));
@@ -35,7 +38,10 @@ fn main() {
     results.push(("ARC".into(), simulate(&mut arc, &trace).read_hit_ratio()));
 
     let mut tq = Tq::new(cache_pages);
-    results.push(("TQ (write hints)".into(), simulate(&mut tq, &trace).read_hit_ratio()));
+    results.push((
+        "TQ (write hints)".into(),
+        simulate(&mut tq, &trace).read_hit_ratio(),
+    ));
 
     let mut clic = Clic::new(cache_pages, ClicConfig::default().with_window(window));
     results.push(("CLIC".into(), simulate(&mut clic, &trace).read_hit_ratio()));

@@ -20,9 +20,12 @@ fn main() {
     println!("trace: {}", trace.summary());
 
     let cache_sizes = preset.server_cache_sizes(scale);
-    let window = (trace.len() as u64 / 20).max(2_000);
+    let window = suggested_window(trace.len() as u64);
 
-    println!("\n{:<10} {:>12} {:>12} {:>12} {:>12}", "cache", "LRU", "ARC", "TQ", "CLIC");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "cache", "LRU", "ARC", "TQ", "CLIC"
+    );
     for &cache_pages in &cache_sizes {
         let mut lru = Lru::new(cache_pages);
         let mut arc = Arc::new(cache_pages);

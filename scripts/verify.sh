@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI-style verification for the CLIC reproduction.
+#
+#   scripts/verify.sh           # tier-1 + format check + clippy
+#   scripts/verify.sh --quick   # tier-1 only
+#
+# Tier-1 (the bar every PR must clear, see ROADMAP.md):
+#   cargo build --release && cargo test -q
+#
+# On top of tier-1 this script enforces formatting (cargo fmt --check) and
+# clippy cleanliness at the error level (warnings are reported but allowed).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+if [ "$quick" -eq 1 ]; then
+    echo "verify: tier-1 OK (quick mode, fmt/clippy skipped)"
+    exit 0
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace (errors fail, warnings allowed) =="
+cargo clippy --workspace --all-targets
+
+echo "verify: all checks passed"

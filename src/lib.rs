@@ -62,7 +62,9 @@ pub mod prelude {
         simulate, sweep, AccessKind, CachePolicy, CacheStats, ClientId, HintSetId, PageId,
         PartitionedCache, Request, SimulationResult, Trace, TraceBuilder, WriteHint,
     };
-    pub use clic_core::{analyze_trace, Clic, ClicConfig, HintSetReport, TrackingMode};
+    pub use clic_core::{
+        analyze_trace, suggested_window, Clic, ClicConfig, HintSetReport, TrackingMode,
+    };
     pub use stream_stats::{FrequencyEstimator, SpaceSaving};
     pub use trace_gen::{
         inject_noise, interleave, NoiseConfig, PresetScale, TpccConfig, TpccWorkload, TpchConfig,

@@ -1,0 +1,66 @@
+//! Workspace smoke test for the paper's core claim: on a hinted
+//! storage-server trace, CLIC's read hit ratio is at least LRU's.
+//!
+//! This is the end-to-end guard that the whole pipeline — trace generation,
+//! hint cataloging, on-line hint-statistics tracking, priority evaluation,
+//! and the replacement policy — still adds up to the headline result of the
+//! paper (Figures 6-8: CLIC matches or beats the hint-oblivious baselines
+//! everywhere). It runs at smoke scale so it stays fast enough for tier-1.
+
+use clic::prelude::*;
+
+/// CLIC >= LRU on a hinted smoke-scale preset trace, across the workload
+/// families of the paper's evaluation (DB2 TPC-C, DB2 TPC-H, MySQL TPC-H).
+#[test]
+fn clic_read_hit_ratio_at_least_lru_on_hinted_presets() {
+    for preset in [
+        TracePreset::Db2C300,
+        TracePreset::Db2H80,
+        TracePreset::MyH65,
+    ] {
+        let trace = preset.build(PresetScale::Smoke);
+        let cache_pages = 1_800;
+        let window = suggested_window(trace.len() as u64);
+
+        let mut lru = Lru::new(cache_pages);
+        let lru_result = simulate(&mut lru, &trace);
+
+        let mut clic = Clic::new(cache_pages, ClicConfig::default().with_window(window));
+        let clic_result = simulate(&mut clic, &trace);
+
+        assert!(
+            clic_result.read_hit_ratio() >= lru_result.read_hit_ratio(),
+            "{}: CLIC ({:.3}) must not lose to LRU ({:.3})",
+            preset.name(),
+            clic_result.read_hit_ratio(),
+            lru_result.read_hit_ratio()
+        );
+    }
+}
+
+/// The same claim holds for the bounded top-k tracking variant, which is the
+/// configuration a real storage server would deploy (Section 5).
+#[test]
+fn topk_clic_read_hit_ratio_at_least_lru() {
+    let trace = TracePreset::Db2C300.build(PresetScale::Smoke);
+    let cache_pages = 1_800;
+    let window = suggested_window(trace.len() as u64);
+
+    let mut lru = Lru::new(cache_pages);
+    let lru_result = simulate(&mut lru, &trace);
+
+    let mut clic = Clic::new(
+        cache_pages,
+        ClicConfig::default()
+            .with_window(window)
+            .with_tracking(TrackingMode::TopK(64)),
+    );
+    let clic_result = simulate(&mut clic, &trace);
+
+    assert!(
+        clic_result.read_hit_ratio() >= lru_result.read_hit_ratio(),
+        "top-k CLIC ({:.3}) must not lose to LRU ({:.3})",
+        clic_result.read_hit_ratio(),
+        lru_result.read_hit_ratio()
+    );
+}

@@ -9,7 +9,7 @@ fn hit_ratio(policy: &mut dyn CachePolicy, trace: &Trace) -> f64 {
 }
 
 fn window(trace: &Trace) -> u64 {
-    (trace.len() as u64 / 20).max(2_000)
+    suggested_window(trace.len() as u64)
 }
 
 /// OPT upper-bounds every online policy on every preset workload family.

@@ -25,11 +25,17 @@ impl PolicyFactory for ClicFactory {
 }
 
 fn build_clients() -> (Trace, Vec<ClientId>) {
-    let presets = [TracePreset::Db2C60, TracePreset::Db2C300, TracePreset::Db2C540];
+    let presets = [
+        TracePreset::Db2C60,
+        TracePreset::Db2C300,
+        TracePreset::Db2C540,
+    ];
     let traces: Vec<Trace> = presets
         .iter()
         .enumerate()
-        .map(|(i, p)| p.build_with_offset(PresetScale::Smoke, i as u64 * 100_000_000, 42 + i as u64))
+        .map(|(i, p)| {
+            p.build_with_offset(PresetScale::Smoke, i as u64 * 100_000_000, 42 + i as u64)
+        })
         .collect();
     let refs: Vec<&Trace> = traces.iter().collect();
     interleave(&refs)
@@ -51,7 +57,11 @@ fn interleaved_trace_is_well_formed() {
     }
     // Per-client request counts are equal (truncated to the shortest trace).
     for client in &clients {
-        let count = combined.requests.iter().filter(|r| r.client == *client).count();
+        let count = combined
+            .requests
+            .iter()
+            .filter(|r| r.client == *client)
+            .count();
         assert_eq!(count * 3, combined.len());
     }
 }
@@ -64,7 +74,7 @@ fn interleaved_trace_is_well_formed() {
 fn shared_clic_cache_beats_equal_partitioning_overall() {
     let (combined, clients) = build_clients();
     let shared_pages = 1_800;
-    let window = (combined.len() as u64 / 20).max(2_000);
+    let window = suggested_window(combined.len() as u64);
 
     let mut shared = Clic::new(
         shared_pages,
@@ -96,13 +106,7 @@ fn per_client_accounting_covers_all_requests() {
     let result = simulate(&mut shared, &combined);
     let total: u64 = clients
         .iter()
-        .map(|c| {
-            result
-                .per_client
-                .get(c)
-                .map(|s| s.requests())
-                .unwrap_or(0)
-        })
+        .map(|c| result.per_client.get(c).map(|s| s.requests()).unwrap_or(0))
         .sum();
     assert_eq!(total, combined.len() as u64);
 }

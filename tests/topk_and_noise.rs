@@ -5,10 +5,12 @@
 use clic::prelude::*;
 
 fn run_clic(trace: &Trace, cache: usize, tracking: TrackingMode) -> f64 {
-    let window = (trace.len() as u64 / 20).max(2_000);
+    let window = suggested_window(trace.len() as u64);
     let mut clic = Clic::new(
         cache,
-        ClicConfig::default().with_window(window).with_tracking(tracking),
+        ClicConfig::default()
+            .with_window(window)
+            .with_tracking(tracking),
     );
     simulate(&mut clic, trace).read_hit_ratio()
 }

@@ -16,7 +16,10 @@ fn generated_trace_roundtrips_through_disk() {
 
     assert_eq!(loaded.name, trace.name);
     assert_eq!(loaded.requests, trace.requests);
-    assert_eq!(loaded.catalog.hint_set_count(), trace.catalog.hint_set_count());
+    assert_eq!(
+        loaded.catalog.hint_set_count(),
+        trace.catalog.hint_set_count()
+    );
     assert_eq!(loaded.catalog.client_count(), trace.catalog.client_count());
     // The hint labels survive too (schema round trip).
     let some_hint = trace.requests[0].hint;

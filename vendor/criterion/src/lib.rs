@@ -1,0 +1,248 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build image has no network access, so the real `criterion` cannot be
+//! fetched. This vendored stand-in keeps the workspace's benches compiling
+//! and runnable: it supports [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], per-group [`BenchmarkGroup::throughput`] /
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_with_input`],
+//! [`Criterion::bench_function`], and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple — a warm-up iteration followed by a
+//! fixed sample of timed iterations, reporting mean wall-clock time per
+//! iteration (and throughput when configured). There is no statistical
+//! analysis, HTML report, or saved baseline.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a benchmark's throughput is expressed in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, e.g. `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.parameter.is_empty() {
+            f.write_str(&self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Times one closure; handed to the `|b, ..| b.iter(..)` bench bodies.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Self {
+        Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Runs `routine` once to warm up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += u64::from(self.samples);
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iterations == 0 {
+            println!("{name}: no iterations recorded");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+        let mut line = format!("{name}: {:.3} ms/iter", per_iter * 1e3);
+        match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                line.push_str(&format!(" ({:.2} Melem/s)", n as f64 / per_iter / 1e6));
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                line.push_str(&format!(
+                    " ({:.2} MiB/s)",
+                    n as f64 / per_iter / (1 << 20) as f64
+                ));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput/sample config.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed iterations each benchmark in this group runs.
+    /// Group-local, matching real criterion: it does not affect later groups.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1) as u32;
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.samples);
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.samples);
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Ends the group. (The real criterion runs comparisons here; the stub
+    /// has nothing left to do.)
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        let samples = self.samples;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            samples,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.samples);
+        routine(&mut bencher);
+        bencher.report(&name.to_string(), None);
+        self
+    }
+}
+
+/// Declares a function running each listed benchmark against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4)).sample_size(3);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4], |b, xs| {
+            b.iter(|| {
+                total += 1;
+                xs.iter().sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(total >= 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn id_renders_both_parts() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}
