@@ -19,6 +19,7 @@ fn main() {
         "fig11_multiclient",
         "ablation_params",
         "ablation_generalization",
+        "server_throughput",
     ];
     let self_path = std::env::current_exe().expect("current executable path");
     let bin_dir = self_path.parent().expect("executable directory");

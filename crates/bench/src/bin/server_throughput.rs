@@ -1,0 +1,114 @@
+//! Server throughput: the online counterpart of the Figure 11 multi-client
+//! experiment. Four storage clients (the three DB2 TPC-C presets plus a
+//! second `DB2_C60` instance) drive a sharded `clic-server` concurrently in
+//! closed loops; the harness reports requests/s, batch latency percentiles,
+//! and per-client read hit ratios, and compares the aggregate hit ratio
+//! against a single-threaded CLIC simulation of the equivalent interleaved
+//! trace (the sharding + merging fidelity check).
+
+use cache_sim::simulate;
+use clic_bench::{window_for_trace, ExperimentContext, ResultTable};
+use clic_core::{Clic, ClicConfig, TrackingMode};
+use clic_server::{run_load, LoadConfig, ServerConfig};
+use trace_gen::{interleave, TracePreset};
+
+fn main() -> std::io::Result<()> {
+    let ctx = ExperimentContext::from_args();
+    println!(
+        "Server throughput (online Figure 11), scale = {}\n",
+        ctx.scale_label()
+    );
+
+    // Four independent storage clients over disjoint page ranges.
+    let presets = [
+        TracePreset::Db2C60,
+        TracePreset::Db2C300,
+        TracePreset::Db2C540,
+        TracePreset::Db2C60,
+    ];
+    // Built over disjoint page ranges and truncated to the shortest client
+    // (the `interleave` rule), so the load run and the offline reference
+    // below serve exactly the same requests.
+    let traces = clic_server::preset_client_traces(&presets, ctx.scale);
+    for trace in &traces {
+        println!("client trace: {}", trace.summary());
+    }
+
+    let total_requests: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let shards = std::thread::available_parallelism()
+        .map(|p| p.get().clamp(2, 8))
+        .unwrap_or(4);
+    let cache_pages = presets[0].reference_cache_size(ctx.scale);
+    let window = clic_core::suggested_window(total_requests);
+    let clic_config = ClicConfig::default()
+        .with_window(window)
+        .with_tracking(TrackingMode::TopK(100));
+
+    let config = LoadConfig::new(
+        ServerConfig::new(cache_pages)
+            .with_shards(shards)
+            .with_clic(clic_config)
+            .with_merge_every(window),
+    )
+    .with_batch(64);
+    println!(
+        "server: {cache_pages} pages, {shards} shards, window {window}, {} clients\n",
+        traces.len()
+    );
+    let report = run_load(&config, &traces);
+
+    // Reference: one single-threaded CLIC over the equivalent interleaved
+    // trace (the offline Figure 11 shared-cache configuration).
+    let refs: Vec<&cache_sim::Trace> = traces.iter().collect();
+    let (combined, _) = interleave(&refs);
+    let mut reference = Clic::new(
+        cache_pages,
+        ClicConfig::default()
+            .with_window(window_for_trace(&combined))
+            .with_tracking(TrackingMode::TopK(100)),
+    );
+    let reference_result = simulate(&mut reference, &combined);
+
+    let mut table = ResultTable::new(
+        format!(
+            "Server throughput: {} requests, {cache_pages}-page cache, {shards} shards, batch {}",
+            report.requests(),
+            config.batch
+        ),
+        &["metric", "value"],
+    );
+    table.push_row(vec![
+        "throughput".into(),
+        format!("{:.0} req/s", report.throughput_rps()),
+    ]);
+    table.push_row(vec![
+        "elapsed".into(),
+        format!("{:.2} s", report.elapsed.as_secs_f64()),
+    ]);
+    table.push_row(vec![
+        "batch latency p50/p95/p99/max".into(),
+        format!(
+            "{}/{}/{}/{} us",
+            report.latency.p50_us,
+            report.latency.p95_us,
+            report.latency.p99_us,
+            report.latency.max_us
+        ),
+    ]);
+    for client in &report.clients {
+        table.push_row(vec![
+            format!("read hit ratio [{}]", client.trace),
+            format!("{:.1}%", client.read_hit_ratio() * 100.0),
+        ]);
+    }
+    table.push_row(vec![
+        "read hit ratio [aggregate]".into(),
+        format!("{:.1}%", report.read_hit_ratio() * 100.0),
+    ]);
+    table.push_row(vec![
+        "read hit ratio [single-cache reference]".into(),
+        format!("{:.1}%", reference_result.read_hit_ratio() * 100.0),
+    ]);
+    table.push_row(vec!["priority merges".into(), format!("{}", report.merges)]);
+    table.emit(&ctx.out_dir, "server_throughput")
+}

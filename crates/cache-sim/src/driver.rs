@@ -2,8 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::policy::{CachePolicy, PolicyFactory};
-use crate::request::ClientId;
+use crate::policy::{AccessOutcome, CachePolicy, PolicyFactory};
+use crate::request::{ClientId, Request};
 use crate::stats::CacheStats;
 use crate::trace::Trace;
 
@@ -34,6 +34,46 @@ impl SimulationResult {
             .get(&client)
             .map(|s| s.read_hit_ratio())
             .unwrap_or(0.0)
+    }
+
+    /// Merges another result's counters into this one: aggregate statistics
+    /// add up and per-client breakdowns combine client by client.
+    ///
+    /// This is the aggregation path for deployments that observe one request
+    /// stream through several accountants — for example a sharded server
+    /// summing its per-shard statistics, or a load harness combining the
+    /// results of concurrent client threads. The policy name and capacity of
+    /// `self` are kept.
+    pub fn merge_from(&mut self, other: &SimulationResult) {
+        self.stats += other.stats;
+        for (client, stats) in &other.per_client {
+            *self.per_client.entry(*client).or_default() += *stats;
+        }
+    }
+}
+
+/// Records one request's [`AccessOutcome`] into aggregate and per-client
+/// statistics — the single hit/miss accounting rule shared by [`simulate`]
+/// and live servers, so every driver measures policies identically.
+pub fn record_outcome(
+    stats: &mut CacheStats,
+    per_client: &mut BTreeMap<ClientId, CacheStats>,
+    req: &Request,
+    outcome: AccessOutcome,
+) {
+    let client_stats = per_client.entry(req.client).or_default();
+    if req.is_read() {
+        stats.record_read(outcome.hit);
+        client_stats.record_read(outcome.hit);
+    } else {
+        stats.record_write(outcome.hit);
+        client_stats.record_write(outcome.hit);
+    }
+    stats.evictions += u64::from(outcome.evicted);
+    client_stats.evictions += u64::from(outcome.evicted);
+    if outcome.bypassed {
+        stats.bypasses += 1;
+        client_stats.bypasses += 1;
     }
 }
 
@@ -70,20 +110,7 @@ where
     let mut per_client: BTreeMap<ClientId, CacheStats> = BTreeMap::new();
     for (seq, req) in trace.iter() {
         let outcome = policy.access(req, seq);
-        let client_stats = per_client.entry(req.client).or_default();
-        if req.is_read() {
-            stats.record_read(outcome.hit);
-            client_stats.record_read(outcome.hit);
-        } else {
-            stats.record_write(outcome.hit);
-            client_stats.record_write(outcome.hit);
-        }
-        stats.evictions += u64::from(outcome.evicted);
-        client_stats.evictions += u64::from(outcome.evicted);
-        if outcome.bypassed {
-            stats.bypasses += 1;
-            client_stats.bypasses += 1;
-        }
+        record_outcome(&mut stats, &mut per_client, req, outcome);
         callback(seq, req, outcome.hit);
     }
     SimulationResult {
@@ -180,6 +207,37 @@ mod tests {
         assert!(points[3].result.read_hit_ratio() >= points[0].result.read_hit_ratio());
         // A cache that fits the whole loop hits after the first pass.
         assert!(points[2].result.stats.read_hits > 0);
+    }
+
+    #[test]
+    fn merge_from_combines_aggregate_and_per_client_stats() {
+        let mut b = TraceBuilder::new();
+        let c1 = b.add_client("a", &[("x", 1)]);
+        let c2 = b.add_client("b", &[("x", 1)]);
+        let h1 = b.intern_hints(c1, &[0]);
+        let h2 = b.intern_hints(c2, &[0]);
+        b.push(c1, 1, AccessKind::Read, None, h1);
+        b.push(c1, 1, AccessKind::Read, None, h1);
+        b.push(c2, 2, AccessKind::Read, None, h2);
+        let trace = b.build();
+
+        // Simulate the same trace twice through independent caches and merge:
+        // counters must be exactly double the single run, client by client.
+        let single = simulate(&mut Lru::new(4), &trace);
+        let mut merged = simulate(&mut Lru::new(4), &trace);
+        merged.merge_from(&single);
+        assert_eq!(merged.stats.requests(), 2 * single.stats.requests());
+        assert_eq!(merged.stats.read_hits, 2 * single.stats.read_hits);
+        for (client, stats) in &single.per_client {
+            assert_eq!(
+                merged.per_client.get(client).unwrap().requests(),
+                2 * stats.requests()
+            );
+        }
+        // Merging an empty result changes nothing.
+        let before = merged.stats;
+        merged.merge_from(&SimulationResult::default());
+        assert_eq!(merged.stats, before);
     }
 
     #[test]

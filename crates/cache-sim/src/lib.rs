@@ -52,7 +52,9 @@ pub mod request;
 pub mod stats;
 pub mod trace;
 
-pub use driver::{simulate, simulate_with_callback, sweep, SimulationResult, SweepPoint};
+pub use driver::{
+    record_outcome, simulate, simulate_with_callback, sweep, SimulationResult, SweepPoint,
+};
 pub use hints::{HintCatalog, HintSchema, HintSetId, HintTypeDescriptor, HintValue};
 pub use oracle::NextUseOracle;
 pub use partitioned::PartitionedCache;

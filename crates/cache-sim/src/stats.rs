@@ -1,7 +1,7 @@
 //! Cache statistics collected by the simulation driver.
 
 use std::fmt;
-use std::ops::AddAssign;
+use std::ops::{Add, AddAssign};
 
 /// Counters describing the behaviour of a storage-server cache over a trace.
 ///
@@ -87,6 +87,15 @@ impl CacheStats {
         } else {
             self.write_misses += 1;
         }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(mut self, rhs: Self) -> Self::Output {
+        self += rhs;
+        self
     }
 }
 

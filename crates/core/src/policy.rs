@@ -69,6 +69,15 @@ pub struct Clic {
     /// `(priority key, hint set)` for every hint set with at least one cached
     /// page; the first element identifies the lowest-priority hint set.
     victim_index: BTreeSet<(u64, HintSetId)>,
+    /// Memoized minimum priority key of `victim_index`, `None` when the cache
+    /// is empty. Kept in sync incrementally so the admission check of every
+    /// full-cache request does not re-scan the ordered index.
+    min_key: Option<u64>,
+    /// The hint sets whose priority key equals `min_key` (the candidates
+    /// [`Clic::find_victim`] must break ties among). Recomputed from the
+    /// index only on priority re-evaluation or when the last list at
+    /// `min_key` empties.
+    min_hints: Vec<HintSetId>,
     outqueue: OutQueue,
     priorities: PriorityTable,
     tracker: Tracker,
@@ -102,6 +111,8 @@ impl Clic {
             cached: HashMap::with_capacity(effective),
             lists: HashMap::new(),
             victim_index: BTreeSet::new(),
+            min_key: None,
+            min_hints: Vec::new(),
             priorities: PriorityTable::new(),
             tracker,
             requests_seen: 0,
@@ -177,6 +188,40 @@ impl Clic {
         self.rebuild_victim_index();
     }
 
+    /// Total number of requests this instance has processed.
+    pub fn requests_seen(&self) -> u64 {
+        self.requests_seen
+    }
+
+    /// Exports the current hint-set priorities as a snapshot.
+    ///
+    /// Together with [`Clic::import_priorities`] this is the building block
+    /// for *cross-shard priority merging*: a sharded deployment runs one
+    /// `Clic` per shard, periodically exports every shard's priorities,
+    /// merges them (for example by request-weighted averaging), and imports
+    /// the merged snapshot back into each shard so that hint learning is not
+    /// fragmented across shards.
+    pub fn export_priorities(&self) -> Vec<(HintSetId, f64)> {
+        self.priorities.iter().collect()
+    }
+
+    /// Replaces the current hint-set priorities with `snapshot` *exactly*
+    /// (no smoothing, no window accounting) and rebuilds the victim index.
+    ///
+    /// Importing a cache's own [`Clic::export_priorities`] snapshot leaves
+    /// its behaviour unchanged; see `export_priorities` for the cross-shard
+    /// merge protocol this pair implements. Unlike
+    /// [`Clic::preload_priorities`], imported priorities survive window
+    /// boundaries the same way organically learned ones do — the next
+    /// re-evaluation folds them into the usual Equation 3 smoothing.
+    pub fn import_priorities<I>(&mut self, snapshot: I)
+    where
+        I: IntoIterator<Item = (HintSetId, f64)>,
+    {
+        self.priorities.load_snapshot(snapshot);
+        self.rebuild_victim_index();
+    }
+
     /// Returns, for each hint set with at least one cached page, the number
     /// of pages it currently holds in the cache. Useful for diagnostics and
     /// for the cache-composition ablation.
@@ -192,8 +237,17 @@ impl Clic {
         let was_empty = list.is_empty();
         list.push_back(page);
         if was_empty {
-            self.victim_index
-                .insert((priority_key(self.priorities.priority(hint)), hint));
+            let key = priority_key(self.priorities.priority(hint));
+            self.victim_index.insert((key, hint));
+            match self.min_key {
+                Some(min) if key > min => {}
+                Some(min) if key == min => self.min_hints.push(hint),
+                _ => {
+                    self.min_key = Some(key);
+                    self.min_hints.clear();
+                    self.min_hints.push(hint);
+                }
+            }
         }
     }
 
@@ -201,9 +255,15 @@ impl Clic {
         if let Some(list) = self.lists.get_mut(&hint) {
             list.remove(page);
             if list.is_empty() {
-                self.victim_index
-                    .remove(&(priority_key(self.priorities.priority(hint)), hint));
+                let key = priority_key(self.priorities.priority(hint));
+                self.victim_index.remove(&(key, hint));
                 self.lists.remove(&hint);
+                if self.min_key == Some(key) {
+                    self.min_hints.retain(|&h| h != hint);
+                    if self.min_hints.is_empty() {
+                        self.rebuild_min_hints();
+                    }
+                }
             }
         }
     }
@@ -216,19 +276,37 @@ impl Clic {
             .keys()
             .map(|&hint| (priority_key(self.priorities.priority(hint)), hint))
             .collect();
+        self.rebuild_min_hints();
+    }
+
+    /// Recomputes the memoized minimum-priority hint list from the victim
+    /// index. Called only when priorities are re-evaluated or the last list
+    /// at the current minimum empties — every other index mutation updates
+    /// the memo incrementally.
+    fn rebuild_min_hints(&mut self) {
+        self.min_hints.clear();
+        self.min_key = self.victim_index.iter().next().map(|&(key, _)| key);
+        if let Some(min_key) = self.min_key {
+            self.min_hints.extend(
+                self.victim_index
+                    .range((min_key, HintSetId(0))..=(min_key, HintSetId(u32::MAX)))
+                    .map(|&(_, hint)| hint),
+            );
+        }
     }
 
     /// Finds the eviction victim per Figure 4: the minimum-priority hint set,
     /// breaking ties by the smallest sequence number among those hint sets'
     /// oldest pages. Returns `(priority, page, hint)`.
     fn find_victim(&self) -> Option<(f64, PageId, HintSetId)> {
-        let &(min_key, _) = self.victim_index.iter().next()?;
+        let min_key = self.min_key?;
+        debug_assert_eq!(
+            Some(min_key),
+            self.victim_index.iter().next().map(|&(key, _)| key),
+            "memoized minimum diverged from the victim index"
+        );
         let mut best: Option<(u64, PageId, HintSetId)> = None;
-        for &(key, hint) in self
-            .victim_index
-            .range((min_key, HintSetId(0))..=(min_key, HintSetId(u32::MAX)))
-        {
-            debug_assert_eq!(key, min_key);
+        for &hint in &self.min_hints {
             let list = self.lists.get(&hint).expect("indexed hint set has a list");
             let page = list.front().expect("indexed list is non-empty");
             let seq = self
@@ -569,6 +647,74 @@ mod tests {
         assert!(clic.contains(PageId(1)));
         let victim = clic.find_victim().unwrap();
         assert_eq!(victim.2, b);
+    }
+
+    #[test]
+    fn clic_is_send() {
+        // The server crate moves Clic instances across shard worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<Clic>();
+    }
+
+    #[test]
+    fn importing_own_priority_snapshot_is_a_noop() {
+        let mut clic = Clic::new(8, small_config(100));
+        let hint_a = HintSetId(1);
+        let hint_b = HintSetId(2);
+        let mut seq = 0u64;
+        for round in 0..200u64 {
+            clic.access(&write(100 + (round % 10), hint_a), seq);
+            seq += 1;
+            clic.access(&read(100 + (round % 10), hint_a), seq);
+            seq += 1;
+            clic.access(&write(10_000 + round, hint_b), seq);
+            seq += 1;
+        }
+        assert!(clic.priority_of(hint_a) > 0.0);
+        let snapshot = clic.export_priorities();
+        let victim_before = clic.find_victim();
+        clic.import_priorities(snapshot.clone());
+        assert_eq!(clic.find_victim(), victim_before);
+        for (hint, priority) in snapshot {
+            assert_eq!(clic.priority_of(hint), priority);
+        }
+        // An imported foreign priority takes effect immediately.
+        let foreign = HintSetId(9);
+        clic.import_priorities([(foreign, 123.0)]);
+        assert_eq!(clic.priority_of(foreign), 123.0);
+        assert_eq!(clic.priority_of(hint_a), 0.0);
+    }
+
+    #[test]
+    fn memoized_victim_matches_index_scan_under_churn() {
+        // Drive a mixed workload (multiple hint sets, evictions, bypasses,
+        // window boundaries) and check after every request that the memoized
+        // minimum agrees with a scan of the full victim index.
+        let mut clic = Clic::new(6, small_config(50));
+        for round in 0..600u64 {
+            let hint = HintSetId((round % 4) as u32);
+            let page = (round % 3) * 1000 + (round % 17);
+            if round % 5 == 0 {
+                clic.access(&write(page, hint), round);
+            } else {
+                clic.access(&read(page, hint), round);
+            }
+            let scanned_min = clic.victim_index.iter().next().map(|&(key, _)| key);
+            assert_eq!(clic.min_key, scanned_min, "round {round}");
+            if let Some(min_key) = scanned_min {
+                let mut expected: Vec<HintSetId> = clic
+                    .victim_index
+                    .range((min_key, HintSetId(0))..=(min_key, HintSetId(u32::MAX)))
+                    .map(|&(_, hint)| hint)
+                    .collect();
+                let mut memoized = clic.min_hints.clone();
+                expected.sort_by_key(|h| h.0);
+                memoized.sort_by_key(|h| h.0);
+                assert_eq!(memoized, expected, "round {round}");
+            } else {
+                assert!(clic.min_hints.is_empty());
+            }
+        }
     }
 
     #[test]

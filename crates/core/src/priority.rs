@@ -78,6 +78,23 @@ impl PriorityTable {
         self.priorities.iter().map(|(&h, &p)| (h, p))
     }
 
+    /// Replaces the table's contents with `snapshot`, leaving the window
+    /// counter untouched.
+    ///
+    /// Unlike [`PriorityTable::apply_window`], this installs the given
+    /// priorities *exactly* — no smoothing, no decay of absent hint sets.
+    /// [`ShardedClic`]-style deployments use it to push merged cross-shard
+    /// priorities back into each shard; loading a table's own snapshot is a
+    /// no-op.
+    ///
+    /// [`ShardedClic`]: https://docs.rs/clic-server
+    pub fn load_snapshot<I>(&mut self, snapshot: I)
+    where
+        I: IntoIterator<Item = (HintSetId, f64)>,
+    {
+        self.priorities = snapshot.into_iter().collect();
+    }
+
     /// Clears all priorities and the window counter.
     pub fn clear(&mut self) {
         self.priorities.clear();
@@ -153,6 +170,26 @@ mod tests {
         assert!(table.priority(warm) > table.priority(cold));
         assert_eq!(table.priority(cold), 0.0);
         assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn load_snapshot_replaces_contents_exactly() {
+        let mut table = PriorityTable::new();
+        table.apply_window(&[(HintSetId(1), stats(10, 5, 500))], 1.0);
+        let windows = table.windows_completed();
+        table.load_snapshot([(HintSetId(2), 0.25), (HintSetId(3), 0.5)]);
+        assert_eq!(table.priority(HintSetId(1)), 0.0);
+        assert_eq!(table.priority(HintSetId(2)), 0.25);
+        assert_eq!(table.priority(HintSetId(3)), 0.5);
+        assert_eq!(table.windows_completed(), windows);
+        // Loading a table's own snapshot is a no-op.
+        let snapshot: Vec<_> = table.iter().collect();
+        table.load_snapshot(snapshot.clone());
+        let mut after: Vec<_> = table.iter().collect();
+        let mut before = snapshot;
+        before.sort_by_key(|(h, _)| h.0);
+        after.sort_by_key(|(h, _)| h.0);
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -4,10 +4,12 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use cache_sim::{
-    simulate, AccessKind, CachePolicy, HintSetId, PageId, Trace, TraceBuilder, WriteHint,
+    simulate, AccessKind, CachePolicy, ClientId, HintSetId, PageId, Trace, TraceBuilder, WriteHint,
 };
 use clic_core::outqueue::PageRecord;
-use clic_core::{analyze_trace, Clic, ClicConfig, OutQueue, TrackingMode};
+use clic_core::{
+    analyze_trace, train_grouping_from_prefix, Clic, ClicConfig, OutQueue, TrackingMode,
+};
 
 #[derive(Debug, Clone, Copy)]
 struct GenReq {
@@ -18,6 +20,29 @@ struct GenReq {
 
 fn gen_request() -> impl Strategy<Value = GenReq> {
     (0u64..80, any::<bool>(), 0u8..6).prop_map(|(page, write, hint)| GenReq { page, write, hint })
+}
+
+/// A fixed trace family for the grouping properties: the `useful` attribute
+/// (2 values) perfectly predicts re-reference behaviour — `useful = 1` pages
+/// are written then immediately re-read, `useful = 0` pages are one-shot
+/// reads — while the `noise` attribute fans each behaviour out over
+/// `noise_values` hint sets that differ only in name.
+fn useful_plus_noise_trace(noise_values: u32, rounds: u64) -> Trace {
+    let mut b = TraceBuilder::new().with_name("grouping");
+    let c = b.add_client("db", &[("useful", 2), ("noise", noise_values)]);
+    let hot: Vec<HintSetId> = (0..noise_values)
+        .map(|n| b.intern_hints(c, &[1, n]))
+        .collect();
+    let cold: Vec<HintSetId> = (0..noise_values)
+        .map(|n| b.intern_hints(c, &[0, n]))
+        .collect();
+    for i in 0..rounds {
+        let noise = (i % u64::from(noise_values)) as usize;
+        b.push(c, 1_000_000 + (i % 64), AccessKind::Write, None, hot[noise]);
+        b.push(c, 1_000_000 + (i % 64), AccessKind::Read, None, hot[noise]);
+        b.push(c, i, AccessKind::Read, None, cold[noise]);
+    }
+    b.build()
 }
 
 fn trace_from(reqs: &[GenReq]) -> Trace {
@@ -157,6 +182,68 @@ proptest! {
             }
             prop_assert!(queue.len() <= capacity);
             prop_assert_eq!(queue.len(), model.len());
+        }
+    }
+
+    /// Hint-set grouping never *inverts* the priority order learned without
+    /// grouping: whenever hint set `a` clearly outranks hint set `b` on the
+    /// ungrouped trace (here: hot write-then-read hint sets vs one-shot cold
+    /// ones), the measured priorities of their groups must preserve that
+    /// order — for any noise fan-out, trace length, group budget, and
+    /// training fraction. Collapsing both into one group is allowed (equal
+    /// priorities); ranking `b`'s group above `a`'s is not.
+    #[test]
+    fn grouping_never_inverts_ungrouped_priority_order(
+        noise_values in 1u32..8,
+        rounds in 300u64..1200,
+        max_groups in 2u32..12,
+        training_pct in 25u8..=100,
+    ) {
+        let trace = useful_plus_noise_trace(noise_values, rounds);
+        let grouping =
+            train_grouping_from_prefix(&trace, f64::from(training_pct) / 100.0, max_groups);
+        let tree = grouping.tree(ClientId(0)).expect("client was trained");
+        prop_assert!(tree.groups() >= 1);
+        prop_assert!(tree.groups() <= max_groups);
+
+        let ungrouped = analyze_trace(&trace);
+        let grouped_trace = grouping.apply(&trace);
+        prop_assert_eq!(grouped_trace.len(), trace.len());
+        let grouped = analyze_trace(&grouped_trace);
+        // Measured priority of a group in the rewritten trace (groups that
+        // never occur would report nothing; every occurring hint set does).
+        let group_priority = |group: u32| {
+            grouped
+                .iter()
+                .find(|r| grouped_trace.catalog.resolve(r.hint).values[0].0 == group)
+                .map(|r| r.priority)
+                .unwrap_or(0.0)
+        };
+        let group_of = |report: &clic_core::HintSetReport| {
+            let values: Vec<u32> = trace
+                .catalog
+                .resolve(report.hint)
+                .values
+                .iter()
+                .map(|v| v.0)
+                .collect();
+            tree.group_of(&values)
+        };
+        for a in &ungrouped {
+            for b in &ungrouped {
+                // Only clear-cut ungrouped gaps must survive grouping;
+                // near-ties (e.g. two hot hint sets differing by measurement
+                // noise) may legitimately land either way.
+                if a.priority > 4.0 * b.priority + 1e-12 {
+                    let pa = group_priority(group_of(a));
+                    let pb = group_priority(group_of(b));
+                    prop_assert!(
+                        pa >= pb - 1e-12,
+                        "inversion: {} (pr {:.6} -> group pr {:.6}) vs {} (pr {:.6} -> group pr {:.6})",
+                        a.label, a.priority, pa, b.label, b.priority, pb
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,78 @@
+//! A concurrent, sharded storage-server cache *service* built on the CLIC
+//! policy — the online counterpart of the offline trace simulations in the
+//! rest of the workspace.
+//!
+//! The paper evaluates CLIC by replaying recorded traces through a
+//! single-threaded simulator, but its premise is a live second-tier cache
+//! serving many concurrent database clients (Section 1 and the multi-client
+//! experiment of Figure 11). This crate provides that server:
+//!
+//! * [`ShardedClic`] — a thread-safe cache that hash-partitions the page
+//!   space across N independently locked CLIC shards. Each shard keeps its
+//!   own hint statistics; a periodic *cross-shard priority merge* (built on
+//!   [`clic_core::Clic::export_priorities`] /
+//!   [`clic_core::Clic::import_priorities`]) request-weight-averages the
+//!   shards' hint-set priorities so hint learning is not fragmented by the
+//!   partitioning. With one shard it behaves *exactly* like a single
+//!   [`clic_core::Clic`] driven by [`cache_sim::simulate`].
+//! * [`Server`] — a long-running front-end that accepts *batches* of
+//!   [`ServerRequest`]s (`Get`/`Put`/`Stats`, carrying the existing opaque
+//!   hint sets) and dispatches them to one worker thread per shard over
+//!   bounded channels, giving back-pressure instead of unbounded queueing.
+//! * [`run_load`] — a closed-loop load harness that spawns one client thread
+//!   per input trace (typically [`trace_gen`] presets over disjoint page
+//!   ranges), drives them against a server concurrently, and reports
+//!   throughput (requests/s), batch latency percentiles, and per-client hit
+//!   ratios in the same shape as [`cache_sim::SimulationResult`].
+//!
+//! # Example
+//!
+//! ```
+//! use cache_sim::{AccessKind, TraceBuilder};
+//! use clic_server::{Server, ServerConfig, ServerRequest, ServerResponse};
+//!
+//! // A tiny workload: one client re-reading a handful of pages.
+//! let mut b = TraceBuilder::new();
+//! let client = b.add_client("db", &[("kind", 2)]);
+//! let hint = b.intern_hints(client, &[0]);
+//! for round in 0..4u64 {
+//!     for page in 0..8u64 {
+//!         b.push(client, page, AccessKind::Read, None, hint);
+//!     }
+//!     let _ = round;
+//! }
+//! let trace = b.build();
+//!
+//! // Serve it through a 2-shard server, one batch at a time.
+//! let server = Server::start(ServerConfig::new(16).with_shards(2));
+//! let mut hits = 0u64;
+//! for chunk in trace.requests.chunks(8) {
+//!     let batch: Vec<ServerRequest> = chunk.iter().map(ServerRequest::from_request).collect();
+//!     for response in server.submit(&batch) {
+//!         if let ServerResponse::Get { hit: true } = response {
+//!             hits += 1;
+//!         }
+//!     }
+//! }
+//! let result = server.shutdown();
+//! assert_eq!(result.stats.requests(), trace.len() as u64);
+//! assert_eq!(result.stats.read_hits, hits);
+//! // Every pass after the first hits: the working set fits the cache.
+//! assert!(result.read_hit_ratio() > 0.7);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod harness;
+pub mod protocol;
+pub mod server;
+pub mod sharded;
+
+pub use harness::{
+    merge_client_traces, preset_client_traces, run_load, ClientLoad, LatencySummary, LoadConfig,
+    LoadReport,
+};
+pub use protocol::{ServerRequest, ServerResponse};
+pub use server::{Server, ServerConfig};
+pub use sharded::{ShardedClic, ShardedClicConfig};

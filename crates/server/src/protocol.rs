@@ -1,0 +1,152 @@
+//! The small request/response protocol spoken by [`crate::Server`].
+//!
+//! Requests carry exactly the information the paper's storage-server
+//! interface exposes: the page, the issuing client, and the opaque hint set
+//! ([`HintSetId`]) attached by the client. The server never interprets hint
+//! values — CLIC learns their worth from observed re-references — so the
+//! protocol stays generic across client applications, exactly as in the
+//! paper.
+
+use cache_sim::{AccessKind, ClientId, HintSetId, PageId, Request, SimulationResult, WriteHint};
+
+/// One operation inside a batch submitted to a [`crate::Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRequest {
+    /// Read `page`; the response reports whether the server cache held it.
+    Get {
+        /// The storage client issuing the read.
+        client: ClientId,
+        /// The page being read.
+        page: PageId,
+        /// The opaque hint set attached to the request.
+        hint: HintSetId,
+        /// `true` if the read was issued by the client's prefetcher.
+        prefetch: bool,
+    },
+    /// Write `page` back to the server.
+    Put {
+        /// The storage client issuing the write.
+        client: ClientId,
+        /// The page being written.
+        page: PageId,
+        /// The opaque hint set attached to the request.
+        hint: HintSetId,
+        /// The typed write hint, when the client exposes one.
+        write_hint: Option<WriteHint>,
+    },
+    /// Ask for a point-in-time statistics snapshot of the whole server.
+    Stats,
+}
+
+impl ServerRequest {
+    /// Converts a simulator [`Request`] into the protocol representation.
+    pub fn from_request(req: &Request) -> Self {
+        match req.kind {
+            AccessKind::Read => ServerRequest::Get {
+                client: req.client,
+                page: req.page,
+                hint: req.hint,
+                prefetch: req.prefetch,
+            },
+            AccessKind::Write => ServerRequest::Put {
+                client: req.client,
+                page: req.page,
+                hint: req.hint,
+                write_hint: req.write_hint,
+            },
+        }
+    }
+
+    /// The simulator [`Request`] this operation corresponds to, or `None`
+    /// for [`ServerRequest::Stats`], which does not touch any page.
+    pub fn to_request(&self) -> Option<Request> {
+        match *self {
+            ServerRequest::Get {
+                client,
+                page,
+                hint,
+                prefetch,
+            } => Some(Request {
+                prefetch,
+                ..Request::read(client, page, hint)
+            }),
+            ServerRequest::Put {
+                client,
+                page,
+                hint,
+                write_hint,
+            } => Some(Request::write(client, page, write_hint, hint)),
+            ServerRequest::Stats => None,
+        }
+    }
+}
+
+/// The server's answer to one [`ServerRequest`], in batch order.
+#[derive(Debug, Clone)]
+pub enum ServerResponse {
+    /// Answer to a [`ServerRequest::Get`].
+    Get {
+        /// `true` if the page was cached when the request was served.
+        hit: bool,
+    },
+    /// Answer to a [`ServerRequest::Put`].
+    Put {
+        /// `true` if the page was cached when the request was served.
+        hit: bool,
+    },
+    /// Answer to a [`ServerRequest::Stats`]: statistics over every request
+    /// whose response had been delivered when the snapshot was taken.
+    Stats(Box<SimulationResult>),
+}
+
+impl ServerResponse {
+    /// The hit flag of a data response (`None` for [`ServerResponse::Stats`]).
+    pub fn hit(&self) -> Option<bool> {
+        match self {
+            ServerResponse::Get { hit } | ServerResponse::Put { hit } => Some(*hit),
+            ServerResponse::Stats(_) => None,
+        }
+    }
+
+    /// The snapshot of a stats response (`None` for data responses).
+    pub fn stats(&self) -> Option<&SimulationResult> {
+        match self {
+            ServerResponse::Stats(result) => Some(result),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_the_protocol() {
+        let read = Request::read(ClientId(1), PageId(7), HintSetId(3));
+        let prefetch = Request::prefetch(ClientId(1), PageId(8), HintSetId(3));
+        let write = Request::write(
+            ClientId(2),
+            PageId(9),
+            Some(WriteHint::Replacement),
+            HintSetId(4),
+        );
+        for req in [read, prefetch, write] {
+            let round_tripped = ServerRequest::from_request(&req)
+                .to_request()
+                .expect("data request");
+            assert_eq!(round_tripped, req);
+        }
+        assert_eq!(ServerRequest::Stats.to_request(), None);
+    }
+
+    #[test]
+    fn response_accessors_discriminate_variants() {
+        assert_eq!(ServerResponse::Get { hit: true }.hit(), Some(true));
+        assert_eq!(ServerResponse::Put { hit: false }.hit(), Some(false));
+        let stats = ServerResponse::Stats(Box::default());
+        assert_eq!(stats.hit(), None);
+        assert!(stats.stats().is_some());
+        assert!(ServerResponse::Get { hit: true }.stats().is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! The long-running server front-end: batched request dispatch to shard
+//! worker threads over bounded channels.
+//!
+//! One worker thread per shard owns that shard's request stream. The
+//! front-end splits every submitted batch by shard, sends the per-shard
+//! sub-batches through *bounded* channels (so a slow shard exerts
+//! back-pressure on clients instead of queueing unboundedly), and reassembles
+//! the responses in batch order. Requests for the same shard are processed in
+//! submission order; requests for different shards proceed concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use cache_sim::{Request, SimulationResult};
+use clic_core::ClicConfig;
+
+use crate::protocol::{ServerRequest, ServerResponse};
+use crate::sharded::{ShardedClic, ShardedClicConfig};
+
+/// Configuration for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The sharded cache the server fronts.
+    pub cache: ShardedClicConfig,
+    /// Bound of each shard worker's request queue, in sub-batches. Small
+    /// values give tighter back-pressure; the default of 4 keeps a worker
+    /// busy while the next batch is being partitioned.
+    pub queue_depth: usize,
+}
+
+impl ServerConfig {
+    /// A single-shard server over a `capacity`-page CLIC cache.
+    pub fn new(capacity: usize) -> Self {
+        ServerConfig {
+            cache: ShardedClicConfig::new(capacity),
+            queue_depth: 4,
+        }
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.cache = self.cache.with_shards(shards);
+        self
+    }
+
+    /// Sets the per-shard CLIC configuration (window in global requests) and
+    /// aligns the merge period with its window — call
+    /// [`ServerConfig::with_merge_every`] *after* this to override it.
+    pub fn with_clic(mut self, clic: ClicConfig) -> Self {
+        self.cache = self.cache.with_clic(clic);
+        self
+    }
+
+    /// Sets the cross-shard priority-merge period in global requests.
+    pub fn with_merge_every(mut self, merge_every: u64) -> Self {
+        self.cache = self.cache.with_merge_every(merge_every);
+        self
+    }
+
+    /// Sets the per-worker queue bound (clamped to at least 1).
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+}
+
+/// A per-shard unit of work: the batch positions and requests routed to one
+/// shard, plus the channel the worker answers on.
+struct ShardJob {
+    items: Vec<(usize, Request)>,
+    reply: mpsc::Sender<(usize, bool)>,
+}
+
+/// A running storage-server cache service.
+///
+/// `Server` is `Sync`: any number of client threads may call
+/// [`Server::submit`] concurrently through a shared reference. Dropping the
+/// server (or calling [`Server::shutdown`]) stops the workers after they
+/// drain their queues.
+#[derive(Debug)]
+pub struct Server {
+    cache: Arc<ShardedClic>,
+    senders: Vec<mpsc::SyncSender<ShardJob>>,
+    workers: Vec<JoinHandle<()>>,
+    batches_served: AtomicU64,
+}
+
+impl Server {
+    /// Starts the shard workers and returns the running server.
+    pub fn start(config: ServerConfig) -> Server {
+        let cache = Arc::new(ShardedClic::new(config.cache));
+        let mut senders = Vec::with_capacity(cache.shard_count());
+        let mut workers = Vec::with_capacity(cache.shard_count());
+        for shard in 0..cache.shard_count() {
+            let (sender, receiver) = mpsc::sync_channel::<ShardJob>(config.queue_depth.max(1));
+            let cache = Arc::clone(&cache);
+            let worker = std::thread::Builder::new()
+                .name(format!("clic-shard-{shard}"))
+                .spawn(move || {
+                    for job in receiver {
+                        for (position, request) in &job.items {
+                            let outcome = cache.access(request);
+                            // A client that gave up on its batch only loses
+                            // the reply; the cache still observes every
+                            // dispatched request.
+                            let _ = job.reply.send((*position, outcome.hit));
+                        }
+                    }
+                })
+                .expect("failed to spawn shard worker");
+            senders.push(sender);
+            workers.push(worker);
+        }
+        Server {
+            cache,
+            senders,
+            workers,
+            batches_served: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits one batch and blocks until every response is available.
+    /// Responses are returned in batch order.
+    ///
+    /// `Get`/`Put` operations are routed to their page's shard worker;
+    /// requests for the same shard are served in batch order, requests for
+    /// different shards concurrently. A [`ServerRequest::Stats`] operation is
+    /// answered by the front-end with a snapshot taken *before* the batch's
+    /// own data requests are dispatched.
+    pub fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerResponse> {
+        let shard_count = self.cache.shard_count();
+        let (reply_sender, reply_receiver) = mpsc::channel();
+        let mut per_shard: Vec<Vec<(usize, Request)>> = vec![Vec::new(); shard_count];
+        let mut responses: Vec<Option<ServerResponse>> = batch.iter().map(|_| None).collect();
+        let mut outstanding = 0usize;
+        for (position, operation) in batch.iter().enumerate() {
+            match operation.to_request() {
+                Some(request) => {
+                    per_shard[self.cache.shard_of(request.page)].push((position, request));
+                    outstanding += 1;
+                }
+                None => {
+                    responses[position] = Some(ServerResponse::Stats(Box::new(self.stats())));
+                }
+            }
+        }
+        for (shard, items) in per_shard.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            self.senders[shard]
+                .send(ShardJob {
+                    items,
+                    reply: reply_sender.clone(),
+                })
+                .expect("shard worker exited while the server was running");
+        }
+        drop(reply_sender);
+        for _ in 0..outstanding {
+            let (position, hit) = reply_receiver
+                .recv()
+                .expect("shard worker dropped a batch reply");
+            responses[position] = Some(match batch[position] {
+                ServerRequest::Get { .. } => ServerResponse::Get { hit },
+                ServerRequest::Put { .. } => ServerResponse::Put { hit },
+                ServerRequest::Stats => unreachable!("stats operations are answered inline"),
+            });
+        }
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
+        responses
+            .into_iter()
+            .map(|response| response.expect("every batch slot is answered"))
+            .collect()
+    }
+
+    /// The sharded cache behind the server.
+    pub fn cache(&self) -> &ShardedClic {
+        &self.cache
+    }
+
+    /// Number of batches served so far.
+    pub fn batches_served(&self) -> u64 {
+        self.batches_served.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time statistics snapshot (see [`ShardedClic::snapshot`]).
+    pub fn stats(&self) -> SimulationResult {
+        self.cache.snapshot()
+    }
+
+    /// Forces a cross-shard priority merge now (see
+    /// [`ShardedClic::merge_priorities`]).
+    pub fn merge_priorities(&self) {
+        self.cache.merge_priorities();
+    }
+
+    fn stop_workers(&mut self) {
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops the workers (draining their queues) and returns the final
+    /// statistics.
+    pub fn shutdown(mut self) -> SimulationResult {
+        self.stop_workers();
+        self.cache.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{ClientId, HintSetId, PageId};
+    use std::thread;
+
+    fn get(page: u64) -> ServerRequest {
+        ServerRequest::Get {
+            client: ClientId(0),
+            page: PageId(page),
+            hint: HintSetId(0),
+            prefetch: false,
+        }
+    }
+
+    #[test]
+    fn responses_arrive_in_batch_order() {
+        let server = Server::start(ServerConfig::new(8).with_shards(2));
+        // First touch: all misses.
+        let first = server.submit(&[get(1), get(2), get(3), get(4)]);
+        assert_eq!(first.len(), 4);
+        assert!(first.iter().all(|r| r.hit() == Some(false)));
+        // Second touch: all hits (capacity 8 holds all four pages).
+        let second = server.submit(&[get(1), get(2), get(3), get(4)]);
+        assert!(second.iter().all(|r| r.hit() == Some(true)));
+        assert_eq!(server.batches_served(), 2);
+        let result = server.shutdown();
+        assert_eq!(result.stats.read_hits, 4);
+        assert_eq!(result.stats.read_misses, 4);
+    }
+
+    #[test]
+    fn stats_requests_are_answered_inline() {
+        let server = Server::start(ServerConfig::new(4));
+        server.submit(&[get(1)]);
+        let responses = server.submit(&[ServerRequest::Stats, get(1)]);
+        // The snapshot was taken before this batch's own Get was dispatched.
+        let snapshot = responses[0].stats().expect("stats response");
+        assert_eq!(snapshot.stats.requests(), 1);
+        assert_eq!(responses[1].hit(), Some(true));
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_server_without_deadlock() {
+        // Tiny queue depth to exercise back-pressure: four clients hammer
+        // four shards with single-page batches.
+        let server = Server::start(
+            ServerConfig::new(64)
+                .with_shards(4)
+                .with_queue_depth(1)
+                .with_merge_every(100),
+        );
+        let clients = 4u64;
+        let batches = 200u64;
+        thread::scope(|scope| {
+            for c in 0..clients {
+                let server = &server;
+                scope.spawn(move || {
+                    for i in 0..batches {
+                        let batch: Vec<ServerRequest> =
+                            (0..8).map(|p| get(c * 1_000 + (i + p) % 40)).collect();
+                        let responses = server.submit(&batch);
+                        assert_eq!(responses.len(), 8);
+                    }
+                });
+            }
+        });
+        let result = server.shutdown();
+        assert_eq!(result.stats.requests(), clients * batches * 8);
+    }
+}

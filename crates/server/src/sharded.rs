@@ -1,0 +1,477 @@
+//! [`ShardedClic`]: the page space hash-partitioned across N independently
+//! locked CLIC shards, with periodic cross-shard priority merging.
+//!
+//! Sharding is the standard recipe for scaling a cache across cores: each
+//! page maps to exactly one shard, each shard is a plain single-threaded
+//! [`Clic`] behind its own mutex, and requests for different shards proceed
+//! in parallel without contending. The price is that each shard only
+//! observes the requests for *its* pages, so its hint statistics are a
+//! (uniform, thanks to hashing) sample of the workload. Left alone, N
+//! shards learn N noisier copies of the same priorities; the periodic
+//! [`ShardedClic::merge_priorities`] pass request-weight-averages the
+//! per-shard priorities and pushes the merged snapshot back into every
+//! shard, so hint learning behaves as if it were centralized while the data
+//! path stays shard-local.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cache_sim::policy::AccessOutcome;
+use cache_sim::{
+    record_outcome, CachePolicy, CacheStats, ClientId, HintSetId, PageId, Request, SimulationResult,
+};
+use clic_core::{Clic, ClicConfig};
+
+/// Configuration for a [`ShardedClic`].
+#[derive(Debug, Clone)]
+pub struct ShardedClicConfig {
+    /// Number of shards (independently locked CLIC instances).
+    pub shards: usize,
+    /// Total cache capacity in pages, split evenly across the shards.
+    pub capacity: usize,
+    /// The CLIC configuration applied to every shard. The priority window is
+    /// interpreted in *global* requests: each shard runs with
+    /// `window / shards` so that priorities are re-evaluated at the same
+    /// wall-clock cadence regardless of the shard count.
+    pub clic: ClicConfig,
+    /// Number of *global* requests between cross-shard priority merges
+    /// (0 disables merging; irrelevant with a single shard).
+    pub merge_every: u64,
+}
+
+impl ShardedClicConfig {
+    /// A single-shard configuration with the default CLIC parameters and a
+    /// merge period of one window.
+    pub fn new(capacity: usize) -> Self {
+        let clic = ClicConfig::default();
+        ShardedClicConfig {
+            shards: 1,
+            capacity,
+            merge_every: clic.window,
+            clic,
+        }
+    }
+
+    /// Sets the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard CLIC configuration (window in global requests) and
+    /// aligns the merge period with its window.
+    pub fn with_clic(mut self, clic: ClicConfig) -> Self {
+        self.merge_every = clic.window;
+        self.clic = clic;
+        self
+    }
+
+    /// Sets the merge period in global requests (0 disables merging).
+    pub fn with_merge_every(mut self, merge_every: u64) -> Self {
+        self.merge_every = merge_every;
+        self
+    }
+}
+
+/// One shard: a CLIC instance plus the statistics for the requests it served.
+#[derive(Debug)]
+struct Shard {
+    clic: Clic,
+    stats: CacheStats,
+    per_client: BTreeMap<ClientId, CacheStats>,
+}
+
+/// A thread-safe CLIC cache partitioned across N independently locked shards.
+///
+/// All methods take `&self`; the struct is `Sync` and is meant to be shared
+/// across threads (the [`crate::Server`] workers all hold one behind an
+/// `Arc`). Sequence numbers are drawn from a global atomic counter so that
+/// re-reference distances are measured in global requests, exactly as a
+/// single cache would measure them.
+///
+/// With `shards == 1` and a single caller, the access path is identical to
+/// driving a [`Clic`] through [`cache_sim::simulate`] — the correctness
+/// anchor `tests/server_concurrency.rs` asserts bit-exact statistics.
+#[derive(Debug)]
+pub struct ShardedClic {
+    shards: Vec<Mutex<Shard>>,
+    sequencer: AtomicU64,
+    merge_every: u64,
+    merges_completed: AtomicU64,
+    total_capacity: usize,
+}
+
+impl ShardedClic {
+    /// Builds the sharded cache described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero shards or fewer capacity pages
+    /// than shards.
+    pub fn new(config: ShardedClicConfig) -> Self {
+        assert!(config.shards > 0, "at least one shard is required");
+        assert!(
+            config.capacity >= config.shards,
+            "capacity ({}) must be at least one page per shard ({})",
+            config.capacity,
+            config.shards
+        );
+        let per_shard_window = (config.clic.window / config.shards as u64).max(1);
+        let shard_config = config.clic.with_window(per_shard_window);
+        let base = config.capacity / config.shards;
+        let remainder = config.capacity % config.shards;
+        let shards = (0..config.shards)
+            .map(|i| {
+                let capacity = base + usize::from(i < remainder);
+                Mutex::new(Shard {
+                    clic: Clic::new(capacity, shard_config),
+                    stats: CacheStats::new(),
+                    per_client: BTreeMap::new(),
+                })
+            })
+            .collect();
+        ShardedClic {
+            shards,
+            sequencer: AtomicU64::new(0),
+            merge_every: config.merge_every,
+            merges_completed: AtomicU64::new(0),
+            total_capacity: config.capacity,
+        }
+    }
+
+    /// Policy name, e.g. `"ShardedCLIC(shards=4)"`.
+    pub fn name(&self) -> String {
+        format!("ShardedCLIC(shards={})", self.shards.len())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity in pages across all shards.
+    pub fn capacity(&self) -> usize {
+        self.total_capacity
+    }
+
+    /// Total number of requests served so far.
+    pub fn requests_seen(&self) -> u64 {
+        self.sequencer.load(Ordering::Relaxed)
+    }
+
+    /// Number of cross-shard priority merges performed so far.
+    pub fn merges_completed(&self) -> u64 {
+        self.merges_completed.load(Ordering::Relaxed)
+    }
+
+    /// The shard responsible for `page` (a Fibonacci multiplicative hash;
+    /// page ids are often sequential per client, so the high bits are used).
+    pub fn shard_of(&self, page: PageId) -> usize {
+        let hashed = page.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((hashed >> 32) as usize) % self.shards.len()
+    }
+
+    /// Serves one request: draws a global sequence number, runs the owning
+    /// shard's CLIC policy, and records hit/miss statistics with the same
+    /// accounting rule as [`cache_sim::simulate`]. Triggers a cross-shard
+    /// priority merge every [`ShardedClicConfig::merge_every`] requests.
+    pub fn access(&self, req: &Request) -> AccessOutcome {
+        let (seq, outcome) = {
+            let mut shard = self.shards[self.shard_of(req.page)]
+                .lock()
+                .expect("shard lock poisoned");
+            // The sequence number is drawn while holding the shard lock:
+            // still globally unique, but also monotone *within* the shard,
+            // which the per-shard Clic relies on (its lists are ordered by
+            // ascending seq and re-reference distances are seq deltas).
+            let seq = self.sequencer.fetch_add(1, Ordering::Relaxed);
+            let outcome = shard.clic.access(req, seq);
+            let Shard {
+                stats, per_client, ..
+            } = &mut *shard;
+            record_outcome(stats, per_client, req, outcome);
+            (seq, outcome)
+        };
+        if self.merge_every > 0 && (seq + 1).is_multiple_of(self.merge_every) {
+            self.merge_priorities();
+        }
+        outcome
+    }
+
+    /// Returns `true` if `page` is currently cached (in its shard).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.shards[self.shard_of(page)]
+            .lock()
+            .expect("shard lock poisoned")
+            .clic
+            .contains(page)
+    }
+
+    /// Total number of pages currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").clic.len())
+            .sum()
+    }
+
+    /// Returns `true` if no shard holds any page.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges hint-set priorities across shards: exports every shard's
+    /// priorities, averages them weighted by the shard's request count, and
+    /// imports the merged snapshot back into each shard. A no-op with a
+    /// single shard.
+    ///
+    /// Shard locks are taken strictly one at a time (never nested), so this
+    /// can run concurrently with the data path without deadlock; accesses
+    /// that interleave with the merge see either their shard's old or merged
+    /// priorities, which is harmless for a learning heuristic.
+    pub fn merge_priorities(&self) {
+        if self.shards.len() <= 1 {
+            return;
+        }
+        let mut total_weight = 0.0f64;
+        let mut merged: HashMap<HintSetId, f64> = HashMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            let weight = shard.clic.requests_seen() as f64;
+            if weight <= 0.0 {
+                continue;
+            }
+            total_weight += weight;
+            for (hint, priority) in shard.clic.export_priorities() {
+                *merged.entry(hint).or_insert(0.0) += weight * priority;
+            }
+        }
+        if total_weight <= 0.0 {
+            return;
+        }
+        for value in merged.values_mut() {
+            *value /= total_weight;
+        }
+        let snapshot: Vec<(HintSetId, f64)> = merged.into_iter().collect();
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("shard lock poisoned")
+                .clic
+                .import_priorities(snapshot.iter().copied());
+        }
+        self.merges_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time statistics snapshot in the shape of
+    /// [`SimulationResult`]: per-shard counters summed into aggregate and
+    /// per-client statistics via [`SimulationResult::merge_from`].
+    pub fn snapshot(&self) -> SimulationResult {
+        let mut result = SimulationResult {
+            policy: self.name(),
+            capacity: self.total_capacity,
+            ..SimulationResult::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            let partial = SimulationResult {
+                policy: String::new(),
+                capacity: 0,
+                stats: shard.stats,
+                per_client: shard.per_client.clone(),
+            };
+            result.merge_from(&partial);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{simulate, AccessKind, Trace, TraceBuilder};
+    use clic_core::suggested_window;
+    use std::thread;
+
+    fn looping_trace(requests: u64, pages: u64) -> Trace {
+        let mut b = TraceBuilder::new().with_name("loop");
+        let c = b.add_client("db", &[("kind", 2)]);
+        let hot = b.intern_hints(c, &[0]);
+        let cold = b.intern_hints(c, &[1]);
+        for i in 0..requests {
+            b.push(c, i % pages, AccessKind::Read, None, hot);
+            b.push(c, 1_000_000 + i, AccessKind::Read, None, cold);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_shard_matches_simulate_exactly() {
+        let trace = looping_trace(20_000, 200);
+        let window = suggested_window(trace.len() as u64);
+        let config = ClicConfig::default().with_window(window);
+
+        let mut reference = Clic::new(256, config);
+        let expected = simulate(&mut reference, &trace);
+
+        let sharded = ShardedClic::new(
+            ShardedClicConfig::new(256)
+                .with_clic(config)
+                .with_merge_every(1_000),
+        );
+        for req in &trace.requests {
+            sharded.access(req);
+        }
+        let got = sharded.snapshot();
+        assert_eq!(got.stats, expected.stats);
+        assert_eq!(got.per_client, expected.per_client);
+        assert_eq!(got.capacity, expected.capacity);
+    }
+
+    #[test]
+    fn sharding_distributes_pages_and_respects_capacity() {
+        let trace = looping_trace(10_000, 500);
+        let sharded = ShardedClic::new(ShardedClicConfig::new(64).with_shards(4));
+        for req in &trace.requests {
+            sharded.access(req);
+        }
+        assert_eq!(sharded.requests_seen(), trace.len() as u64);
+        assert!(sharded.len() <= 64);
+        let snapshot = sharded.snapshot();
+        assert_eq!(snapshot.stats.requests(), trace.len() as u64);
+        // Hashing should touch every shard for a 500-page working set.
+        let touched: std::collections::HashSet<usize> =
+            (0..500u64).map(|p| sharded.shard_of(PageId(p))).collect();
+        assert_eq!(touched.len(), 4);
+    }
+
+    #[test]
+    fn capacity_split_covers_remainders() {
+        let sharded = ShardedClic::new(ShardedClicConfig::new(10).with_shards(3));
+        assert_eq!(sharded.capacity(), 10);
+        assert_eq!(sharded.shard_count(), 3);
+        // 4 + 3 + 3 pages; fill with pages for every shard and check the sum
+        // never exceeds the total.
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("db", &[("kind", 1)]);
+        let h = b.intern_hints(c, &[0]);
+        for p in 0..100u64 {
+            b.push(c, p, AccessKind::Read, None, h);
+        }
+        for req in &b.build().requests {
+            sharded.access(req);
+        }
+        assert!(sharded.len() <= 10);
+    }
+
+    #[test]
+    fn merge_unifies_priorities_across_shards() {
+        // Hot pages are re-read quickly, cold pages never; pages of both
+        // kinds hash across both shards. After a merge, both shards must
+        // agree on every hint set's priority.
+        let mut b = TraceBuilder::new();
+        let c = b.add_client("db", &[("kind", 2)]);
+        let hot = b.intern_hints(c, &[0]);
+        let cold = b.intern_hints(c, &[1]);
+        for i in 0..4_000u64 {
+            b.push(c, i % 64, AccessKind::Write, None, hot);
+            b.push(c, i % 64, AccessKind::Read, None, hot);
+            b.push(c, 1_000_000 + i, AccessKind::Read, None, cold);
+        }
+        let trace = b.build();
+        let config = ClicConfig::default()
+            .with_window(1_000)
+            .with_metadata_charging(false);
+        let sharded = ShardedClic::new(
+            ShardedClicConfig::new(128)
+                .with_shards(2)
+                .with_clic(config)
+                .with_merge_every(1_000),
+        );
+        for req in &trace.requests {
+            sharded.access(req);
+        }
+        assert!(sharded.merges_completed() > 0);
+        let per_shard: Vec<Vec<(HintSetId, f64)>> = sharded
+            .shards
+            .iter()
+            .map(|s| {
+                let mut snap = s.lock().unwrap().clic.export_priorities();
+                snap.sort_by_key(|(h, _)| h.0);
+                snap
+            })
+            .collect();
+        // The last access triggered a merge (12_000 % 1_000 == 0), so the
+        // shards' priority tables are identical.
+        assert_eq!(per_shard[0], per_shard[1]);
+        let hot_priority = per_shard[0]
+            .iter()
+            .find(|(h, _)| *h == hot)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0);
+        let cold_priority = per_shard[0]
+            .iter()
+            .find(|(h, _)| *h == cold)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0);
+        assert!(
+            hot_priority > cold_priority,
+            "merged priorities must still rank hot ({hot_priority}) above cold ({cold_priority})"
+        );
+    }
+
+    #[test]
+    fn concurrent_access_accounts_every_request() {
+        let sharded = ShardedClic::new(
+            ShardedClicConfig::new(64)
+                .with_shards(4)
+                .with_merge_every(500),
+        );
+        let threads = 4u32;
+        let per_thread = 5_000u64;
+        thread::scope(|scope| {
+            for t in 0..threads {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    let mut b = TraceBuilder::new();
+                    let c = b.add_client("db", &[("kind", 1)]);
+                    let h = b.intern_hints(c, &[0]);
+                    for i in 0..per_thread {
+                        b.push(
+                            c,
+                            u64::from(t) * 10_000 + (i % 300),
+                            AccessKind::Read,
+                            None,
+                            h,
+                        );
+                    }
+                    for req in &b.build().requests {
+                        sharded.access(req);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sharded.requests_seen(),
+            u64::from(threads) * per_thread,
+            "every request must be sequenced"
+        );
+        assert_eq!(
+            sharded.snapshot().stats.requests(),
+            u64::from(threads) * per_thread
+        );
+        assert!(sharded.len() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page per shard")]
+    fn too_many_shards_rejected() {
+        let _ = ShardedClic::new(ShardedClicConfig::new(2).with_shards(3));
+    }
+}

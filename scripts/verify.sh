@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # CI-style verification for the CLIC reproduction.
 #
-#   scripts/verify.sh           # tier-1 + format check + clippy
-#   scripts/verify.sh --quick   # tier-1 only
+#   scripts/verify.sh                  # tier-1 + examples + format + clippy
+#   scripts/verify.sh --quick          # tier-1 only
+#   scripts/verify.sh --smoke-server   # additionally crash-check the
+#                                      # clic-server throughput harness (~1 s
+#                                      # of load at smoke scale)
 #
 # Tier-1 (the bar every PR must clear, see ROADMAP.md):
 #   cargo build --release && cargo test -q
 #
-# On top of tier-1 this script enforces formatting (cargo fmt --check) and
-# clippy cleanliness at the error level (warnings are reported but allowed).
+# On top of tier-1 this script builds every example, enforces formatting
+# (cargo fmt --check), and requires clippy cleanliness at the error level
+# (warnings are reported but allowed).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 quick=0
+smoke_server=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
-        *) echo "usage: scripts/verify.sh [--quick]" >&2; exit 2 ;;
+        --smoke-server) smoke_server=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server]" >&2; exit 2 ;;
     esac
 done
 
@@ -27,15 +33,24 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+if [ "$smoke_server" -eq 1 ]; then
+    echo "== smoke: server_throughput (smoke scale, crash check) =="
+    cargo run --release -p clic-bench --bin server_throughput -- \
+        --quick --out-dir target/smoke-results
+fi
+
 if [ "$quick" -eq 1 ]; then
-    echo "verify: tier-1 OK (quick mode, fmt/clippy skipped)"
+    echo "verify: tier-1 OK (quick mode, examples/fmt/clippy skipped)"
     exit 0
 fi
+
+echo "== cargo build --release --examples =="
+cargo build --release --examples
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
-echo "== cargo clippy --workspace (errors fail, warnings allowed) =="
+echo "== cargo clippy --workspace --all-targets (errors fail, warnings allowed) =="
 cargo clippy --workspace --all-targets
 
 echo "verify: all checks passed"

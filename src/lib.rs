@@ -15,7 +15,10 @@
 //!   summaries,
 //! * [`workloads`] ([`trace_gen`]) — the simulated DB2/MySQL storage clients,
 //!   TPC-C-like and TPC-H-like workload generators, the eight trace presets
-//!   of the paper's Figure 5, noise injection, and trace interleaving.
+//!   of the paper's Figure 5, noise injection, and trace interleaving,
+//! * [`server`] ([`clic_server`]) — the *online* deployment: a concurrent,
+//!   sharded storage-server cache service with batched request dispatch,
+//!   cross-shard hint-priority merging, and a multi-client load harness.
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper lives in the `clic-bench` crate (`crates/bench`), with one binary
@@ -44,12 +47,46 @@
 //! );
 //! # assert!(clic_result.read_hit_ratio() >= 0.0);
 //! ```
+//!
+//! # Serving requests online
+//!
+//! The same policy can run as a live, thread-safe service: a [`Server`]
+//! partitions the page space across independently locked CLIC shards and
+//! accepts batches of `Get`/`Put` requests from any number of client
+//! threads. With one shard its results are identical to [`simulate`]; see
+//! `examples/storage_server.rs` for the full multi-client load harness.
+//!
+//! ```
+//! use clic::prelude::*;
+//!
+//! let server = Server::start(ServerConfig::new(1_000).with_shards(2));
+//! let hint = HintSetId(0);
+//! let batch = vec![
+//!     ServerRequest::Put {
+//!         client: ClientId(0),
+//!         page: PageId(7),
+//!         hint,
+//!         write_hint: None,
+//!     },
+//!     ServerRequest::Get {
+//!         client: ClientId(0),
+//!         page: PageId(7),
+//!         hint,
+//!         prefetch: false,
+//!     },
+//! ];
+//! let responses = server.submit(&batch);
+//! assert_eq!(responses[1].hit(), Some(true)); // the Put populated the cache
+//! let result = server.shutdown(); // same shape as a SimulationResult
+//! assert_eq!(result.stats.requests(), 2);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use cache_sim as sim;
 pub use clic_core as core;
+pub use clic_server as server;
 pub use stream_stats as stats;
 pub use trace_gen as workloads;
 
@@ -64,6 +101,10 @@ pub mod prelude {
     };
     pub use clic_core::{
         analyze_trace, suggested_window, Clic, ClicConfig, HintSetReport, TrackingMode,
+    };
+    pub use clic_server::{
+        merge_client_traces, preset_client_traces, run_load, LoadConfig, LoadReport, Server,
+        ServerConfig, ServerRequest, ServerResponse, ShardedClic, ShardedClicConfig,
     };
     pub use stream_stats::{FrequencyEstimator, SpaceSaving};
     pub use trace_gen::{
