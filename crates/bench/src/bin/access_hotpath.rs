@@ -1,0 +1,254 @@
+//! `access_hotpath`: nanoseconds per request on CLIC's three per-request
+//! paths — hit, miss-admit (full cache, eviction), and miss-reject (full
+//! cache, bypass into the outqueue) — measured for the production slab-backed
+//! [`Clic`] *and* the retained pre-refactor [`ReferenceClic`] baseline in the
+//! same process, so the reported speed-up is against the real original
+//! implementation rather than a straw man.
+//!
+//! Workloads are closed-form, steady-state drivers of a single path:
+//!
+//! * **hit** — a working set half the cache size is re-read forever; after
+//!   the warm-up pass every access is a hit.
+//! * **miss-admit** — two hint sets with preloaded priorities; fresh pages of
+//!   the higher-priority hint stream into a full cache, evicting the
+//!   resident lower-priority pages. After each full turnover burst the
+//!   priorities are swapped (via `import_priorities`, amortized over the
+//!   burst), so *every* measured access takes the evict-then-admit path.
+//! * **miss-reject** — fresh pages of a zero-priority hint stream into a
+//!   full cache: every access is declined and churns the bounded outqueue.
+//!
+//! The priority window is effectively infinite so no re-evaluation noise
+//! lands inside the measurement. `--quick` shrinks the per-path time budget
+//! to roughly a second overall (the `scripts/verify.sh --smoke-bench` crash
+//! check).
+
+use std::time::{Duration, Instant};
+
+use cache_sim::{CachePolicy, ClientId, HintSetId, PageId, Request};
+use clic_bench::{ExperimentContext, ResultTable};
+use clic_core::{Clic, ClicConfig, ReferenceClic};
+use trace_gen::PresetScale;
+
+/// Cache size used by every workload (pages).
+const CAPACITY: usize = 4 * 1024;
+
+fn config() -> ClicConfig {
+    ClicConfig::default()
+        .with_window(u64::MAX)
+        .with_metadata_charging(false)
+}
+
+/// The two implementations under test, behind one driver interface.
+trait Subject: CachePolicy {
+    fn build() -> Self;
+    fn import(&mut self, snapshot: &[(HintSetId, f64)]);
+}
+
+impl Subject for Clic {
+    fn build() -> Self {
+        Clic::new(CAPACITY, config())
+    }
+    fn import(&mut self, snapshot: &[(HintSetId, f64)]) {
+        self.import_priorities(snapshot.iter().copied());
+    }
+}
+
+impl Subject for ReferenceClic {
+    fn build() -> Self {
+        ReferenceClic::new(CAPACITY, config())
+    }
+    fn import(&mut self, snapshot: &[(HintSetId, f64)]) {
+        self.import_priorities(snapshot.iter().copied());
+    }
+}
+
+fn read(page: u64, hint: u32) -> Request {
+    Request::read(ClientId(0), PageId(page), HintSetId(hint))
+}
+
+/// Shared measurement state: a monotone sequence counter and page allocator.
+struct Driver {
+    seq: u64,
+    next_page: u64,
+}
+
+impl Driver {
+    fn new() -> Self {
+        Driver {
+            seq: 0,
+            next_page: 0,
+        }
+    }
+
+    fn fresh_page(&mut self) -> u64 {
+        self.next_page += 1;
+        self.next_page
+    }
+
+    fn access<P: CachePolicy>(&mut self, policy: &mut P, req: &Request) {
+        policy.access(req, self.seq);
+        self.seq += 1;
+    }
+}
+
+/// Runs `burst` repeatedly until `budget` elapses (at least once), returning
+/// nanoseconds per request. `burst` returns the number of requests it served.
+fn measure<F: FnMut() -> u64>(mut burst: F, budget: Duration) -> f64 {
+    let start = Instant::now();
+    let mut requests = 0u64;
+    loop {
+        requests += burst();
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / requests as f64
+}
+
+/// Hit path: warm a half-capacity working set, then re-read it forever.
+fn bench_hit<P: Subject>(budget: Duration) -> f64 {
+    let mut policy = P::build();
+    let mut driver = Driver::new();
+    let working = CAPACITY as u64 / 2;
+    for p in 0..working {
+        driver.access(&mut policy, &read(p, 0));
+    }
+    assert_eq!(
+        policy.len(),
+        working as usize,
+        "warm-up must fill the cache"
+    );
+    measure(
+        || {
+            for p in 0..working {
+                driver.access(&mut policy, &read(p, 0));
+            }
+            working
+        },
+        budget,
+    )
+}
+
+/// Miss-admit path: alternate full-turnover bursts of fresh pages whose hint
+/// outranks everything resident, swapping the two hints' priorities between
+/// bursts.
+fn bench_miss_admit<P: Subject>(budget: Duration) -> f64 {
+    let mut policy = P::build();
+    let mut driver = Driver::new();
+    policy.import(&[(HintSetId(0), 1.0), (HintSetId(1), 0.5)]);
+    // Fill with hint-1 pages while the cache has room.
+    for _ in 0..CAPACITY {
+        let page = driver.fresh_page();
+        driver.access(&mut policy, &read(page, 1));
+    }
+    assert_eq!(policy.len(), CAPACITY, "warm-up must fill the cache");
+    let mut incoming: u32 = 0;
+    measure(
+        || {
+            for _ in 0..CAPACITY {
+                let page = driver.fresh_page();
+                driver.access(&mut policy, &read(page, incoming));
+            }
+            // The cache is now entirely `incoming`; flip which hint outranks
+            // the resident pages so the next burst keeps evicting.
+            incoming ^= 1;
+            let (hi, lo) = (incoming, incoming ^ 1);
+            policy.import(&[(HintSetId(hi), 1.0), (HintSetId(lo), 0.5)]);
+            CAPACITY as u64
+        },
+        budget,
+    )
+}
+
+/// Miss-reject path: a full cache and all-zero priorities decline every
+/// fresh page into the (bounded, churning) outqueue.
+fn bench_miss_reject<P: Subject>(budget: Duration) -> f64 {
+    let mut policy = P::build();
+    let mut driver = Driver::new();
+    for _ in 0..CAPACITY {
+        let page = driver.fresh_page();
+        driver.access(&mut policy, &read(page, 0));
+    }
+    assert_eq!(policy.len(), CAPACITY, "warm-up must fill the cache");
+    measure(
+        || {
+            for _ in 0..1024 {
+                let page = driver.fresh_page();
+                driver.access(&mut policy, &read(page, 0));
+            }
+            1024
+        },
+        budget,
+    )
+}
+
+fn main() -> std::io::Result<()> {
+    let ctx = ExperimentContext::from_args();
+    let quick = matches!(ctx.scale, PresetScale::Smoke);
+    let budget = if quick {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_millis(600)
+    };
+    println!(
+        "CLIC access hot path: {CAPACITY}-page cache, {} per path x 2 implementations\n",
+        if quick { "~0.12 s" } else { "~0.6 s" }
+    );
+
+    type PathBench = fn(Duration) -> f64;
+    let paths: [(&str, PathBench, PathBench); 3] = [
+        ("hit", bench_hit::<ReferenceClic>, bench_hit::<Clic>),
+        (
+            "miss-admit",
+            bench_miss_admit::<ReferenceClic>,
+            bench_miss_admit::<Clic>,
+        ),
+        (
+            "miss-reject",
+            bench_miss_reject::<ReferenceClic>,
+            bench_miss_reject::<Clic>,
+        ),
+    ];
+
+    let mut table = ResultTable::new(
+        "CLIC access hot path: ns/request, pre-refactor baseline vs slab page table",
+        &[
+            "path",
+            "baseline ns/req",
+            "slab ns/req",
+            "baseline Mreq/s",
+            "slab Mreq/s",
+            "speedup",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for (name, baseline, slab) in paths {
+        let base_ns = baseline(budget);
+        let slab_ns = slab(budget);
+        let speedup = base_ns / slab_ns;
+        speedups.push(speedup);
+        table.push_row(vec![
+            name.to_string(),
+            format!("{base_ns:.1}"),
+            format!("{slab_ns:.1}"),
+            format!("{:.2}", 1e3 / base_ns),
+            format!("{:.2}", 1e3 / slab_ns),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    let geomean = speedups
+        .iter()
+        .fold(1.0f64, |acc, s| acc * s)
+        .powf(1.0 / speedups.len() as f64);
+    table.push_row(vec![
+        "geomean".to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{geomean:.2}x"),
+    ]);
+    table.emit(&ctx.out_dir, "access_hotpath")?;
+    println!("geomean speedup: {geomean:.2}x (target: >= 1.5x)");
+    Ok(())
+}

@@ -20,6 +20,7 @@ fn main() {
         "ablation_params",
         "ablation_generalization",
         "server_throughput",
+        "access_hotpath",
     ];
     let self_path = std::env::current_exe().expect("current executable path");
     let bin_dir = self_path.parent().expect("executable directory");

@@ -95,9 +95,18 @@ pub fn simulate(policy: &mut dyn CachePolicy, trace: &Trace) -> SimulationResult
     simulate_with_callback(policy, trace, |_, _, _| {})
 }
 
+/// Number of requests replayed per [`CachePolicy::access_batch`] call by the
+/// driver. Large enough to amortize per-batch dispatch and accounting setup,
+/// small enough to keep the outcome scratch buffer in cache.
+const REPLAY_CHUNK: usize = 256;
+
 /// Like [`simulate`], but invokes `callback(seq, request, hit)` after every
 /// request. Used by experiments that need time-resolved output (for example
 /// warm-up exclusion or convergence plots).
+///
+/// The trace is replayed in chunks through [`CachePolicy::access_batch`]
+/// (whose contract guarantees behaviour identical to per-request `access`
+/// calls); the callback still observes every request, in trace order.
 pub fn simulate_with_callback<F>(
     policy: &mut dyn CachePolicy,
     trace: &Trace,
@@ -108,10 +117,17 @@ where
 {
     let mut stats = CacheStats::new();
     let mut per_client: BTreeMap<ClientId, CacheStats> = BTreeMap::new();
-    for (seq, req) in trace.iter() {
-        let outcome = policy.access(req, seq);
-        record_outcome(&mut stats, &mut per_client, req, outcome);
-        callback(seq, req, outcome.hit);
+    let mut outcomes = Vec::with_capacity(REPLAY_CHUNK);
+    let mut first_seq = 0u64;
+    for chunk in trace.requests.chunks(REPLAY_CHUNK) {
+        outcomes.clear();
+        policy.access_batch(chunk, first_seq, &mut outcomes);
+        debug_assert_eq!(outcomes.len(), chunk.len());
+        for (i, (req, outcome)) in chunk.iter().zip(&outcomes).enumerate() {
+            record_outcome(&mut stats, &mut per_client, req, *outcome);
+            callback(first_seq + i as u64, req, outcome.hit);
+        }
+        first_seq += chunk.len() as u64;
     }
     SimulationResult {
         policy: policy.name(),

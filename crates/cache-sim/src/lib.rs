@@ -43,6 +43,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod driver;
+pub mod hash;
 pub mod hints;
 pub mod oracle;
 pub mod partitioned;
@@ -55,6 +56,7 @@ pub mod trace;
 pub use driver::{
     record_outcome, simulate, simulate_with_callback, sweep, SimulationResult, SweepPoint,
 };
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use hints::{HintCatalog, HintSchema, HintSetId, HintTypeDescriptor, HintValue};
 pub use oracle::NextUseOracle;
 pub use partitioned::PartitionedCache;

@@ -68,6 +68,30 @@ pub trait CachePolicy {
     /// Handles one request with the given trace sequence number.
     fn access(&mut self, req: &Request, seq: u64) -> AccessOutcome;
 
+    /// Handles a batch of consecutive requests, appending one outcome per
+    /// request to `outcomes`.
+    ///
+    /// Request `i` of the slice carries sequence number `first_seq + i`. The
+    /// contract is strict: the observable behaviour (outcomes, cache
+    /// contents, internal statistics) must be *identical* to calling
+    /// [`CachePolicy::access`] once per request in order. The default
+    /// implementation does exactly that; policies with a meaningful batch
+    /// fast path (amortized lookups, fewer dynamic dispatches) override it.
+    /// Drivers such as [`crate::simulate`] and live servers feed requests
+    /// through this method in chunks so that per-request dispatch overhead is
+    /// paid once per batch instead of once per request.
+    fn access_batch(
+        &mut self,
+        reqs: &[Request],
+        first_seq: u64,
+        outcomes: &mut Vec<AccessOutcome>,
+    ) {
+        outcomes.reserve(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            outcomes.push(self.access(req, first_seq + i as u64));
+        }
+    }
+
     /// Returns `true` if the page is currently cached.
     fn contains(&self, page: PageId) -> bool;
 

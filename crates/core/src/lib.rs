@@ -26,7 +26,12 @@
 //!
 //! The main entry point is [`Clic`], which implements the
 //! [`cache_sim::CachePolicy`] trait and can therefore be driven by the
-//! [`cache_sim`] simulation harness alongside the baseline policies.
+//! [`cache_sim`] simulation harness alongside the baseline policies. Its
+//! per-page state lives in the slab-backed [`page_table::PageTable`] (one
+//! open-addressed lookup per request, intrusive per-hint lists, a shared
+//! cached/outqueue slab); the retained pre-refactor implementation,
+//! [`ReferenceClic`], serves as a differential-testing oracle and
+//! performance baseline.
 //!
 //! # Example
 //!
@@ -60,8 +65,10 @@ pub mod analysis;
 pub mod config;
 pub mod generalize;
 pub mod outqueue;
+pub mod page_table;
 pub mod policy;
 pub mod priority;
+pub mod reference;
 pub mod stats;
 pub mod tracker;
 
@@ -71,7 +78,9 @@ pub use generalize::{
     train_grouping, train_grouping_from_prefix, HintDecisionTree, HintSetGrouping,
 };
 pub use outqueue::OutQueue;
+pub use page_table::{PageRecord, PageTable};
 pub use policy::Clic;
 pub use priority::PriorityTable;
+pub use reference::ReferenceClic;
 pub use stats::HintWindowStats;
 pub use tracker::{FullTracker, HintStatsTracker, TopKTracker};

@@ -15,20 +15,20 @@
 use std::collections::HashMap;
 
 use cache_sim::policies::util::OrderedPageSet;
-use cache_sim::{HintSetId, PageId};
+#[cfg(test)]
+use cache_sim::HintSetId;
+use cache_sim::PageId;
 
-/// Metadata remembered for a page: the sequence number and hint set of its
-/// most recent request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PageRecord {
-    /// Sequence number of the most recent request for the page.
-    pub seq: u64,
-    /// Hint set attached to that request.
-    pub hint: HintSetId,
-}
+pub use crate::page_table::PageRecord;
 
 /// A bounded FIFO map from uncached pages to their most recent request
 /// metadata.
+///
+/// This stand-alone container is the *reference* outqueue: the production
+/// policy threads its outqueue through the shared slab in
+/// [`crate::page_table::PageTable`] instead, and the differential tests hold
+/// the two implementations to identical behaviour. [`PageRecord`] is defined
+/// once, in the slab module, and re-exported here.
 #[derive(Debug, Clone)]
 pub struct OutQueue {
     capacity: usize,
@@ -98,6 +98,16 @@ impl OutQueue {
             self.order.remove(page);
         }
         record
+    }
+
+    /// The contents in FIFO order (oldest insertion first), for diagnostics
+    /// and the differential tests.
+    #[doc(hidden)]
+    pub fn snapshot(&self) -> Vec<(PageId, PageRecord)> {
+        self.order
+            .iter()
+            .map(|page| (page, self.records[&page]))
+            .collect()
     }
 
     /// Drops every entry.

@@ -12,16 +12,29 @@
 //! priority scaled by `(1 − r)` — with the paper's `r = 1` this means they
 //! drop to zero, i.e. priorities are based entirely on the latest window.
 
-use std::collections::HashMap;
-
+use cache_sim::hash::FastHashMap;
 use cache_sim::HintSetId;
 
 use crate::stats::HintWindowStats;
 
+/// Maps a non-negative priority to an integer key whose ordering matches the
+/// float ordering, so hint-set priorities can be compared and indexed as
+/// plain integers (the [`crate::page_table::PageTable`] victim index stores
+/// these keys). Non-negative finite IEEE-754 doubles compare identically to
+/// their bit patterns.
+#[inline]
+pub fn priority_key(priority: f64) -> u64 {
+    debug_assert!(priority >= 0.0 && priority.is_finite());
+    priority.to_bits()
+}
+
 /// The current caching priority `Pr(H)` of every known hint set.
+///
+/// Lookups sit on the policy's full-cache admission path (one per miss), so
+/// the table uses the workspace's fast trusted-key hasher.
 #[derive(Debug, Clone, Default)]
 pub struct PriorityTable {
-    priorities: HashMap<HintSetId, f64>,
+    priorities: FastHashMap<HintSetId, f64>,
     windows_completed: u64,
 }
 
@@ -32,8 +45,16 @@ impl PriorityTable {
     }
 
     /// The current priority of `hint` (zero if never seen).
+    #[inline]
     pub fn priority(&self, hint: HintSetId) -> f64 {
         self.priorities.get(&hint).copied().unwrap_or(0.0)
+    }
+
+    /// The current priority of `hint` as an order-preserving integer key
+    /// (see [`priority_key`]).
+    #[inline]
+    pub fn key(&self, hint: HintSetId) -> u64 {
+        priority_key(self.priority(hint))
     }
 
     /// Number of hint sets with a recorded (possibly zero) priority.

@@ -6,9 +6,9 @@ use proptest::prelude::*;
 use cache_sim::{
     simulate, AccessKind, CachePolicy, ClientId, HintSetId, PageId, Trace, TraceBuilder, WriteHint,
 };
-use clic_core::outqueue::PageRecord;
 use clic_core::{
-    analyze_trace, train_grouping_from_prefix, Clic, ClicConfig, OutQueue, TrackingMode,
+    analyze_trace, train_grouping_from_prefix, Clic, ClicConfig, OutQueue, PageRecord,
+    ReferenceClic, TrackingMode,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +104,60 @@ proptest! {
             let composition: usize = clic.cache_composition().iter().map(|(_, n)| n).sum();
             prop_assert_eq!(composition, clic.len());
         }
+    }
+
+    /// Differential anchor for the slab/intrusive-list refactor: the
+    /// production [`Clic`] (slab-backed page table) and the retained naive
+    /// [`ReferenceClic`] (hash maps + ordered sets + `BTreeSet` victim
+    /// index) must produce *identical* hit/miss/eviction/bypass sequences —
+    /// and identical cache state and learned priorities — on arbitrary
+    /// hinted traces, across window sizes, tracking modes, and outqueue
+    /// bounds.
+    #[test]
+    fn slab_clic_matches_reference_implementation(
+        reqs in vec(gen_request(), 1..600),
+        capacity in 2usize..32,
+        window in 10u64..200,
+        topk in prop::option::of(1usize..8),
+        outqueue_factor in 0u8..6,
+    ) {
+        let trace = trace_from(&reqs);
+        let tracking = match topk {
+            Some(k) => TrackingMode::TopK(k),
+            None => TrackingMode::Full,
+        };
+        let config = ClicConfig::default()
+            .with_window(window)
+            .with_tracking(tracking)
+            .with_outqueue_factor(f64::from(outqueue_factor))
+            .with_metadata_charging(false);
+        let mut slab = Clic::new(capacity, config);
+        let mut reference = ReferenceClic::new(capacity, config);
+        for (seq, req) in trace.iter() {
+            let got = slab.access(req, seq);
+            let expected = reference.access(req, seq);
+            prop_assert_eq!(got, expected, "outcome diverged at seq {}", seq);
+            prop_assert_eq!(slab.len(), reference.len(), "occupancy diverged at seq {}", seq);
+            prop_assert_eq!(
+                slab.outqueue_snapshot(),
+                reference.outqueue_snapshot(),
+                "outqueue diverged at seq {}",
+                seq
+            );
+            prop_assert_eq!(slab.contains(req.page), reference.contains(req.page));
+        }
+        // Same learned priorities at the end of the run.
+        let mut got = slab.export_priorities();
+        let mut expected = reference.export_priorities();
+        got.sort_by_key(|(h, _)| h.0);
+        expected.sort_by_key(|(h, _)| h.0);
+        prop_assert_eq!(got, expected);
+        // And the chunked batch driver reproduces the same statistics on
+        // fresh instances of both implementations.
+        let batched = simulate(&mut Clic::new(capacity, config), &trace);
+        let sequential = simulate(&mut ReferenceClic::new(capacity, config), &trace);
+        prop_assert_eq!(batched.stats, sequential.stats);
+        prop_assert_eq!(batched.per_client, sequential.per_client);
     }
 
     /// The driver accounts for every request when running CLIC, and the

@@ -75,4 +75,4 @@ pub use harness::{
 };
 pub use protocol::{ServerRequest, ServerResponse};
 pub use server::{Server, ServerConfig};
-pub use sharded::{ShardedClic, ShardedClicConfig};
+pub use sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};

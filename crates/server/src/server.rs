@@ -16,7 +16,7 @@ use cache_sim::{Request, SimulationResult};
 use clic_core::ClicConfig;
 
 use crate::protocol::{ServerRequest, ServerResponse};
-use crate::sharded::{ShardedClic, ShardedClicConfig};
+use crate::sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
 
 /// Configuration for a [`Server`].
 #[derive(Debug, Clone)]
@@ -58,6 +58,12 @@ impl ServerConfig {
         self
     }
 
+    /// Sets how shards are weighted during cross-shard priority merges.
+    pub fn with_merge_weighting(mut self, weighting: MergeWeighting) -> Self {
+        self.cache = self.cache.with_merge_weighting(weighting);
+        self
+    }
+
     /// Sets the per-worker queue bound (clamped to at least 1).
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth.max(1);
@@ -65,10 +71,14 @@ impl ServerConfig {
     }
 }
 
-/// A per-shard unit of work: the batch positions and requests routed to one
-/// shard, plus the channel the worker answers on.
+/// A per-shard unit of work: the requests routed to one shard (with their
+/// positions in the submitted batch, index-aligned), plus the channel the
+/// worker answers on. Requests and positions are kept in separate vectors so
+/// the worker can hand the whole request slice to the cache's batched access
+/// path.
 struct ShardJob {
-    items: Vec<(usize, Request)>,
+    positions: Vec<usize>,
+    requests: Vec<Request>,
     reply: mpsc::Sender<(usize, bool)>,
 }
 
@@ -98,13 +108,17 @@ impl Server {
             let worker = std::thread::Builder::new()
                 .name(format!("clic-shard-{shard}"))
                 .spawn(move || {
+                    let mut outcomes = Vec::new();
                     for job in receiver {
-                        for (position, request) in &job.items {
-                            let outcome = cache.access(request);
+                        // One lock + one batched policy call per sub-batch
+                        // instead of one of each per request.
+                        outcomes.clear();
+                        cache.access_shard_batch(shard, &job.requests, &mut outcomes);
+                        for (&position, outcome) in job.positions.iter().zip(&outcomes) {
                             // A client that gave up on its batch only loses
                             // the reply; the cache still observes every
                             // dispatched request.
-                            let _ = job.reply.send((*position, outcome.hit));
+                            let _ = job.reply.send((position, outcome.hit));
                         }
                     }
                 })
@@ -131,13 +145,16 @@ impl Server {
     pub fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerResponse> {
         let shard_count = self.cache.shard_count();
         let (reply_sender, reply_receiver) = mpsc::channel();
-        let mut per_shard: Vec<Vec<(usize, Request)>> = vec![Vec::new(); shard_count];
+        let mut per_shard: Vec<(Vec<usize>, Vec<Request>)> =
+            vec![(Vec::new(), Vec::new()); shard_count];
         let mut responses: Vec<Option<ServerResponse>> = batch.iter().map(|_| None).collect();
         let mut outstanding = 0usize;
         for (position, operation) in batch.iter().enumerate() {
             match operation.to_request() {
                 Some(request) => {
-                    per_shard[self.cache.shard_of(request.page)].push((position, request));
+                    let (positions, requests) = &mut per_shard[self.cache.shard_of(request.page)];
+                    positions.push(position);
+                    requests.push(request);
                     outstanding += 1;
                 }
                 None => {
@@ -145,13 +162,14 @@ impl Server {
                 }
             }
         }
-        for (shard, items) in per_shard.into_iter().enumerate() {
-            if items.is_empty() {
+        for (shard, (positions, requests)) in per_shard.into_iter().enumerate() {
+            if requests.is_empty() {
                 continue;
             }
             self.senders[shard]
                 .send(ShardJob {
-                    items,
+                    positions,
+                    requests,
                     reply: reply_sender.clone(),
                 })
                 .expect("shard worker exited while the server was running");

@@ -23,6 +23,22 @@ use cache_sim::{
 };
 use clic_core::{Clic, ClicConfig};
 
+/// How [`ShardedClic::merge_priorities`] weights each shard's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeWeighting {
+    /// Weight a shard by *all* requests it has ever served. Simple, but once
+    /// a shard has amassed history its stale priorities keep dominating the
+    /// merge long after the workload has moved elsewhere.
+    Cumulative,
+    /// Weight a shard by the requests it served *since the previous merge*
+    /// (the default). A shard that went quiet contributes nothing, so the
+    /// merged priorities track workload shifts at the merge cadence instead
+    /// of the lifetime average — see the
+    /// `per_window_merge_tracks_workload_shift_faster` test.
+    #[default]
+    PerWindow,
+}
+
 /// Configuration for a [`ShardedClic`].
 #[derive(Debug, Clone)]
 pub struct ShardedClicConfig {
@@ -38,6 +54,8 @@ pub struct ShardedClicConfig {
     /// Number of *global* requests between cross-shard priority merges
     /// (0 disables merging; irrelevant with a single shard).
     pub merge_every: u64,
+    /// How shards are weighted when merging priorities.
+    pub merge_weighting: MergeWeighting,
 }
 
 impl ShardedClicConfig {
@@ -50,6 +68,7 @@ impl ShardedClicConfig {
             capacity,
             merge_every: clic.window,
             clic,
+            merge_weighting: MergeWeighting::default(),
         }
     }
 
@@ -77,6 +96,12 @@ impl ShardedClicConfig {
         self.merge_every = merge_every;
         self
     }
+
+    /// Sets how shards are weighted during cross-shard priority merges.
+    pub fn with_merge_weighting(mut self, weighting: MergeWeighting) -> Self {
+        self.merge_weighting = weighting;
+        self
+    }
 }
 
 /// One shard: a CLIC instance plus the statistics for the requests it served.
@@ -85,6 +110,10 @@ struct Shard {
     clic: Clic,
     stats: CacheStats,
     per_client: BTreeMap<ClientId, CacheStats>,
+    /// `clic.requests_seen()` captured at the previous priority merge; the
+    /// difference to the current value is the shard's per-window merge
+    /// weight (see [`MergeWeighting::PerWindow`]).
+    requests_at_last_merge: u64,
 }
 
 /// A thread-safe CLIC cache partitioned across N independently locked shards.
@@ -103,6 +132,7 @@ pub struct ShardedClic {
     shards: Vec<Mutex<Shard>>,
     sequencer: AtomicU64,
     merge_every: u64,
+    merge_weighting: MergeWeighting,
     merges_completed: AtomicU64,
     total_capacity: usize,
 }
@@ -133,6 +163,7 @@ impl ShardedClic {
                     clic: Clic::new(capacity, shard_config),
                     stats: CacheStats::new(),
                     per_client: BTreeMap::new(),
+                    requests_at_last_merge: 0,
                 })
             })
             .collect();
@@ -140,6 +171,7 @@ impl ShardedClic {
             shards,
             sequencer: AtomicU64::new(0),
             merge_every: config.merge_every,
+            merge_weighting: config.merge_weighting,
             merges_completed: AtomicU64::new(0),
             total_capacity: config.capacity,
         }
@@ -204,6 +236,66 @@ impl ShardedClic {
         outcome
     }
 
+    /// Serves a batch of requests that all map to shard `shard_idx`,
+    /// appending one outcome per request to `outcomes`.
+    ///
+    /// The shard lock is taken *once* for the whole batch and the requests
+    /// run through the policy's batched fast path
+    /// ([`cache_sim::CachePolicy::access_batch`]), so per-request lock and
+    /// dispatch overhead is paid per batch. A contiguous block of global
+    /// sequence numbers is drawn for the batch; with a single shard (or a
+    /// single caller) this is indistinguishable from per-request sequencing,
+    /// and under concurrency it only coarsens the interleaving of
+    /// re-reference distances, which are measured in global requests either
+    /// way. Statistics accounting is identical to calling
+    /// [`ShardedClic::access`] per request; priority merges coalesce — a
+    /// batch that crosses one *or more* `merge_every` boundaries triggers a
+    /// single merge (back-to-back merges with no intervening traffic would
+    /// be no-ops under per-window weighting, so nothing is lost).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if any request's page does not belong to
+    /// `shard_idx`.
+    pub fn access_shard_batch(
+        &self,
+        shard_idx: usize,
+        reqs: &[Request],
+        outcomes: &mut Vec<AccessOutcome>,
+    ) {
+        if reqs.is_empty() {
+            return;
+        }
+        debug_assert!(
+            reqs.iter().all(|r| self.shard_of(r.page) == shard_idx),
+            "batch contains requests for a different shard"
+        );
+        let first_seq = {
+            let mut shard = self.shards[shard_idx].lock().expect("shard lock poisoned");
+            // As in `access`, sequence numbers are drawn under the shard
+            // lock so they stay monotone within the shard.
+            let first_seq = self
+                .sequencer
+                .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+            let start = outcomes.len();
+            shard.clic.access_batch(reqs, first_seq, outcomes);
+            let Shard {
+                stats, per_client, ..
+            } = &mut *shard;
+            for (req, outcome) in reqs.iter().zip(&outcomes[start..]) {
+                record_outcome(stats, per_client, req, *outcome);
+            }
+            first_seq
+        };
+        // Merge once if any request in the block crossed a multiple of
+        // `merge_every` (the per-request rule is `(seq + 1) % m == 0`);
+        // `checked_div` doubles as the merging-disabled (zero period) guard.
+        let last = first_seq + reqs.len() as u64;
+        if last.checked_div(self.merge_every) > first_seq.checked_div(self.merge_every) {
+            self.merge_priorities();
+        }
+    }
+
     /// Returns `true` if `page` is currently cached (in its shard).
     pub fn contains(&self, page: PageId) -> bool {
         self.shards[self.shard_of(page)]
@@ -227,9 +319,12 @@ impl ShardedClic {
     }
 
     /// Merges hint-set priorities across shards: exports every shard's
-    /// priorities, averages them weighted by the shard's request count, and
-    /// imports the merged snapshot back into each shard. A no-op with a
-    /// single shard.
+    /// priorities, averages them weighted per the configured
+    /// [`MergeWeighting`] — by default the shard's request count *since the
+    /// previous merge*, so quiet shards' stale priorities do not dominate
+    /// after a workload shift — and imports the merged snapshot back into
+    /// each shard. A no-op with a single shard, or when no weighted shard
+    /// served any requests.
     ///
     /// Shard locks are taken strictly one at a time (never nested), so this
     /// can run concurrently with the data path without deadlock; accesses
@@ -241,9 +336,17 @@ impl ShardedClic {
         }
         let mut total_weight = 0.0f64;
         let mut merged: HashMap<HintSetId, f64> = HashMap::new();
+        let mut requests_at_export: Vec<u64> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let shard = shard.lock().expect("shard lock poisoned");
-            let weight = shard.clic.requests_seen() as f64;
+            let requests = shard.clic.requests_seen();
+            requests_at_export.push(requests);
+            let weight = match self.merge_weighting {
+                MergeWeighting::Cumulative => requests as f64,
+                MergeWeighting::PerWindow => {
+                    requests.saturating_sub(shard.requests_at_last_merge) as f64
+                }
+            };
             if weight <= 0.0 {
                 continue;
             }
@@ -259,12 +362,13 @@ impl ShardedClic {
             *value /= total_weight;
         }
         let snapshot: Vec<(HintSetId, f64)> = merged.into_iter().collect();
-        for shard in &self.shards {
-            shard
-                .lock()
-                .expect("shard lock poisoned")
-                .clic
-                .import_priorities(snapshot.iter().copied());
+        for (shard, &requests) in self.shards.iter().zip(&requests_at_export) {
+            let mut shard = shard.lock().expect("shard lock poisoned");
+            // The marker is pinned to the export-time count, so requests
+            // that raced in between export and import still weigh in next
+            // time.
+            shard.requests_at_last_merge = requests;
+            shard.clic.import_priorities(snapshot.iter().copied());
         }
         self.merges_completed.fetch_add(1, Ordering::Relaxed);
     }
@@ -473,5 +577,146 @@ mod tests {
     #[should_panic(expected = "at least one page per shard")]
     fn too_many_shards_rejected() {
         let _ = ShardedClic::new(ShardedClicConfig::new(2).with_shards(3));
+    }
+
+    #[test]
+    fn shard_batches_match_per_request_access_exactly() {
+        // With one shard, `access_shard_batch` (single lock + block
+        // sequencing per batch) draws exactly the sequence numbers that
+        // per-request `access` would, so the statistics must be
+        // bit-identical. (Across several concurrent shards, block sequencing
+        // only coarsens the interleaving, which is nondeterministic anyway.)
+        let trace = looping_trace(10_000, 300);
+        let config = ClicConfig::default().with_window(1_000);
+        let build = || {
+            ShardedClic::new(
+                ShardedClicConfig::new(128)
+                    .with_clic(config)
+                    .with_merge_every(700),
+            )
+        };
+
+        let sequential = build();
+        for req in &trace.requests {
+            sequential.access(req);
+        }
+
+        let batched = build();
+        let mut outcomes = Vec::new();
+        for chunk in trace.requests.chunks(64) {
+            outcomes.clear();
+            batched.access_shard_batch(0, chunk, &mut outcomes);
+            assert_eq!(outcomes.len(), chunk.len());
+        }
+
+        assert_eq!(batched.requests_seen(), sequential.requests_seen());
+        let got = batched.snapshot();
+        let expected = sequential.snapshot();
+        assert_eq!(got.stats, expected.stats);
+        assert_eq!(got.per_client, expected.per_client);
+
+        // Multi-shard batches still account for every request.
+        let sharded = ShardedClic::new(
+            ShardedClicConfig::new(128)
+                .with_shards(4)
+                .with_clic(config)
+                .with_merge_every(700),
+        );
+        for chunk in trace.requests.chunks(64) {
+            for shard in 0..sharded.shard_count() {
+                let sub: Vec<Request> = chunk
+                    .iter()
+                    .filter(|r| sharded.shard_of(r.page) == shard)
+                    .copied()
+                    .collect();
+                outcomes.clear();
+                sharded.access_shard_batch(shard, &sub, &mut outcomes);
+                assert_eq!(outcomes.len(), sub.len());
+            }
+        }
+        assert_eq!(sharded.requests_seen(), trace.len() as u64);
+        assert_eq!(sharded.snapshot().stats.requests(), trace.len() as u64);
+        assert!(sharded.merges_completed() > 0);
+    }
+
+    #[test]
+    fn per_window_merge_tracks_workload_shift_faster() {
+        // Phase 1 hammers shard 0 with hint OLD until its priority is high
+        // and the shard has a large cumulative request count. Phase 2 shifts
+        // the workload entirely to shard 1 with hint NEW. At the next merge,
+        // per-window weighting must let the fresh shard dominate (NEW
+        // outranks OLD everywhere), while cumulative weighting still lets
+        // shard 0's stale history dilute the shift.
+        let config = ClicConfig::default()
+            .with_window(500)
+            .with_metadata_charging(false);
+        let run = |weighting: MergeWeighting| -> (f64, f64) {
+            let sharded = ShardedClic::new(
+                ShardedClicConfig::new(64)
+                    .with_shards(2)
+                    .with_clic(config)
+                    .with_merge_every(0) // merges are triggered manually
+                    .with_merge_weighting(weighting),
+            );
+            let pages_of = |shard: usize, n: usize| -> Vec<u64> {
+                (0u64..)
+                    .filter(|&p| sharded.shard_of(PageId(p)) == shard)
+                    .take(n)
+                    .collect()
+            };
+            let mut b = TraceBuilder::new();
+            let c = b.add_client("db", &[("phase", 2)]);
+            let old_hint = b.intern_hints(c, &[0]);
+            let new_hint = b.intern_hints(c, &[1]);
+
+            // Phase 1: 4_000 write+read pairs over shard-0 pages, hint OLD.
+            let shard0 = pages_of(0, 16);
+            for i in 0..4_000u64 {
+                let page = shard0[(i % 16) as usize];
+                b.push(c, page, AccessKind::Write, None, old_hint);
+                b.push(c, page, AccessKind::Read, None, old_hint);
+            }
+            // Phase 2: 400 write+read pairs over shard-1 pages, hint NEW —
+            // enough for at least one per-shard priority window (250).
+            let shard1 = pages_of(1, 16);
+            for i in 0..400u64 {
+                let page = shard1[(i % 16) as usize];
+                b.push(c, page, AccessKind::Write, None, new_hint);
+                b.push(c, page, AccessKind::Read, None, new_hint);
+            }
+            let trace = b.build();
+            let phase1_len = 8_000;
+            for req in &trace.requests[..phase1_len] {
+                sharded.access(req);
+            }
+            sharded.merge_priorities(); // end of phase 1: sets the markers
+            for req in &trace.requests[phase1_len..] {
+                sharded.access(req);
+            }
+            sharded.merge_priorities(); // the merge under test
+            let shard0 = sharded.shards[0].lock().unwrap();
+            (
+                shard0.clic.priority_of(new_hint),
+                shard0.clic.priority_of(old_hint),
+            )
+        };
+
+        let (pw_new, pw_old) = run(MergeWeighting::PerWindow);
+        let (cum_new, cum_old) = run(MergeWeighting::Cumulative);
+        assert!(
+            pw_new > cum_new,
+            "per-window weighting must propagate the shifted workload's hint \
+             faster (per-window NEW {pw_new:.6} vs cumulative NEW {cum_new:.6})"
+        );
+        assert!(
+            pw_new > pw_old,
+            "after the shift, per-window merging must rank the new hint \
+             above the stale one ({pw_new:.6} vs {pw_old:.6})"
+        );
+        assert!(
+            cum_old > cum_new,
+            "sanity: cumulative weighting still favours the stale hint \
+             ({cum_old:.6} vs {cum_new:.6}), which is exactly the problem"
+        );
     }
 }

@@ -17,7 +17,7 @@
 //! carries a generic auxiliary payload `A` per counter that is reset to
 //! `A::default()` on recycling.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::Hash;
 
 use crate::FrequencyEstimator;
@@ -55,19 +55,23 @@ struct Entry<A> {
 #[derive(Debug, Clone)]
 pub struct SpaceSaving<T, A = ()>
 where
-    T: Eq + Hash + Clone,
+    T: Ord + Hash + Clone,
     A: Default,
 {
     capacity: usize,
     entries: HashMap<T, Entry<A>>,
     // count -> set of items with that count; the first key is the minimum.
-    buckets: BTreeMap<u64, HashSet<T>>,
+    // Ordered sets make victim selection deterministic: among equal-count
+    // candidates the *smallest* item is recycled, so two summaries fed the
+    // same observation stream always evolve identically (the policy's
+    // differential and sharded-server bit-exactness tests rely on this).
+    buckets: BTreeMap<u64, BTreeSet<T>>,
     observations: u64,
 }
 
 impl<T, A> SpaceSaving<T, A>
 where
-    T: Eq + Hash + Clone,
+    T: Ord + Hash + Clone,
     A: Default,
 {
     /// Creates a summary monitoring at most `k` items.
@@ -190,7 +194,8 @@ where
     }
 
     /// Returns all monitored items with their estimates and payloads, sorted
-    /// by decreasing estimated count.
+    /// by decreasing estimated count (ties by ascending item, so the output
+    /// order is deterministic).
     pub fn entries(&self) -> Vec<(T, Estimate, &A)> {
         let mut out: Vec<(T, Estimate, &A)> = self
             .entries
@@ -206,7 +211,7 @@ where
                 )
             })
             .collect();
-        out.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+        out.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(&b.0)));
         out
     }
 
@@ -246,7 +251,7 @@ where
 
 impl<T> FrequencyEstimator<T> for SpaceSaving<T, ()>
 where
-    T: Eq + Hash + Clone,
+    T: Ord + Hash + Clone,
 {
     fn observe(&mut self, item: T) {
         SpaceSaving::observe(self, item);

@@ -6,6 +6,11 @@
 #   scripts/verify.sh --smoke-server   # additionally crash-check the
 #                                      # clic-server throughput harness (~1 s
 #                                      # of load at smoke scale)
+#   scripts/verify.sh --smoke-bench    # additionally crash-check EVERY bench
+#                                      # binary (via run_all) at smoke scale;
+#                                      # iteration-budgeted microbenches
+#                                      # (access_hotpath, server_throughput)
+#                                      # clamp to ~1 s budgets
 #
 # Tier-1 (the bar every PR must clear, see ROADMAP.md):
 #   cargo build --release && cargo test -q
@@ -19,11 +24,13 @@ cd "$(dirname "$0")/.."
 
 quick=0
 smoke_server=0
+smoke_bench=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --smoke-server) smoke_server=1 ;;
-        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server]" >&2; exit 2 ;;
+        --smoke-bench) smoke_bench=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench]" >&2; exit 2 ;;
     esac
 done
 
@@ -33,9 +40,17 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-if [ "$smoke_server" -eq 1 ]; then
+if [ "$smoke_server" -eq 1 ] && [ "$smoke_bench" -eq 0 ]; then
+    # (--smoke-bench subsumes this: run_all already includes
+    # server_throughput, so don't run it twice.)
     echo "== smoke: server_throughput (smoke scale, crash check) =="
     cargo run --release -p clic-bench --bin server_throughput -- \
+        --quick --out-dir target/smoke-results
+fi
+
+if [ "$smoke_bench" -eq 1 ]; then
+    echo "== smoke: every bench binary via run_all (smoke scale, crash check) =="
+    cargo run --release -p clic-bench --bin run_all -- \
         --quick --out-dir target/smoke-results
 fi
 

@@ -103,8 +103,9 @@ pub mod prelude {
         analyze_trace, suggested_window, Clic, ClicConfig, HintSetReport, TrackingMode,
     };
     pub use clic_server::{
-        merge_client_traces, preset_client_traces, run_load, LoadConfig, LoadReport, Server,
-        ServerConfig, ServerRequest, ServerResponse, ShardedClic, ShardedClicConfig,
+        merge_client_traces, preset_client_traces, run_load, LoadConfig, LoadReport,
+        MergeWeighting, Server, ServerConfig, ServerRequest, ServerResponse, ShardedClic,
+        ShardedClicConfig,
     };
     pub use stream_stats::{FrequencyEstimator, SpaceSaving};
     pub use trace_gen::{
