@@ -13,7 +13,7 @@
 //!   attributes).
 
 use cache_sim::simulate;
-use clic_bench::{build_policy, window_for_trace, ExperimentContext, ResultTable};
+use clic_bench::{build_policy, json::JsonValue, window_for_trace, ExperimentContext, ResultTable};
 use clic_core::train_grouping_from_prefix;
 use trace_gen::{inject_noise, NoiseConfig, TracePreset};
 
@@ -47,6 +47,7 @@ fn main() -> std::io::Result<()> {
         ],
     );
 
+    let mut metrics = Vec::new();
     for &t in &NOISE_LEVELS {
         let noisy = inject_noise(&base, NoiseConfig::new(t));
         let hint_sets = noisy.summary().distinct_hint_sets;
@@ -75,6 +76,15 @@ fn main() -> std::io::Result<()> {
             groups.to_string(),
         ]);
         println!("T={t} done");
+        metrics.push((
+            format!("T={t}"),
+            JsonValue::object([
+                ("bounded", JsonValue::num(bounded)),
+                ("unbounded", JsonValue::num(unbounded)),
+                ("grouped", JsonValue::num(grouped)),
+            ]),
+        ));
     }
-    table.emit(&ctx.out_dir, "ablation_generalization")
+    table.emit(&ctx.out_dir, "ablation_generalization")?;
+    ctx.emit_json("ablation_generalization", JsonValue::Object(metrics))
 }

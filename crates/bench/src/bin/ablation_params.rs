@@ -6,28 +6,52 @@
 //! * smoothing factor `r` (paper uses 1.0),
 //! * metadata charging on/off,
 //! * on-line statistics vs oracle (whole-trace) statistics.
+//!
+//! Every sweep is a grid of independent CLIC configurations over the same
+//! trace, submitted through the parallel executor (`--jobs`).
 
-use cache_sim::simulate;
-use clic_bench::{window_for_trace, ExperimentContext, ResultTable};
+use cache_sim::compare_policies;
+use clic_bench::{json::JsonValue, window_for_trace, ExperimentContext, ResultTable};
 use clic_core::{analyze_trace, Clic, ClicConfig};
-use trace_gen::TracePreset;
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
-    println!("CLIC parameter ablations, scale = {}\n", ctx.scale_label());
+    let pool = ctx.pool();
+    println!(
+        "CLIC parameter ablations, scale = {}, jobs = {}\n",
+        ctx.scale_label(),
+        pool.jobs()
+    );
 
-    let preset = TracePreset::Db2C300;
+    let preset = trace_gen::TracePreset::Db2C300;
     let trace = preset.build(ctx.scale);
     println!("generated {}", trace.summary());
     let cache = preset.reference_cache_size(ctx.scale);
     let base_window = window_for_trace(&trace);
 
-    let run = |config: ClicConfig| {
-        let mut clic = Clic::new(cache, config);
-        simulate(&mut clic, &trace).read_hit_ratio()
+    // Runs one grid of configurations through the executor, returning the
+    // read hit ratio per configuration in input order.
+    let run_grid = |configs: &[ClicConfig]| -> Vec<f64> {
+        compare_policies(&pool, &trace, configs, |config| {
+            Box::new(Clic::new(cache, *config))
+        })
+        .iter()
+        .map(|result| result.read_hit_ratio())
+        .collect()
     };
+    let mut metrics = Vec::new();
 
     // Outqueue factor sweep.
+    let factors = [0.0, 1.0, 2.0, 5.0, 10.0];
+    let configs: Vec<ClicConfig> = factors
+        .iter()
+        .map(|&factor| {
+            ClicConfig::default()
+                .with_window(base_window)
+                .with_outqueue_factor(factor)
+        })
+        .collect();
+    let ratios = run_grid(&configs);
     let mut outqueue_table = ResultTable::new(
         format!(
             "Ablation: outqueue size (trace {}, {cache}-page cache)",
@@ -35,15 +59,24 @@ fn main() -> std::io::Result<()> {
         ),
         &["outqueue factor", "read hit ratio"],
     );
-    for factor in [0.0, 1.0, 2.0, 5.0, 10.0] {
-        let ratio = run(ClicConfig::default()
-            .with_window(base_window)
-            .with_outqueue_factor(factor));
+    let mut per_factor = Vec::new();
+    for (&factor, &ratio) in factors.iter().zip(&ratios) {
         outqueue_table.push_row(vec![format!("{factor}"), format!("{:.1}%", ratio * 100.0)]);
+        per_factor.push((format!("{factor}"), JsonValue::num(ratio)));
     }
     outqueue_table.emit(&ctx.out_dir, "ablation_outqueue")?;
+    metrics.push(("outqueue_factor".to_string(), JsonValue::Object(per_factor)));
 
     // Window sweep.
+    let windows: Vec<u64> = [80u64, 40, 20, 10, 5, 1]
+        .iter()
+        .map(|&divisor| (trace.len() as u64 / divisor).max(1_000))
+        .collect();
+    let configs: Vec<ClicConfig> = windows
+        .iter()
+        .map(|&window| ClicConfig::default().with_window(window))
+        .collect();
+    let ratios = run_grid(&configs);
     let mut window_table = ResultTable::new(
         format!(
             "Ablation: priority window W (trace {}, {cache}-page cache)",
@@ -51,14 +84,25 @@ fn main() -> std::io::Result<()> {
         ),
         &["window (requests)", "read hit ratio"],
     );
-    for divisor in [80u64, 40, 20, 10, 5, 1] {
-        let window = (trace.len() as u64 / divisor).max(1_000);
-        let ratio = run(ClicConfig::default().with_window(window));
+    let mut per_window = Vec::new();
+    for (&window, &ratio) in windows.iter().zip(&ratios) {
         window_table.push_row(vec![window.to_string(), format!("{:.1}%", ratio * 100.0)]);
+        per_window.push((window.to_string(), JsonValue::num(ratio)));
     }
     window_table.emit(&ctx.out_dir, "ablation_window")?;
+    metrics.push(("window".to_string(), JsonValue::Object(per_window)));
 
     // Smoothing sweep.
+    let smoothings = [0.1, 0.25, 0.5, 0.75, 1.0];
+    let configs: Vec<ClicConfig> = smoothings
+        .iter()
+        .map(|&r| {
+            ClicConfig::default()
+                .with_window(base_window)
+                .with_smoothing(r)
+        })
+        .collect();
+    let ratios = run_grid(&configs);
     let mut smoothing_table = ResultTable::new(
         format!(
             "Ablation: smoothing factor r (trace {}, {cache}-page cache)",
@@ -66,15 +110,43 @@ fn main() -> std::io::Result<()> {
         ),
         &["r", "read hit ratio"],
     );
-    for r in [0.1, 0.25, 0.5, 0.75, 1.0] {
-        let ratio = run(ClicConfig::default()
-            .with_window(base_window)
-            .with_smoothing(r));
+    let mut per_r = Vec::new();
+    for (&r, &ratio) in smoothings.iter().zip(&ratios) {
         smoothing_table.push_row(vec![format!("{r}"), format!("{:.1}%", ratio * 100.0)]);
+        per_r.push((format!("{r}"), JsonValue::num(ratio)));
     }
     smoothing_table.emit(&ctx.out_dir, "ablation_smoothing")?;
+    metrics.push(("smoothing".to_string(), JsonValue::Object(per_r)));
 
-    // Metadata charging and oracle statistics.
+    // Metadata charging and oracle statistics. The oracle cell preloads
+    // whole-trace priorities into its policy, which the executor's builder
+    // closure supports like any other construction step.
+    let reports = analyze_trace(&trace);
+    #[derive(Clone, Copy)]
+    enum Variant {
+        Charged,
+        Free,
+        Oracle,
+    }
+    let cells = [Variant::Charged, Variant::Free, Variant::Oracle];
+    let reports_ref = &reports;
+    let results = compare_policies(&pool, &trace, &cells, |variant| match variant {
+        Variant::Charged => Box::new(Clic::new(
+            cache,
+            ClicConfig::default().with_window(base_window),
+        )),
+        Variant::Free => Box::new(Clic::new(
+            cache,
+            ClicConfig::default()
+                .with_window(base_window)
+                .with_metadata_charging(false),
+        )),
+        Variant::Oracle => {
+            let mut oracle = Clic::new(cache, ClicConfig::default().with_window(u64::MAX / 2));
+            oracle.preload_priorities(reports_ref.iter().map(|r| (r.hint, r.priority)));
+            Box::new(oracle)
+        }
+    });
     let mut misc_table = ResultTable::new(
         format!(
             "Ablation: metadata charge and oracle statistics (trace {})",
@@ -82,25 +154,21 @@ fn main() -> std::io::Result<()> {
         ),
         &["variant", "read hit ratio"],
     );
-    let charged = run(ClicConfig::default().with_window(base_window));
-    let uncharged = run(ClicConfig::default()
-        .with_window(base_window)
-        .with_metadata_charging(false));
-    misc_table.push_row(vec![
-        "metadata charged (paper)".into(),
-        format!("{:.1}%", charged * 100.0),
-    ]);
-    misc_table.push_row(vec![
-        "metadata free".into(),
-        format!("{:.1}%", uncharged * 100.0),
-    ]);
-    let reports = analyze_trace(&trace);
-    let mut oracle = Clic::new(cache, ClicConfig::default().with_window(u64::MAX / 2));
-    oracle.preload_priorities(reports.iter().map(|r| (r.hint, r.priority)));
-    let oracle_ratio = simulate(&mut oracle, &trace).read_hit_ratio();
-    misc_table.push_row(vec![
-        "oracle (whole-trace) statistics".into(),
-        format!("{:.1}%", oracle_ratio * 100.0),
-    ]);
-    misc_table.emit(&ctx.out_dir, "ablation_misc")
+    let labels = [
+        "metadata charged (paper)",
+        "metadata free",
+        "oracle (whole-trace) statistics",
+    ];
+    let mut per_variant = Vec::new();
+    for (label, result) in labels.iter().zip(&results) {
+        misc_table.push_row(vec![
+            (*label).into(),
+            format!("{:.1}%", result.read_hit_ratio() * 100.0),
+        ]);
+        per_variant.push((label.to_string(), JsonValue::num(result.read_hit_ratio())));
+    }
+    misc_table.emit(&ctx.out_dir, "ablation_misc")?;
+    metrics.push(("variants".to_string(), JsonValue::Object(per_variant)));
+
+    ctx.emit_json("ablation_params", JsonValue::Object(metrics))
 }

@@ -3,7 +3,7 @@
 //! a scatter); the labels let a reader verify the headline observations, e.g.
 //! that STOCK-table replacement writes rank far above ORDER_LINE-table reads.
 
-use clic_bench::{ExperimentContext, ResultTable};
+use clic_bench::{json::JsonValue, ExperimentContext, ResultTable};
 use clic_core::analyze_trace;
 use trace_gen::TracePreset;
 
@@ -61,5 +61,17 @@ fn main() -> std::io::Result<()> {
             stock.priority > ol.priority
         );
     }
-    Ok(())
+    ctx.emit_json(
+        "fig03_hint_priorities",
+        JsonValue::object([
+            ("hint_sets", JsonValue::num(reports.len() as f64)),
+            (
+                "top_priority",
+                reports
+                    .first()
+                    .map(|r| JsonValue::num(r.priority))
+                    .unwrap_or(JsonValue::Null),
+            ),
+        ]),
+    )
 }

@@ -1,22 +1,30 @@
 //! Figure 6: server-cache read hit ratio of OPT, TQ, LRU, ARC and CLIC as a
 //! function of the server cache size, for the three DB2 TPC-C traces
-//! (`DB2_C60`, `DB2_C300`, `DB2_C540`).
+//! (`DB2_C60`, `DB2_C300`, `DB2_C540`). The (policy, cache size) grid of
+//! each trace is fanned across worker threads (`--jobs`) through the
+//! deterministic parallel executor.
 
-use clic_bench::{comparison_table, run_policy_comparison, ExperimentContext, PAPER_POLICIES};
+use clic_bench::{
+    comparison_metrics, comparison_table, json::JsonValue, run_policy_comparison,
+    ExperimentContext, PAPER_POLICIES,
+};
 use trace_gen::TracePreset;
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
+    let pool = ctx.pool();
     println!(
-        "Figure 6 reproduction (DB2 TPC-C policy comparison), scale = {}\n",
-        ctx.scale_label()
+        "Figure 6 reproduction (DB2 TPC-C policy comparison), scale = {}, jobs = {}\n",
+        ctx.scale_label(),
+        pool.jobs()
     );
+    let mut metrics = Vec::new();
     for preset in TracePreset::TPCC {
         let trace = preset.build(ctx.scale);
         let summary = trace.summary();
         println!("generated {summary}");
         let sizes = preset.server_cache_sizes(ctx.scale);
-        let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
+        let points = run_policy_comparison(&pool, &trace, &sizes, &PAPER_POLICIES);
         let table = comparison_table(
             format!(
                 "Figure 6 ({}): read hit ratio vs server cache size",
@@ -30,6 +38,10 @@ fn main() -> std::io::Result<()> {
             &ctx.out_dir,
             &format!("fig06_{}", preset.name().to_lowercase()),
         )?;
+        metrics.push((
+            preset.name().to_string(),
+            comparison_metrics(&points, &sizes, &PAPER_POLICIES),
+        ));
     }
-    Ok(())
+    ctx.emit_json("fig06_tpcc_policies", JsonValue::Object(metrics))
 }

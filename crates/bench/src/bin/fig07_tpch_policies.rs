@@ -1,22 +1,30 @@
 //! Figure 7: server-cache read hit ratio of OPT, TQ, LRU, ARC and CLIC as a
 //! function of the server cache size, for the three DB2 TPC-H traces
-//! (`DB2_H80`, `DB2_H400`, `DB2_H720`).
+//! (`DB2_H80`, `DB2_H400`, `DB2_H720`). The (policy, cache size) grid of
+//! each trace is fanned across worker threads (`--jobs`) through the
+//! deterministic parallel executor.
 
-use clic_bench::{comparison_table, run_policy_comparison, ExperimentContext, PAPER_POLICIES};
+use clic_bench::{
+    comparison_metrics, comparison_table, json::JsonValue, run_policy_comparison,
+    ExperimentContext, PAPER_POLICIES,
+};
 use trace_gen::TracePreset;
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
+    let pool = ctx.pool();
     println!(
-        "Figure 7 reproduction (DB2 TPC-H policy comparison), scale = {}\n",
-        ctx.scale_label()
+        "Figure 7 reproduction (DB2 TPC-H policy comparison), scale = {}, jobs = {}\n",
+        ctx.scale_label(),
+        pool.jobs()
     );
+    let mut metrics = Vec::new();
     for preset in TracePreset::DB2_TPCH {
         let trace = preset.build(ctx.scale);
         let summary = trace.summary();
         println!("generated {summary}");
         let sizes = preset.server_cache_sizes(ctx.scale);
-        let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
+        let points = run_policy_comparison(&pool, &trace, &sizes, &PAPER_POLICIES);
         let table = comparison_table(
             format!(
                 "Figure 7 ({}): read hit ratio vs server cache size",
@@ -30,6 +38,10 @@ fn main() -> std::io::Result<()> {
             &ctx.out_dir,
             &format!("fig07_{}", preset.name().to_lowercase()),
         )?;
+        metrics.push((
+            preset.name().to_string(),
+            comparison_metrics(&points, &sizes, &PAPER_POLICIES),
+        ));
     }
-    Ok(())
+    ctx.emit_json("fig07_tpch_policies", JsonValue::Object(metrics))
 }

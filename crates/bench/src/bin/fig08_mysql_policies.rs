@@ -1,22 +1,30 @@
 //! Figure 8: server-cache read hit ratio of OPT, TQ, LRU, ARC and CLIC as a
 //! function of the server cache size, for the two MySQL TPC-H traces
-//! (`MY_H65`, `MY_H98`).
+//! (`MY_H65`, `MY_H98`). The (policy, cache size) grid of each trace is
+//! fanned across worker threads (`--jobs`) through the deterministic
+//! parallel executor.
 
-use clic_bench::{comparison_table, run_policy_comparison, ExperimentContext, PAPER_POLICIES};
+use clic_bench::{
+    comparison_metrics, comparison_table, json::JsonValue, run_policy_comparison,
+    ExperimentContext, PAPER_POLICIES,
+};
 use trace_gen::TracePreset;
 
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
+    let pool = ctx.pool();
     println!(
-        "Figure 8 reproduction (MySQL TPC-H policy comparison), scale = {}\n",
-        ctx.scale_label()
+        "Figure 8 reproduction (MySQL TPC-H policy comparison), scale = {}, jobs = {}\n",
+        ctx.scale_label(),
+        pool.jobs()
     );
+    let mut metrics = Vec::new();
     for preset in TracePreset::MYSQL {
         let trace = preset.build(ctx.scale);
         let summary = trace.summary();
         println!("generated {summary}");
         let sizes = preset.server_cache_sizes(ctx.scale);
-        let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
+        let points = run_policy_comparison(&pool, &trace, &sizes, &PAPER_POLICIES);
         let table = comparison_table(
             format!(
                 "Figure 8 ({}): read hit ratio vs server cache size",
@@ -30,6 +38,10 @@ fn main() -> std::io::Result<()> {
             &ctx.out_dir,
             &format!("fig08_{}", preset.name().to_lowercase()),
         )?;
+        metrics.push((
+            preset.name().to_string(),
+            comparison_metrics(&points, &sizes, &PAPER_POLICIES),
+        ));
     }
-    Ok(())
+    ctx.emit_json("fig08_mysql_policies", JsonValue::Object(metrics))
 }

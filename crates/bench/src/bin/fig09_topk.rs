@@ -1,21 +1,34 @@
 //! Figure 9: effect of top-k hint-set filtering on the server-cache read hit
 //! ratio. CLIC is restricted to tracking only the `k` most frequent hint sets
 //! (Space-Saving based), with `k` swept from 1 to 100, on the DB2 TPC-C and
-//! DB2 TPC-H traces with the paper's 180 K-page reference cache.
+//! DB2 TPC-H traces with the paper's 180 K-page reference cache. Each
+//! trace's k-sweep is fanned across worker threads (`--jobs`) through the
+//! deterministic parallel executor.
 
-use cache_sim::simulate;
-use clic_bench::{build_policy, window_for_trace, ExperimentContext, ResultTable};
+use cache_sim::compare_policies;
+use clic_bench::{build_policy, json::JsonValue, window_for_trace, ExperimentContext, ResultTable};
 use trace_gen::TracePreset;
 
 const K_VALUES: [usize; 8] = [1, 2, 5, 10, 20, 50, 100, usize::MAX];
 
+fn policy_name(k: usize) -> String {
+    if k == usize::MAX {
+        "CLIC".to_string()
+    } else {
+        format!("CLIC(k={k})")
+    }
+}
+
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
+    let pool = ctx.pool();
     println!(
-        "Figure 9 reproduction (top-k hint filtering), scale = {}\n",
-        ctx.scale_label()
+        "Figure 9 reproduction (top-k hint filtering), scale = {}, jobs = {}\n",
+        ctx.scale_label(),
+        pool.jobs()
     );
 
+    let mut metrics = Vec::new();
     for (group_name, presets, stem) in [
         ("DB2 TPC-C", &TracePreset::TPCC[..], "fig09_tpcc"),
         ("DB2 TPC-H", &TracePreset::DB2_TPCH[..], "fig09_tpch"),
@@ -40,23 +53,28 @@ fn main() -> std::io::Result<()> {
             println!("generated {summary}");
             let cache = preset.reference_cache_size(ctx.scale);
             let window = window_for_trace(&trace);
+            // One independent simulation per k, submitted as a grid.
+            let results = compare_policies(&pool, &trace, &K_VALUES, |&k| {
+                build_policy(&policy_name(k), &trace, cache, window)
+            });
             let mut row = vec![
                 preset.name().to_string(),
                 summary.distinct_hint_sets.to_string(),
             ];
-            for &k in &K_VALUES {
-                let name = if k == usize::MAX {
-                    "CLIC".to_string()
-                } else {
-                    format!("CLIC(k={k})")
-                };
-                let mut policy = build_policy(&name, &trace, cache, window);
-                let result = simulate(policy.as_mut(), &trace);
+            let mut per_k = Vec::new();
+            for (&k, result) in K_VALUES.iter().zip(&results) {
                 row.push(format!("{:.1}%", result.read_hit_ratio() * 100.0));
+                let label = if k == usize::MAX {
+                    "all".to_string()
+                } else {
+                    k.to_string()
+                };
+                per_k.push((label, JsonValue::num(result.read_hit_ratio())));
             }
             table.push_row(row);
+            metrics.push((preset.name().to_string(), JsonValue::Object(per_k)));
         }
         table.emit(&ctx.out_dir, stem)?;
     }
-    Ok(())
+    ctx.emit_json("fig09_topk", JsonValue::Object(metrics))
 }

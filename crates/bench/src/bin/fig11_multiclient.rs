@@ -3,19 +3,41 @@
 //! shared cache managed by CLIC (top-k, k = 100) is compared against the
 //! baseline of statically partitioning the same space into three private
 //! per-client LRU-like caches (the paper partitions the cache equally and
-//! runs each client's trace against its own partition).
+//! runs each client's trace against its own partition). The two
+//! configurations are independent simulations over the same interleaved
+//! trace, so they run as two cells of the parallel executor.
 
 use cache_sim::policy::PolicyFactory;
-use cache_sim::{simulate, BoxedPolicy, PartitionedCache};
-use clic_bench::{window_for_trace, ExperimentContext, ResultTable};
+use cache_sim::{compare_policies, BoxedPolicy, PartitionedCache};
+use clic_bench::{json::JsonValue, window_for_trace, ExperimentContext, ResultTable};
 use clic_core::{Clic, ClicConfig, TrackingMode};
 use trace_gen::{interleave, TracePreset};
 
+struct ClicFactory {
+    window: u64,
+}
+
+impl PolicyFactory for ClicFactory {
+    fn name(&self) -> String {
+        "CLIC".to_string()
+    }
+    fn build(&self, capacity: usize) -> BoxedPolicy {
+        Box::new(Clic::new(
+            capacity,
+            ClicConfig::default()
+                .with_window(self.window)
+                .with_tracking(TrackingMode::TopK(100)),
+        ))
+    }
+}
+
 fn main() -> std::io::Result<()> {
     let ctx = ExperimentContext::from_args();
+    let pool = ctx.pool();
     println!(
-        "Figure 11 reproduction (multiple storage clients), scale = {}\n",
-        ctx.scale_label()
+        "Figure 11 reproduction (multiple storage clients), scale = {}, jobs = {}\n",
+        ctx.scale_label(),
+        pool.jobs()
     );
 
     // Build the three client traces over disjoint page ranges, as three
@@ -33,39 +55,30 @@ fn main() -> std::io::Result<()> {
 
     let shared_cache = presets[0].reference_cache_size(ctx.scale); // 180K pages in the paper
     let per_client = shared_cache / presets.len();
-
-    // Shared cache managed by CLIC with top-k tracking (k = 100).
     let window = window_for_trace(&combined);
-    let mut shared = Clic::new(
-        shared_cache,
-        ClicConfig::default()
-            .with_window(window)
-            .with_tracking(TrackingMode::TopK(100)),
-    );
-    let shared_result = simulate(&mut shared, &combined);
-
-    // Baseline: the same space statically partitioned per client, each
-    // partition managed by CLIC as well (any per-partition policy works; the
-    // paper runs the full-length traces against private caches).
-    struct ClicFactory {
-        window: u64,
-    }
-    impl PolicyFactory for ClicFactory {
-        fn name(&self) -> String {
-            "CLIC".to_string()
-        }
-        fn build(&self, capacity: usize) -> BoxedPolicy {
-            Box::new(Clic::new(
-                capacity,
-                ClicConfig::default()
-                    .with_window(self.window)
-                    .with_tracking(TrackingMode::TopK(100)),
-            ))
-        }
-    }
     let factory = ClicFactory { window };
-    let mut partitioned = PartitionedCache::new(&factory, &clients, per_client);
-    let partitioned_result = simulate(&mut partitioned, &combined);
+
+    // Two cells: the shared CLIC cache and the statically partitioned
+    // baseline, both over the interleaved trace.
+    #[derive(Clone, Copy)]
+    enum Mode {
+        Shared,
+        Partitioned,
+    }
+    let cells = [Mode::Shared, Mode::Partitioned];
+    let clients_ref = &clients;
+    let factory_ref = &factory;
+    let results = compare_policies(&pool, &combined, &cells, |mode| match mode {
+        Mode::Shared => Box::new(Clic::new(
+            shared_cache,
+            ClicConfig::default()
+                .with_window(window)
+                .with_tracking(TrackingMode::TopK(100)),
+        )),
+        Mode::Partitioned => Box::new(PartitionedCache::new(factory_ref, clients_ref, per_client)),
+    });
+    let shared_result = &results[0];
+    let partitioned_result = &results[1];
 
     let mut table = ResultTable::new(
         format!(
@@ -74,6 +87,7 @@ fn main() -> std::io::Result<()> {
         ),
         &["trace", "shared cache (CLIC)", "private caches"],
     );
+    let mut metrics = Vec::new();
     for (preset, client) in presets.iter().zip(clients.iter()) {
         table.push_row(vec![
             preset.name().to_string(),
@@ -86,11 +100,35 @@ fn main() -> std::io::Result<()> {
                 partitioned_result.client_read_hit_ratio(*client) * 100.0
             ),
         ]);
+        metrics.push((
+            preset.name().to_string(),
+            JsonValue::object([
+                (
+                    "shared",
+                    JsonValue::num(shared_result.client_read_hit_ratio(*client)),
+                ),
+                (
+                    "partitioned",
+                    JsonValue::num(partitioned_result.client_read_hit_ratio(*client)),
+                ),
+            ]),
+        ));
     }
     table.push_row(vec![
         "overall".to_string(),
         format!("{:.1}%", shared_result.read_hit_ratio() * 100.0),
         format!("{:.1}%", partitioned_result.read_hit_ratio() * 100.0),
     ]);
-    table.emit(&ctx.out_dir, "fig11_multiclient")
+    metrics.push((
+        "overall".to_string(),
+        JsonValue::object([
+            ("shared", JsonValue::num(shared_result.read_hit_ratio())),
+            (
+                "partitioned",
+                JsonValue::num(partitioned_result.read_hit_ratio()),
+            ),
+        ]),
+    ));
+    table.emit(&ctx.out_dir, "fig11_multiclient")?;
+    ctx.emit_json("fig11_multiclient", JsonValue::Object(metrics))
 }

@@ -6,8 +6,8 @@
 //! against a single-threaded CLIC simulation of the equivalent interleaved
 //! trace (the sharding + merging fidelity check).
 
-use cache_sim::simulate;
-use clic_bench::{window_for_trace, ExperimentContext, ResultTable};
+use cache_sim::{simulate, REPLAY_CHUNK};
+use clic_bench::{json::JsonValue, window_for_trace, ExperimentContext, ResultTable};
 use clic_core::{Clic, ClicConfig, TrackingMode};
 use clic_server::{run_load, LoadConfig, ServerConfig};
 use trace_gen::{interleave, TracePreset};
@@ -50,7 +50,7 @@ fn main() -> std::io::Result<()> {
             .with_clic(clic_config)
             .with_merge_every(window),
     )
-    .with_batch(64);
+    .with_batch(REPLAY_CHUNK);
     println!(
         "server: {cache_pages} pages, {shards} shards, window {window}, {} clients\n",
         traces.len()
@@ -110,5 +110,28 @@ fn main() -> std::io::Result<()> {
         format!("{:.1}%", reference_result.read_hit_ratio() * 100.0),
     ]);
     table.push_row(vec!["priority merges".into(), format!("{}", report.merges)]);
-    table.emit(&ctx.out_dir, "server_throughput")
+    table.emit(&ctx.out_dir, "server_throughput")?;
+    ctx.emit_json(
+        "server_throughput",
+        JsonValue::object([
+            ("throughput_rps", JsonValue::num(report.throughput_rps())),
+            ("requests", JsonValue::num(report.requests() as f64)),
+            ("shards", JsonValue::num(shards as f64)),
+            ("batch", JsonValue::num(config.batch as f64)),
+            (
+                "latency_us",
+                JsonValue::object([
+                    ("p50", JsonValue::num(report.latency.p50_us as f64)),
+                    ("p95", JsonValue::num(report.latency.p95_us as f64)),
+                    ("p99", JsonValue::num(report.latency.p99_us as f64)),
+                    ("max", JsonValue::num(report.latency.max_us as f64)),
+                ]),
+            ),
+            ("read_hit_ratio", JsonValue::num(report.read_hit_ratio())),
+            (
+                "reference_read_hit_ratio",
+                JsonValue::num(reference_result.read_hit_ratio()),
+            ),
+        ]),
+    )
 }

@@ -1,0 +1,130 @@
+//! A minimal JSON writer for the machine-readable bench reports.
+//!
+//! The build environment is offline, so instead of `serde_json` this module
+//! provides just what the harness needs: build a [`JsonValue`] tree and
+//! render it with [`std::fmt::Display`]. There is deliberately no parser —
+//! `run_all` composes its combined report by embedding the per-experiment
+//! fragment files verbatim via [`JsonValue::Raw`].
+
+use std::fmt;
+
+/// A JSON value. Construct with the enum variants or the [`JsonValue::num`] /
+/// [`JsonValue::str`] shorthands, render with `to_string()` / `{}`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+    /// Pre-rendered JSON text embedded verbatim. The caller asserts it is
+    /// valid JSON (used to splice per-experiment fragment files into the
+    /// combined report without a parser).
+    Raw(String),
+}
+
+impl JsonValue {
+    /// A number from anything convertible to `f64`.
+    pub fn num(value: impl Into<f64>) -> Self {
+        JsonValue::Num(value.into())
+    }
+
+    /// A string value.
+    pub fn str(value: impl Into<String>) -> Self {
+        JsonValue::Str(value.into())
+    }
+
+    /// An object from key/value pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(out, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(out, "\\\"")?,
+            '\\' => write!(out, "\\\\")?,
+            '\n' => write!(out, "\\n")?,
+            '\r' => write!(out, "\\r")?,
+            '\t' => write!(out, "\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    write!(out, "\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) if n.is_finite() => write!(f, "{n}"),
+            JsonValue::Num(_) => write!(f, "null"),
+            JsonValue::Str(s) => escape_into(f, s),
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(pairs) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    escape_into(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                write!(f, "}}")
+            }
+            JsonValue::Raw(text) => write!(f, "{text}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_variant() {
+        let value = JsonValue::object([
+            ("null", JsonValue::Null),
+            ("flag", JsonValue::Bool(true)),
+            ("int", JsonValue::num(3u32)),
+            ("float", JsonValue::num(0.5)),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("text", JsonValue::str("a\"b\\c\nd")),
+            (
+                "arr",
+                JsonValue::Array(vec![JsonValue::num(1u32), JsonValue::str("x")]),
+            ),
+            ("raw", JsonValue::Raw("{\"k\":1}".into())),
+        ]);
+        assert_eq!(
+            value.to_string(),
+            "{\"null\":null,\"flag\":true,\"int\":3,\"float\":0.5,\"nan\":null,\
+             \"text\":\"a\\\"b\\\\c\\nd\",\"arr\":[1,\"x\"],\"raw\":{\"k\":1}}"
+        );
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(JsonValue::str("a\u{1}b").to_string(), "\"a\\u0001b\"");
+    }
+}

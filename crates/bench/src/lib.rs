@@ -4,13 +4,79 @@
 //! dedicated binary in `src/bin/`; this library holds the shared machinery:
 //!
 //! * [`run_policy_comparison`] — simulate OPT/LRU/ARC/TQ/CLIC over a trace at
-//!   several server-cache sizes (Figures 6, 7 and 8),
+//!   several server-cache sizes (Figures 6, 7 and 8), fanned across worker
+//!   threads through [`cache_sim::compare_policies`],
 //! * [`build_policy`] — construct any policy (including CLIC variants) by
 //!   name and capacity,
 //! * [`ResultTable`] — plain-text / CSV result formatting, written both to
 //!   stdout and to the `results/` directory,
-//! * [`ExperimentContext`] — common command-line handling (`--scale`,
-//!   `--out-dir`) shared by every experiment binary.
+//! * [`ExperimentContext`] — common command-line handling shared by every
+//!   experiment binary,
+//! * [`json`] — the dependency-free JSON writer behind the machine-readable
+//!   reports.
+//!
+//! # Command-line flags
+//!
+//! Every experiment binary accepts:
+//!
+//! | flag | default | meaning |
+//! |------|---------|---------|
+//! | `--scale smoke\|default\|paper` | `default` | workload scale |
+//! | `--quick` | — | alias for `--scale smoke` |
+//! | `--out-dir DIR` | `results/` | where `.txt`/`.csv` tables land |
+//! | `--jobs N` | `CLIC_JOBS` env, else available parallelism | worker threads for the experiment's simulation grid |
+//! | `--json PATH` | off | write the experiment's machine-readable report to `PATH` |
+//!
+//! `run_all` accepts the same flags; there `--jobs N` runs whole experiment
+//! *binaries* concurrently (each child grid then runs with `--jobs 1` to
+//! avoid oversubscription) while the timing-sensitive microbenches
+//! (`access_hotpath`, `server_throughput`) always run exclusively at the
+//! end, and `--json PATH` assembles every child's report into one combined
+//! file (conventionally `BENCH_results.json`).
+//!
+//! # Thread-count environment variable
+//!
+//! `CLIC_JOBS=<n>` overrides the default worker count everywhere a
+//! [`cache_sim::ThreadPool`] is sized implicitly (see
+//! [`cache_sim::default_jobs`]); an explicit `--jobs` flag wins over the
+//! environment. Parallelism never changes results — grids run through the
+//! deterministic ordered executor, so output is bit-identical at any job
+//! count (`scripts/verify.sh --smoke-bench` enforces this by diffing
+//! `--jobs 1` vs `--jobs 2` runs).
+//!
+//! # JSON report schema
+//!
+//! A per-experiment report (written by [`ExperimentContext::emit_json`]):
+//!
+//! ```json
+//! {
+//!   "experiment": "fig06_tpcc_policies",
+//!   "scale": "default",
+//!   "jobs": 4,
+//!   "wall_time_s": 12.3,
+//!   "metrics": { ...experiment-specific headline numbers... }
+//! }
+//! ```
+//!
+//! `metrics` holds the headline numbers of each experiment: per-figure read
+//! hit ratios (`{"cache_sizes": [...], "policies": {"CLIC": [...], ...}}`
+//! per trace for the comparison figures), per-path
+//! `{"baseline_ns_per_req", "slab_ns_per_req", "speedup"}` objects plus a
+//! `geomean_speedup` for `access_hotpath`, and `throughput_rps` plus a
+//! `latency_us` percentile object for `server_throughput`. The combined `run_all` file wraps
+//! those fragments:
+//!
+//! ```json
+//! {
+//!   "suite": "run_all",
+//!   "jobs": 2,
+//!   "total_wall_time_s": 123.4,
+//!   "experiments": [
+//!     {"name": "table_fig2", "wall_time_s": 1.2, "ok": true, "report": {...}},
+//!     ...
+//!   ]
+//! }
+//! ```
 //!
 //! Criterion micro-benchmarks for the data structures themselves (policy
 //! throughput, Space-Saving, CLIC bookkeeping overhead) live in `benches/`.
@@ -18,14 +84,19 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod json;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::thread;
+use std::time::Instant;
 
 use cache_sim::policies::{Arc, Lru, Opt, Tq};
-use cache_sim::{simulate, BoxedPolicy, NextUseOracle, SimulationResult, Trace};
+use cache_sim::{
+    compare_policies, BoxedPolicy, NextUseOracle, SimulationResult, ThreadPool, Trace,
+};
 use clic_core::{Clic, ClicConfig, TrackingMode};
+use json::JsonValue;
 use trace_gen::PresetScale;
 
 /// The set of policies the paper compares in Figures 6-8, in plot order.
@@ -89,9 +160,16 @@ pub struct ComparisonPoint {
 }
 
 /// Runs the paper's policy comparison (OPT, TQ, LRU, ARC, CLIC) over `trace`
-/// at each of the given server-cache sizes. Simulations run on worker
-/// threads, one per (policy, cache size) pair.
+/// at each of the given server-cache sizes.
+///
+/// The (policy, cache size) cells are independent simulations; they are
+/// fanned across the pool's worker threads through
+/// [`cache_sim::compare_policies`] — at most [`ThreadPool::jobs`] at a time
+/// (unlike the old one-thread-per-cell scheme) — and returned in exactly the
+/// order the serial nested loop over `policies` × `cache_sizes` would
+/// produce, with bit-identical results at any job count.
 pub fn run_policy_comparison(
+    pool: &ThreadPool,
     trace: &Trace,
     cache_sizes: &[usize],
     policies: &[&str],
@@ -103,36 +181,29 @@ pub fn run_policy_comparison(
         None
     };
     let window = window_for_trace(trace);
-    let mut points = Vec::new();
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &policy_name in policies {
-            for &cache_pages in cache_sizes {
-                let oracle_ref = &oracle;
-                let handle = scope.spawn(move || {
-                    let mut policy: BoxedPolicy = if policy_name == "OPT" {
-                        Box::new(Opt::with_oracle(
-                            oracle_ref.clone().expect("oracle built for OPT"),
-                            cache_pages,
-                        ))
-                    } else {
-                        build_policy(policy_name, trace, cache_pages, window)
-                    };
-                    let result = simulate(policy.as_mut(), trace);
-                    ComparisonPoint {
-                        policy: policy_name.to_string(),
-                        cache_pages,
-                        result,
-                    }
-                });
-                handles.push(handle);
-            }
-        }
-        for handle in handles {
-            points.push(handle.join().expect("simulation thread panicked"));
+    let cells: Vec<(&str, usize)> = policies
+        .iter()
+        .flat_map(|&policy| cache_sizes.iter().map(move |&size| (policy, size)))
+        .collect();
+    let results = compare_policies(pool, trace, &cells, |&(policy_name, cache_pages)| {
+        if policy_name == "OPT" {
+            Box::new(Opt::with_oracle(
+                oracle.clone().expect("oracle built for OPT"),
+                cache_pages,
+            ))
+        } else {
+            build_policy(policy_name, trace, cache_pages, window)
         }
     });
-    points
+    cells
+        .into_iter()
+        .zip(results)
+        .map(|((policy, cache_pages), result)| ComparisonPoint {
+            policy: policy.to_string(),
+            cache_pages,
+            result,
+        })
+        .collect()
 }
 
 /// A printable result table (one per figure/table of the paper).
@@ -269,17 +340,82 @@ pub fn comparison_table(
     table
 }
 
+/// The headline metrics of a policy-comparison figure as a [`JsonValue`]:
+/// `{"cache_sizes": [...], "policies": {"OPT": [ratio, ...], ...}}` with one
+/// read-hit-ratio entry per cache size, in `cache_sizes` order.
+pub fn comparison_metrics(
+    points: &[ComparisonPoint],
+    cache_sizes: &[usize],
+    policies: &[&str],
+) -> JsonValue {
+    let ratios = |policy: &str| {
+        JsonValue::Array(
+            cache_sizes
+                .iter()
+                .map(|&size| {
+                    points
+                        .iter()
+                        .find(|p| p.policy == policy && p.cache_pages == size)
+                        .map(|p| JsonValue::num(p.result.read_hit_ratio()))
+                        .unwrap_or(JsonValue::Null)
+                })
+                .collect(),
+        )
+    };
+    JsonValue::object([
+        (
+            "cache_sizes",
+            JsonValue::Array(
+                cache_sizes
+                    .iter()
+                    .map(|&s| JsonValue::num(s as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "policies",
+            JsonValue::object(policies.iter().map(|&p| (p, ratios(p)))),
+        ),
+    ])
+}
+
+/// Parses a `--jobs` flag value: a positive integer. The single source of
+/// truth for jobs-flag validation, shared by [`ExperimentContext::from_args`]
+/// and `run_all`'s forward-the-rest argument parser.
+///
+/// # Panics
+///
+/// Panics with a usage message unless `value` is a positive integer.
+pub fn parse_jobs_arg(value: &str) -> usize {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&jobs| jobs > 0)
+        .unwrap_or_else(|| panic!("--jobs requires a positive integer, got '{value}'"))
+}
+
 /// Common command-line context for the experiment binaries.
 ///
 /// Every binary accepts `--scale smoke|default|paper` (default `default`),
-/// `--out-dir <dir>` (default `results/`), and `--quick` as an alias for
-/// `--scale smoke`.
+/// `--out-dir <dir>` (default `results/`), `--quick` as an alias for
+/// `--scale smoke`, `--jobs <n>` to size the simulation thread pool (default
+/// [`cache_sim::default_jobs`]: the `CLIC_JOBS` environment variable, else
+/// the machine's available parallelism), and `--json <path>` to write the
+/// experiment's machine-readable report (see the [crate-level
+/// docs](crate#json-report-schema) for the schema).
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// The workload scale to run at.
     pub scale: PresetScale,
     /// Directory that receives `.txt`/`.csv` outputs.
     pub out_dir: PathBuf,
+    /// Worker threads for the experiment's simulation grid.
+    pub jobs: usize,
+    /// Where to write the machine-readable report, if requested.
+    pub json_path: Option<PathBuf>,
+    /// When the context was created; [`ExperimentContext::emit_json`]
+    /// reports the elapsed time since as `wall_time_s`.
+    started: Instant,
 }
 
 impl Default for ExperimentContext {
@@ -287,6 +423,9 @@ impl Default for ExperimentContext {
         ExperimentContext {
             scale: PresetScale::Default,
             out_dir: PathBuf::from("results"),
+            jobs: cache_sim::default_jobs(),
+            json_path: None,
+            started: Instant::now(),
         }
     }
 }
@@ -314,9 +453,19 @@ impl ExperimentContext {
                     i += 1;
                     ctx.out_dir = PathBuf::from(args.get(i).expect("--out-dir requires a value"));
                 }
+                "--jobs" => {
+                    i += 1;
+                    ctx.jobs = parse_jobs_arg(args.get(i).expect("--jobs requires a value"));
+                }
+                "--json" => {
+                    i += 1;
+                    ctx.json_path =
+                        Some(PathBuf::from(args.get(i).expect("--json requires a value")));
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: <experiment> [--scale smoke|default|paper] [--quick] [--out-dir DIR]"
+                        "usage: <experiment> [--scale smoke|default|paper] [--quick] \
+                         [--out-dir DIR] [--jobs N] [--json PATH]"
                     );
                     std::process::exit(0);
                 }
@@ -334,6 +483,43 @@ impl ExperimentContext {
             PresetScale::Default => "default",
             PresetScale::Paper => "paper",
         }
+    }
+
+    /// The thread pool every experiment grid should run on (sized by
+    /// `--jobs`).
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.jobs)
+    }
+
+    /// Writes the experiment's machine-readable report — experiment name,
+    /// scale, job count, wall time since the context was parsed, and the
+    /// given headline `metrics` — to the `--json` path. A no-op when `--json`
+    /// was not passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the parent directory or writing
+    /// the file.
+    pub fn emit_json(&self, experiment: &str, metrics: JsonValue) -> std::io::Result<()> {
+        let Some(path) = &self.json_path else {
+            return Ok(());
+        };
+        let report = JsonValue::object([
+            ("experiment", JsonValue::str(experiment)),
+            ("scale", JsonValue::str(self.scale_label())),
+            ("jobs", JsonValue::num(self.jobs as f64)),
+            (
+                "wall_time_s",
+                JsonValue::num(self.started.elapsed().as_secs_f64()),
+            ),
+            ("metrics", metrics),
+        ]);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, format!("{report}\n"))
     }
 }
 
@@ -376,7 +562,7 @@ mod tests {
     fn comparison_runs_and_opt_dominates() {
         let trace = toy_trace();
         let sizes = [64usize, 128];
-        let points = run_policy_comparison(&trace, &sizes, &PAPER_POLICIES);
+        let points = run_policy_comparison(&ThreadPool::new(2), &trace, &sizes, &PAPER_POLICIES);
         assert_eq!(points.len(), PAPER_POLICIES.len() * sizes.len());
         for &size in &sizes {
             let ratio = |name: &str| {
@@ -410,10 +596,64 @@ mod tests {
     fn comparison_table_has_one_row_per_policy() {
         let trace = toy_trace();
         let sizes = [32usize];
-        let points = run_policy_comparison(&trace, &sizes, &["LRU", "CLIC"]);
+        let points = run_policy_comparison(&ThreadPool::new(1), &trace, &sizes, &["LRU", "CLIC"]);
         let table = comparison_table("t", &points, &sizes, &["LRU", "CLIC"]);
         assert_eq!(table.rows.len(), 2);
         assert_eq!(table.header.len(), 2);
+    }
+
+    #[test]
+    fn comparison_is_bit_identical_across_job_counts() {
+        // The acceptance bar for the parallel replay engine: any job count
+        // produces the statistics (and ordering) of the serial path.
+        let trace = toy_trace();
+        let sizes = [32usize, 64, 96];
+        let policies = ["LRU", "ARC", "CLIC"];
+        let serial = run_policy_comparison(&ThreadPool::new(1), &trace, &sizes, &policies);
+        for jobs in [2, 3, 8] {
+            let parallel = run_policy_comparison(&ThreadPool::new(jobs), &trace, &sizes, &policies);
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.policy, s.policy, "jobs = {jobs}");
+                assert_eq!(p.cache_pages, s.cache_pages, "jobs = {jobs}");
+                assert_eq!(p.result.stats, s.result.stats, "jobs = {jobs}");
+                assert_eq!(p.result.per_client, s.result.per_client, "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_metrics_serializes_the_grid() {
+        let trace = toy_trace();
+        let sizes = [32usize, 64];
+        let points = run_policy_comparison(&ThreadPool::new(2), &trace, &sizes, &["LRU"]);
+        let metrics = comparison_metrics(&points, &sizes, &["LRU"]).to_string();
+        assert!(metrics.starts_with("{\"cache_sizes\":[32,64],\"policies\":{\"LRU\":["));
+        // A policy with no points serializes as nulls, not a panic.
+        let empty = comparison_metrics(&[], &sizes, &["ARC"]).to_string();
+        assert!(empty.contains("\"ARC\":[null,null]"));
+    }
+
+    #[test]
+    fn emit_json_writes_the_report_envelope() {
+        let dir = std::env::temp_dir().join(format!("clic-bench-test-{}", std::process::id()));
+        let path = dir.join("report.json");
+        let ctx = ExperimentContext {
+            json_path: Some(path.clone()),
+            jobs: 3,
+            ..ExperimentContext::default()
+        };
+        ctx.emit_json("unit_test", JsonValue::object([("x", JsonValue::num(1.5))]))
+            .expect("report written");
+        let text = fs::read_to_string(&path).expect("report readable");
+        assert!(text.starts_with("{\"experiment\":\"unit_test\",\"scale\":\"default\",\"jobs\":3,"));
+        assert!(text.contains("\"metrics\":{\"x\":1.5}"));
+        fs::remove_dir_all(&dir).ok();
+        // Without --json the call is a no-op.
+        let silent = ExperimentContext::default();
+        silent
+            .emit_json("unit_test", JsonValue::Null)
+            .expect("no-op");
     }
 
     #[test]

@@ -1,7 +1,20 @@
 //! The simulation driver: feeds a trace through a policy and collects stats.
+//!
+//! Besides the serial [`simulate`]/[`sweep`] pair, this module hosts the
+//! parallel replay engine built on [`crate::par::ThreadPool`]:
+//!
+//! * [`compare_policies`] — the generic executor fanning independent
+//!   simulation cells (one policy instance each) across worker threads while
+//!   returning results in exact cell order,
+//! * [`sweep_parallel`] — [`sweep`] on top of the executor,
+//! * [`simulate_partitioned`] / [`simulate_partitioned_parallel`] — replay
+//!   of disjoint page partitions (the [`crate::partitioned`]-by-pages analogue
+//!   of a sharded server) merged via [`SimulationResult::merge_from`], with
+//!   the parallel variant bit-identical to the serial one.
 
 use std::collections::BTreeMap;
 
+use crate::par::ThreadPool;
 use crate::policy::{AccessOutcome, CachePolicy, PolicyFactory};
 use crate::request::{ClientId, Request};
 use crate::stats::CacheStats;
@@ -96,9 +109,16 @@ pub fn simulate(policy: &mut dyn CachePolicy, trace: &Trace) -> SimulationResult
 }
 
 /// Number of requests replayed per [`CachePolicy::access_batch`] call by the
-/// driver. Large enough to amortize per-batch dispatch and accounting setup,
-/// small enough to keep the outcome scratch buffer in cache.
-const REPLAY_CHUNK: usize = 256;
+/// drivers in this workspace. Large enough to amortize per-batch dispatch,
+/// lock acquisition, and accounting setup; small enough to keep the outcome
+/// scratch buffer (and a prefetch-batched policy's working set) in cache.
+///
+/// This is the *one* shared replay granularity: [`simulate`] chunks traces by
+/// it, the `clic-server` shard workers split over-long sub-batches by it, and
+/// the load harness defaults its client batch size to it — so batching
+/// effects are comparable across the offline and online drivers instead of
+/// each picking its own magic number.
+pub const REPLAY_CHUNK: usize = 256;
 
 /// Like [`simulate`], but invokes `callback(seq, request, hit)` after every
 /// request. Used by experiments that need time-resolved output (for example
@@ -122,7 +142,15 @@ where
     for chunk in trace.requests.chunks(REPLAY_CHUNK) {
         outcomes.clear();
         policy.access_batch(chunk, first_seq, &mut outcomes);
-        debug_assert_eq!(outcomes.len(), chunk.len());
+        // A policy violating the one-outcome-per-request contract must fail
+        // loudly here, not silently truncate the statistics via `zip` below
+        // (one compare per chunk is free next to the replay itself).
+        assert_eq!(
+            outcomes.len(),
+            chunk.len(),
+            "access_batch of {} broke its outcome-count contract",
+            policy.name()
+        );
         for (i, (req, outcome)) in chunk.iter().zip(&outcomes).enumerate() {
             record_outcome(&mut stats, &mut per_client, req, *outcome);
             callback(first_seq + i as u64, req, outcome.hit);
@@ -148,6 +176,137 @@ pub fn sweep(factory: &dyn PolicyFactory, trace: &Trace, capacities: &[usize]) -
             SweepPoint { capacity, result }
         })
         .collect()
+}
+
+/// The parallel simulation executor: builds one policy per cell of `cells`
+/// via `build`, runs [`simulate`] over `trace` for each on the pool's worker
+/// threads, and returns the results **in cell order** — exactly what the
+/// serial loop `cells.iter().map(|c| simulate(build(c), trace))` would
+/// return, because each cell is an independent deterministic simulation and
+/// [`ThreadPool::par_map`] preserves input order.
+///
+/// This is the fan-out primitive behind the benchmark harness's policy
+/// comparisons and sweep grids: a cell is any description of a simulation
+/// (policy name, capacity, configuration, ...) that `build` can turn into a
+/// policy instance.
+pub fn compare_policies<C, B>(
+    pool: &ThreadPool,
+    trace: &Trace,
+    cells: &[C],
+    build: B,
+) -> Vec<SimulationResult>
+where
+    C: Sync,
+    B: Fn(&C) -> Box<dyn CachePolicy> + Sync,
+{
+    pool.par_map(cells, |_, cell| {
+        let mut policy = build(cell);
+        simulate(policy.as_mut(), trace)
+    })
+}
+
+/// [`sweep`] on the parallel executor: same capacities, same trace, same
+/// results in the same order, with the independent capacities simulated
+/// concurrently on the pool's workers.
+pub fn sweep_parallel(
+    pool: &ThreadPool,
+    factory: &(dyn PolicyFactory + Sync),
+    trace: &Trace,
+    capacities: &[usize],
+) -> Vec<SweepPoint> {
+    let results = compare_policies(pool, trace, capacities, |&capacity| factory.build(capacity));
+    capacities
+        .iter()
+        .zip(results)
+        .map(|(&capacity, result)| SweepPoint { capacity, result })
+        .collect()
+}
+
+/// Splits `trace` into `partitions` disjoint page partitions (the shared
+/// [`crate::hash::page_partition`] rule, i.e. the same placement a sharded
+/// server produces), replays each partition through its own policy instance
+/// built by `factory` — sequence numbers stay the requests' *global* trace
+/// positions, exactly as a sharded server's global sequencer would hand them
+/// out — and merges the per-partition statistics in partition order via
+/// [`SimulationResult::merge_from`].
+///
+/// `capacity` is the total cache size; it is split across partitions the way
+/// a sharded deployment splits it (`capacity / partitions` each, the first
+/// `capacity % partitions` partitions receiving one extra page).
+///
+/// This is **not** behaviourally identical to [`simulate`] on one
+/// `capacity`-page policy instance — partitions learn and evict
+/// independently, as real shards do — but it is deterministic, and
+/// [`simulate_partitioned_parallel`] is bit-identical to it.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero or exceeds `capacity`.
+pub fn simulate_partitioned(
+    factory: &(dyn PolicyFactory + Sync),
+    trace: &Trace,
+    capacity: usize,
+    partitions: usize,
+) -> SimulationResult {
+    let pool = ThreadPool::new(1);
+    simulate_partitioned_parallel(&pool, factory, trace, capacity, partitions)
+}
+
+/// [`simulate_partitioned`] with the partitions replayed concurrently on the
+/// pool's worker threads. Partitions are disjoint by construction and merged
+/// in partition order, so the result is **bit-identical** to the serial
+/// variant (and independent of the pool's job count).
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero or exceeds `capacity`.
+pub fn simulate_partitioned_parallel(
+    pool: &ThreadPool,
+    factory: &(dyn PolicyFactory + Sync),
+    trace: &Trace,
+    capacity: usize,
+    partitions: usize,
+) -> SimulationResult {
+    assert!(partitions > 0, "at least one partition is required");
+    assert!(
+        capacity >= partitions,
+        "capacity ({capacity}) must be at least one page per partition ({partitions})"
+    );
+    // Split the trace once: per partition, the requests plus their global
+    // sequence numbers (partitions see gaps in the sequence, like shards of
+    // a server drawing from one global sequencer).
+    let mut split: Vec<Vec<(u64, Request)>> = vec![Vec::new(); partitions];
+    for (seq, req) in trace.requests.iter().enumerate() {
+        split[crate::hash::page_partition(req.page, partitions)].push((seq as u64, *req));
+    }
+    let base = capacity / partitions;
+    let remainder = capacity % partitions;
+    let indexed: Vec<(usize, Vec<(u64, Request)>)> = split.into_iter().enumerate().collect();
+    let partials = pool.par_map(&indexed, |_, (index, requests)| {
+        let partition_capacity = base + usize::from(*index < remainder);
+        let mut policy = factory.build(partition_capacity);
+        let mut stats = CacheStats::new();
+        let mut per_client: BTreeMap<ClientId, CacheStats> = BTreeMap::new();
+        for (seq, req) in requests {
+            let outcome = policy.access(req, *seq);
+            record_outcome(&mut stats, &mut per_client, req, outcome);
+        }
+        SimulationResult {
+            policy: policy.name(),
+            capacity: partition_capacity,
+            stats,
+            per_client,
+        }
+    });
+    let mut result = SimulationResult {
+        policy: format!("Partitioned<{}x{partitions}>", factory.name()),
+        capacity,
+        ..SimulationResult::default()
+    };
+    for partial in &partials {
+        result.merge_from(partial);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -254,6 +413,99 @@ mod tests {
         let before = merged.stats;
         merged.merge_from(&SimulationResult::default());
         assert_eq!(merged.stats, before);
+    }
+
+    #[test]
+    fn sweep_parallel_is_bit_identical_to_sweep() {
+        let trace = cyclic_trace(12, 5);
+        let factory: (String, fn(usize) -> BoxedPolicy) = ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        });
+        let capacities = [2usize, 4, 6, 8, 12, 16];
+        let serial = sweep(&factory, &trace, &capacities);
+        for jobs in [1, 2, 4] {
+            let pool = ThreadPool::new(jobs);
+            let parallel = sweep_parallel(&pool, &factory, &trace, &capacities);
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.capacity, s.capacity, "jobs = {jobs}");
+                assert_eq!(p.result.stats, s.result.stats, "jobs = {jobs}");
+                assert_eq!(p.result.per_client, s.result.per_client, "jobs = {jobs}");
+                assert_eq!(p.result.policy, s.result.policy, "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_policies_returns_results_in_cell_order() {
+        let trace = cyclic_trace(8, 4);
+        let cells: Vec<usize> = vec![2, 8, 4, 16, 6];
+        let pool = ThreadPool::new(3);
+        let results = compare_policies(&pool, &trace, &cells, |&cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        });
+        assert_eq!(results.len(), cells.len());
+        for (cell, result) in cells.iter().zip(&results) {
+            assert_eq!(result.capacity, *cell, "cell order must be preserved");
+            let mut reference = Lru::new(*cell);
+            let expected = simulate(&mut reference, &trace);
+            assert_eq!(result.stats, expected.stats);
+        }
+    }
+
+    #[test]
+    fn partitioned_parallel_matches_serial_partitioned_exactly() {
+        // A trace wide enough that every partition sees traffic.
+        let mut b = TraceBuilder::new().with_name("wide");
+        let c = b.add_client("t", &[("x", 1)]);
+        let h = b.intern_hints(c, &[0]);
+        for round in 0..6u64 {
+            for p in 0..200u64 {
+                b.push(c, p * 31 + round, AccessKind::Read, None, h);
+            }
+        }
+        let trace = b.build();
+        let factory: (String, fn(usize) -> BoxedPolicy) = ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        });
+        for partitions in [1usize, 2, 3, 7] {
+            let serial = simulate_partitioned(&factory, &trace, 64, partitions);
+            assert_eq!(serial.stats.requests(), trace.len() as u64);
+            for jobs in [1, 2, 4] {
+                let pool = ThreadPool::new(jobs);
+                let parallel =
+                    simulate_partitioned_parallel(&pool, &factory, &trace, 64, partitions);
+                assert_eq!(parallel.stats, serial.stats, "p={partitions} jobs={jobs}");
+                assert_eq!(
+                    parallel.per_client, serial.per_client,
+                    "p={partitions} jobs={jobs}"
+                );
+                assert_eq!(parallel.policy, serial.policy);
+                assert_eq!(parallel.capacity, 64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_replay_matches_plain_simulate() {
+        let trace = cyclic_trace(10, 4);
+        let factory: (String, fn(usize) -> BoxedPolicy) = ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        });
+        let partitioned = simulate_partitioned(&factory, &trace, 8, 1);
+        let expected = simulate(&mut Lru::new(8), &trace);
+        assert_eq!(partitioned.stats, expected.stats);
+        assert_eq!(partitioned.per_client, expected.per_client);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page per partition")]
+    fn partitioned_rejects_more_partitions_than_pages() {
+        let trace = cyclic_trace(4, 1);
+        let factory: (String, fn(usize) -> BoxedPolicy) = ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as BoxedPolicy
+        });
+        let _ = simulate_partitioned(&factory, &trace, 2, 3);
     }
 
     #[test]

@@ -80,6 +80,26 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Routes a page to one of `partitions` disjoint partitions: a Fibonacci
+/// multiplicative hash keeping the high bits (page ids are often sequential
+/// per client, so the low bits are biased).
+///
+/// This is the **one** page-routing rule shared by every page-partitioned
+/// deployment in the workspace — `clic-server`'s `ShardedClic` shard router
+/// and the driver's [`crate::simulate_partitioned`] /
+/// [`crate::simulate_partitioned_parallel`] replays — so the offline
+/// partitioned replay models exactly the placement a sharded server
+/// produces.
+///
+/// # Panics
+///
+/// Panics (divide by zero) if `partitions` is zero.
+#[inline]
+pub fn page_partition(page: crate::PageId, partitions: usize) -> usize {
+    let hashed = page.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((hashed >> 32) as usize) % partitions
+}
+
 /// `BuildHasher` for [`FxHasher`]; plug into any `HashMap`/`HashSet`.
 pub type FastBuildHasher = BuildHasherDefault<FxHasher>;
 

@@ -15,7 +15,12 @@
 //!   (OPT/Belady-MIN, LRU, ARC, TQ) plus a wider set of classical policies
 //!   (FIFO, CLOCK, LFU, 2Q, MQ, CAR) useful for extended comparisons,
 //! * the trace container ([`Trace`]) and the simulation driver
-//!   ([`simulate`], [`sweep`]) that measure server-cache read hit ratios, and
+//!   ([`simulate`], [`sweep`]) that measure server-cache read hit ratios,
+//! * the parallel replay engine: a dependency-free scoped thread pool
+//!   ([`par::ThreadPool`]) with a deterministic ordered `par_map`, the
+//!   [`compare_policies`] executor and [`sweep_parallel`] that fan
+//!   independent simulation cells across cores in exact serial order, and
+//!   the page-partitioned [`simulate_partitioned_parallel`] replay, and
 //! * a [`PartitionedCache`] that statically partitions a cache
 //!   among clients (the baseline of the paper's multi-client experiment).
 //!
@@ -46,6 +51,7 @@ pub mod driver;
 pub mod hash;
 pub mod hints;
 pub mod oracle;
+pub mod par;
 pub mod partitioned;
 pub mod policies;
 pub mod policy;
@@ -54,11 +60,14 @@ pub mod stats;
 pub mod trace;
 
 pub use driver::{
-    record_outcome, simulate, simulate_with_callback, sweep, SimulationResult, SweepPoint,
+    compare_policies, record_outcome, simulate, simulate_partitioned,
+    simulate_partitioned_parallel, simulate_with_callback, sweep, sweep_parallel, SimulationResult,
+    SweepPoint, REPLAY_CHUNK,
 };
-pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
+pub use hash::{page_partition, FastBuildHasher, FastHashMap, FastHashSet};
 pub use hints::{HintCatalog, HintSchema, HintSetId, HintTypeDescriptor, HintValue};
 pub use oracle::NextUseOracle;
+pub use par::{default_jobs, ThreadPool};
 pub use partitioned::PartitionedCache;
 pub use policy::{BoxedPolicy, CachePolicy, PolicyFactory};
 pub use request::{AccessKind, ClientId, PageId, Request, WriteHint};

@@ -39,9 +39,13 @@ pub struct HintSetReport {
 
 /// Computes exact per-hint-set statistics over an entire trace.
 ///
-/// Reports are returned sorted by decreasing frequency. Every hint set that
-/// appears in the trace gets a report, including those whose priority is
-/// zero.
+/// Reports are returned sorted by decreasing frequency, ties broken by
+/// ascending hint-set id — a *total* order, so the report sequence is
+/// reproducible run to run (the accumulation map iterates in a
+/// process-random order, which once leaked through the stable sort into the
+/// Figure 3 output and tripped the cross-run determinism gate in
+/// `scripts/verify.sh --smoke-bench`). Every hint set that appears in the
+/// trace gets a report, including those whose priority is zero.
 pub fn analyze_trace(trace: &Trace) -> Vec<HintSetReport> {
     let mut per_hint: HashMap<HintSetId, HintWindowStats> = HashMap::new();
     // Most recent request (sequence number and hint set) for every page.
@@ -74,7 +78,7 @@ pub fn analyze_trace(trace: &Trace) -> Vec<HintSetReport> {
             frequency: stats.requests as f64 / total,
         })
         .collect();
-    reports.sort_by(|a, b| b.requests.cmp(&a.requests));
+    reports.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.hint.cmp(&b.hint)));
     reports
 }
 

@@ -70,6 +70,22 @@ pub struct PageRecord {
     pub hint: HintSetId,
 }
 
+/// Issues a best-effort read prefetch for the cache line holding `ptr`
+/// (locality hint: all cache levels). A no-op on architectures without a
+/// stable prefetch intrinsic — prefetching is only ever a hint, so behaviour
+/// is identical either way.
+#[inline(always)]
+fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` has no memory effects observable by safe code;
+    // it is a hint and is defined for any address, valid or not.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
 /// Sentinel for "no slot" in links, buckets, and free list.
 const NIL: u32 = u32::MAX;
 /// `Slot::list` value marking membership in the outqueue FIFO.
@@ -224,6 +240,40 @@ impl PageTable {
                 ));
             }
             bucket = (bucket + 1) & mask;
+        }
+    }
+
+    /// Largest group size accepted by [`PageTable::prefetch_group`] in one
+    /// internal pass (callers may pass longer slices; they are processed in
+    /// sub-groups of this size).
+    pub const MAX_PREFETCH_GROUP: usize = 32;
+
+    /// Warms the caches for an upcoming burst of [`PageTable::find`] calls on
+    /// `pages` using a two-pass group structure: pass one precomputes every
+    /// page's Fibonacci home bucket and software-prefetches the index
+    /// buckets; pass two — by which time the bucket words are arriving —
+    /// reads each home bucket and prefetches the slab slot it points at.
+    /// The actual lookups then run against warm lines instead of paying a
+    /// dependent bucket-then-slot miss chain per request.
+    ///
+    /// Purely a performance hint: no observable state changes, and the
+    /// subsequent `find` calls behave identically whether or not (and on
+    /// whatever architecture) this ran. Mutations between the prefetch and
+    /// the lookup (admissions, evictions within the same batch) at worst
+    /// waste the hint.
+    pub fn prefetch_group(&self, pages: &[PageId]) {
+        let mut homes = [0usize; Self::MAX_PREFETCH_GROUP];
+        for group in pages.chunks(Self::MAX_PREFETCH_GROUP) {
+            for (home, &page) in homes.iter_mut().zip(group) {
+                *home = self.home_bucket(page);
+                prefetch_read(&self.buckets[*home]);
+            }
+            for &home in homes.iter().take(group.len()) {
+                let slot = self.buckets[home];
+                if slot != NIL {
+                    prefetch_read(&self.slots[slot as usize]);
+                }
+            }
         }
     }
 

@@ -152,12 +152,28 @@ proptest! {
         got.sort_by_key(|(h, _)| h.0);
         expected.sort_by_key(|(h, _)| h.0);
         prop_assert_eq!(got, expected);
-        // And the chunked batch driver reproduces the same statistics on
-        // fresh instances of both implementations.
+        // And the chunked batch driver — which runs Clic's prefetch-batched
+        // `access_batch` fast path — reproduces the same statistics on fresh
+        // instances of both implementations.
         let batched = simulate(&mut Clic::new(capacity, config), &trace);
         let sequential = simulate(&mut ReferenceClic::new(capacity, config), &trace);
         prop_assert_eq!(batched.stats, sequential.stats);
         prop_assert_eq!(batched.per_client, sequential.per_client);
+        // Driving the prefetch-batched path directly with ragged batch sizes
+        // must match the reference's per-request outcomes one for one.
+        let mut slab_batched = Clic::new(capacity, config);
+        let mut reference_again = ReferenceClic::new(capacity, config);
+        let mut got_outcomes = Vec::new();
+        let mut first_seq = 0u64;
+        for chunk in trace.requests.chunks(37) {
+            slab_batched.access_batch(chunk, first_seq, &mut got_outcomes);
+            first_seq += chunk.len() as u64;
+        }
+        for (seq, req) in trace.iter() {
+            let expected = reference_again.access(req, seq);
+            prop_assert_eq!(got_outcomes[seq as usize], expected,
+                "batched outcome diverged at seq {}", seq);
+        }
     }
 
     /// The driver accounts for every request when running CLIC, and the

@@ -11,7 +11,9 @@
 
 use std::time::{Duration, Instant};
 
-use cache_sim::{CacheStats, ClientId, HintCatalog, Request, SimulationResult, Trace};
+use cache_sim::{
+    CacheStats, ClientId, HintCatalog, Request, SimulationResult, Trace, REPLAY_CHUNK,
+};
 use trace_gen::{PresetScale, TracePreset};
 
 use crate::protocol::ServerRequest;
@@ -27,9 +29,15 @@ pub struct LoadConfig {
 }
 
 impl LoadConfig {
-    /// A harness over the given server configuration with a 64-request batch.
+    /// A harness over the given server configuration submitting batches of
+    /// [`cache_sim::REPLAY_CHUNK`] requests — the workspace-wide replay
+    /// granularity, so the load harness batches exactly like the offline
+    /// drivers instead of picking its own magic number.
     pub fn new(server: ServerConfig) -> Self {
-        LoadConfig { server, batch: 64 }
+        LoadConfig {
+            server,
+            batch: REPLAY_CHUNK,
+        }
     }
 
     /// Sets the batch size.

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use cache_sim::{Request, SimulationResult};
+use cache_sim::{Request, SimulationResult, REPLAY_CHUNK};
 use clic_core::ClicConfig;
 
 use crate::protocol::{ServerRequest, ServerResponse};
@@ -110,10 +110,16 @@ impl Server {
                 .spawn(move || {
                     let mut outcomes = Vec::new();
                     for job in receiver {
-                        // One lock + one batched policy call per sub-batch
-                        // instead of one of each per request.
+                        // One lock + one batched policy call per replay chunk
+                        // instead of one of each per request. Sub-batches are
+                        // split at the workspace-wide REPLAY_CHUNK so an
+                        // oversized client batch cannot monopolize the shard
+                        // lock, and so the worker replays at the same
+                        // granularity as the offline simulate() driver.
                         outcomes.clear();
-                        cache.access_shard_batch(shard, &job.requests, &mut outcomes);
+                        for chunk in job.requests.chunks(REPLAY_CHUNK) {
+                            cache.access_shard_batch(shard, chunk, &mut outcomes);
+                        }
                         for (&position, outcome) in job.positions.iter().zip(&outcomes) {
                             // A client that gave up on its batch only loses
                             // the reply; the cache still observes every

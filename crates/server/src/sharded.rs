@@ -202,11 +202,12 @@ impl ShardedClic {
         self.merges_completed.load(Ordering::Relaxed)
     }
 
-    /// The shard responsible for `page` (a Fibonacci multiplicative hash;
-    /// page ids are often sequential per client, so the high bits are used).
+    /// The shard responsible for `page`: the workspace-wide
+    /// [`cache_sim::hash::page_partition`] routing rule, shared with the
+    /// driver's partitioned replay so offline partition studies model this
+    /// server's placement exactly.
     pub fn shard_of(&self, page: PageId) -> usize {
-        let hashed = page.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((hashed >> 32) as usize) % self.shards.len()
+        cache_sim::hash::page_partition(page, self.shards.len())
     }
 
     /// Serves one request: draws a global sequence number, runs the owning

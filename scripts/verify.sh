@@ -7,10 +7,15 @@
 #                                      # clic-server throughput harness (~1 s
 #                                      # of load at smoke scale)
 #   scripts/verify.sh --smoke-bench    # additionally crash-check EVERY bench
-#                                      # binary (via run_all) at smoke scale;
-#                                      # iteration-budgeted microbenches
-#                                      # (access_hotpath, server_throughput)
-#                                      # clamp to ~1 s budgets
+#                                      # binary (via run_all) at smoke scale,
+#                                      # BOTH with --jobs 1 and --jobs 2, and
+#                                      # fail on any cross-thread result
+#                                      # divergence (timing-dependent outputs
+#                                      # excluded); iteration-budgeted
+#                                      # microbenches (access_hotpath,
+#                                      # server_throughput) clamp to ~1 s
+#                                      # budgets. run_all prints per-
+#                                      # experiment wall time in both runs.
 #
 # Tier-1 (the bar every PR must clear, see ROADMAP.md):
 #   cargo build --release && cargo test -q
@@ -49,9 +54,56 @@ if [ "$smoke_server" -eq 1 ] && [ "$smoke_bench" -eq 0 ]; then
 fi
 
 if [ "$smoke_bench" -eq 1 ]; then
-    echo "== smoke: every bench binary via run_all (smoke scale, crash check) =="
+    # Fresh output dirs: stale CSVs from earlier commits must not leak into
+    # the determinism comparison (bogus divergences after a stem rename,
+    # silently-dead checks otherwise).
+    rm -rf target/smoke-results-j1 target/smoke-results-j2 target/smoke-results-grid
+    echo "== smoke: every bench binary via run_all, --jobs 1 (smoke scale) =="
     cargo run --release -p clic-bench --bin run_all -- \
-        --quick --out-dir target/smoke-results
+        --quick --jobs 1 --out-dir target/smoke-results-j1 \
+        --json target/smoke-results-j1/BENCH_results.json
+    echo "== smoke: every bench binary via run_all, --jobs 2 (smoke scale) =="
+    cargo run --release -p clic-bench --bin run_all -- \
+        --quick --jobs 2 --out-dir target/smoke-results-j2 \
+        --json target/smoke-results-j2/BENCH_results.json
+    echo "== smoke: cross-thread determinism (jobs 1 vs jobs 2 outputs) =="
+    diverged=0
+    for f in target/smoke-results-j1/*.csv; do
+        base="$(basename "$f")"
+        case "$base" in
+            # Timing-dependent outputs legitimately differ between runs.
+            access_hotpath.csv|server_throughput.csv) continue ;;
+        esac
+        if ! cmp -s "$f" "target/smoke-results-j2/$base"; then
+            echo "DIVERGENCE: $base differs between --jobs 1 and --jobs 2" >&2
+            diverged=1
+        fi
+    done
+    if [ "$diverged" -ne 0 ]; then
+        echo "verify: FAILED (parallel bench results diverged from serial)" >&2
+        exit 1
+    fi
+    # run_all pins concurrent children to --jobs 1, so the comparison above
+    # covers process-level concurrency only. Also exercise the *in-process*
+    # parallel grids (compare_policies / par_map) of representative
+    # experiments at --jobs 2 against the serial run's outputs.
+    echo "== smoke: in-process grid determinism (--jobs 2 vs serial outputs) =="
+    for exp in fig06_tpcc_policies fig10_noise ablation_params; do
+        cargo run --release -q -p clic-bench --bin "$exp" -- \
+            --quick --jobs 2 --out-dir target/smoke-results-grid > /dev/null
+    done
+    for f in target/smoke-results-grid/*.csv; do
+        base="$(basename "$f")"
+        if ! cmp -s "$f" "target/smoke-results-j1/$base"; then
+            echo "DIVERGENCE: $base differs between in-process --jobs 2 and serial" >&2
+            diverged=1
+        fi
+    done
+    if [ "$diverged" -ne 0 ]; then
+        echo "verify: FAILED (in-process parallel grid diverged from serial)" >&2
+        exit 1
+    fi
+    echo "deterministic: every comparable result file is bit-identical"
 fi
 
 if [ "$quick" -eq 1 ]; then

@@ -96,8 +96,9 @@ pub use cache_sim::CachePolicy;
 pub mod prelude {
     pub use cache_sim::policies::{Arc, Lru, Opt, Tq};
     pub use cache_sim::{
-        simulate, sweep, AccessKind, CachePolicy, CacheStats, ClientId, HintSetId, PageId,
-        PartitionedCache, Request, SimulationResult, Trace, TraceBuilder, WriteHint,
+        compare_policies, simulate, simulate_partitioned, simulate_partitioned_parallel, sweep,
+        sweep_parallel, AccessKind, CachePolicy, CacheStats, ClientId, HintSetId, PageId,
+        PartitionedCache, Request, SimulationResult, ThreadPool, Trace, TraceBuilder, WriteHint,
     };
     pub use clic_core::{
         analyze_trace, suggested_window, Clic, ClicConfig, HintSetReport, TrackingMode,
@@ -129,5 +130,20 @@ mod tests {
         let clic_result = simulate(&mut clic, &trace);
         assert!(lru_result.stats.requests() == trace.len() as u64);
         assert!(clic_result.stats.requests() == trace.len() as u64);
+    }
+
+    #[test]
+    fn facade_parallel_sweep_matches_serial_sweep() {
+        let trace = TracePreset::MyH65.build(PresetScale::Smoke);
+        let factory: (String, fn(usize) -> cache_sim::BoxedPolicy) = ("LRU".to_string(), |cap| {
+            Box::new(Lru::new(cap)) as cache_sim::BoxedPolicy
+        });
+        let capacities = [100usize, 300, 500];
+        let serial = sweep(&factory, &trace, &capacities);
+        let parallel = sweep_parallel(&ThreadPool::new(2), &factory, &trace, &capacities);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.capacity, p.capacity);
+            assert_eq!(s.result.stats, p.result.stats);
+        }
     }
 }
