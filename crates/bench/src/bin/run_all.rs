@@ -29,7 +29,7 @@ use clic_bench::json::JsonValue;
 
 /// Experiments whose grids are deterministic and cheap to interleave: run
 /// concurrently under `--jobs`.
-const PARALLEL_EXPERIMENTS: [&str; 11] = [
+const PARALLEL_EXPERIMENTS: [&str; 12] = [
     "table_fig2",
     "table_fig5",
     "fig03_hint_priorities",
@@ -41,6 +41,7 @@ const PARALLEL_EXPERIMENTS: [&str; 11] = [
     "fig11_multiclient",
     "ablation_params",
     "ablation_generalization",
+    "storage_io",
 ];
 
 /// Timing-sensitive microbenches: always run exclusively, after everything

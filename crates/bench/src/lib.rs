@@ -63,7 +63,14 @@
 //! per trace for the comparison figures), per-path
 //! `{"baseline_ns_per_req", "slab_ns_per_req", "speedup"}` objects plus a
 //! `geomean_speedup` for `access_hotpath`, and `throughput_rps` plus a
-//! `latency_us` percentile object for `server_throughput`. The combined `run_all` file wraps
+//! `latency_us` percentile object for `server_throughput`. The `storage_io`
+//! experiment (the disk-backed data plane replayed under CLIC and LRU
+//! admission) reports `page_size`, `cache_pages`, `requests`, one object per
+//! policy with its byte-level counters (`bytes_read`, `bytes_written`,
+//! `buffer_hit_ratio`, `disk_reads`, `disk_writes`, `disk_bytes_read`,
+//! `disk_bytes_written`, `disk_reads_per_request`, `pages_flushed`,
+//! `eviction_flushes`, `wal_records`, `wal_bytes`), and the headline
+//! `clic_vs_lru_disk_reads_saved`. The combined `run_all` file wraps
 //! those fragments:
 //!
 //! ```json

@@ -71,5 +71,5 @@ pub use par::{default_jobs, ThreadPool};
 pub use partitioned::PartitionedCache;
 pub use policy::{BoxedPolicy, CachePolicy, PolicyFactory};
 pub use request::{AccessKind, ClientId, PageId, Request, WriteHint};
-pub use stats::CacheStats;
+pub use stats::{CacheStats, IoStats};
 pub use trace::{Trace, TraceBuilder, TraceSummary};

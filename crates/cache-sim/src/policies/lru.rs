@@ -14,6 +14,9 @@ use crate::request::{PageId, Request};
 pub struct Lru {
     capacity: usize,
     pages: OrderedPageSet,
+    /// Eviction-identity log for data-plane drivers; `None` until enabled
+    /// via [`CachePolicy::record_evictions`].
+    evicted_log: Option<Vec<PageId>>,
 }
 
 impl Lru {
@@ -27,6 +30,7 @@ impl Lru {
         Lru {
             capacity,
             pages: OrderedPageSet::with_capacity(capacity),
+            evicted_log: None,
         }
     }
 
@@ -51,11 +55,29 @@ impl CachePolicy for Lru {
         }
         let mut evicted = 0;
         if self.pages.len() >= self.capacity {
-            self.pages.pop_front();
+            let victim = self.pages.pop_front();
+            if let (Some(log), Some(page)) = (self.evicted_log.as_mut(), victim) {
+                log.push(page);
+            }
             evicted = 1;
         }
         self.pages.push_back(req.page);
         AccessOutcome::miss(evicted)
+    }
+
+    fn record_evictions(&mut self, enabled: bool) -> bool {
+        if enabled {
+            self.evicted_log.get_or_insert_with(Vec::new);
+        } else {
+            self.evicted_log = None;
+        }
+        true
+    }
+
+    fn drain_evictions(&mut self, out: &mut Vec<PageId>) {
+        if let Some(log) = self.evicted_log.as_mut() {
+            out.append(log);
+        }
     }
 
     fn contains(&self, page: PageId) -> bool {
@@ -115,5 +137,27 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_is_rejected() {
         let _ = Lru::new(0);
+    }
+
+    #[test]
+    fn eviction_log_reports_victims_in_order() {
+        let mut lru = Lru::new(2);
+        assert!(lru.record_evictions(true));
+        lru.access(&read(1), 0);
+        lru.access(&read(2), 1);
+        lru.access(&read(3), 2); // evicts 1
+        lru.access(&read(4), 3); // evicts 2
+        let mut evicted = Vec::new();
+        lru.drain_evictions(&mut evicted);
+        assert_eq!(evicted, vec![PageId(1), PageId(2)]);
+        // A drain empties the log.
+        evicted.clear();
+        lru.drain_evictions(&mut evicted);
+        assert!(evicted.is_empty());
+        // Disabling stops the recording.
+        lru.record_evictions(false);
+        lru.access(&read(5), 4);
+        lru.drain_evictions(&mut evicted);
+        assert!(evicted.is_empty());
     }
 }

@@ -92,6 +92,28 @@ pub trait CachePolicy {
         }
     }
 
+    /// Asks the policy to record the *identity* of every page it evicts so a
+    /// data plane can drop (and, if dirty, flush) the corresponding buffer
+    /// frame. Returns `true` if the policy supports eviction logging.
+    ///
+    /// [`AccessOutcome`] deliberately reports only eviction *counts* — the
+    /// common simulation path never needs identities, and forcing every
+    /// policy to return them would put an allocation on the hot path.
+    /// Policies backing a real store opt in: after enabling, every page
+    /// evicted by `access`/`access_batch` is appended to an internal log that
+    /// the caller drains with [`CachePolicy::drain_evictions`] (and must
+    /// drain, or the log grows with the eviction count). The default
+    /// implementation ignores the request and reports `false`, so drivers
+    /// can detect policies that would silently leak frames.
+    fn record_evictions(&mut self, _enabled: bool) -> bool {
+        false
+    }
+
+    /// Drains the identities of pages evicted since the previous drain into
+    /// `out` (appending, oldest first). A no-op unless the policy supports
+    /// and has enabled [`CachePolicy::record_evictions`].
+    fn drain_evictions(&mut self, _out: &mut Vec<PageId>) {}
+
     /// Returns `true` if the page is currently cached.
     fn contains(&self, page: PageId) -> bool;
 

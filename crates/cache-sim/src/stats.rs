@@ -124,6 +124,121 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Byte-level I/O counters for a cache with a real data plane.
+///
+/// Where [`CacheStats`] counts policy decisions (hits, misses, evictions),
+/// `IoStats` counts the bytes those decisions move: payload traffic between
+/// clients and the store, frame-sized transfers against the backing disk,
+/// buffer-pool hits, write-back flushes, and write-ahead-log appends. The
+/// `clic-store` crate produces these counters and the server/bench layers
+/// aggregate and report them; they live here so every layer shares one
+/// definition, exactly like `CacheStats`.
+///
+/// The headline derived metric is [`IoStats::buffer_hit_ratio`]; the headline
+/// raw metric is [`IoStats::disk_reads`] — the disk accesses a better
+/// admission policy avoids, which is CLIC's value proposition in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Payload bytes returned to clients by read operations.
+    pub bytes_read: u64,
+    /// Payload bytes accepted from clients by write operations.
+    pub bytes_written: u64,
+    /// Read operations served entirely from a resident buffer frame.
+    pub buffer_hits: u64,
+    /// Read operations that had to go to the disk tier.
+    pub buffer_misses: u64,
+    /// Frame-sized reads issued against the backing disk (includes reads of
+    /// pages the backing file has never stored, which a real server would
+    /// fetch from the underlying device all the same).
+    pub disk_reads: u64,
+    /// Frame-sized writes issued against the backing disk.
+    pub disk_writes: u64,
+    /// Frame-sized bytes transferred from the backing disk.
+    pub disk_bytes_read: u64,
+    /// Frame-sized bytes transferred to the backing disk.
+    pub disk_bytes_written: u64,
+    /// Dirty frames written back by flushes (background, threshold, or
+    /// eviction-forced).
+    pub pages_flushed: u64,
+    /// Dirty frames whose write-back was forced by an eviction.
+    pub eviction_flushes: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log (including record framing).
+    pub wal_bytes: u64,
+}
+
+impl IoStats {
+    /// Creates an all-zero I/O record.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Total read operations against the data plane.
+    pub fn reads(&self) -> u64 {
+        self.buffer_hits + self.buffer_misses
+    }
+
+    /// Fraction of read operations served from a resident buffer frame
+    /// without touching the disk tier (0.0 when no reads were observed).
+    pub fn buffer_hit_ratio(&self) -> f64 {
+        let reads = self.reads();
+        if reads == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / reads as f64
+        }
+    }
+
+    /// Total payload bytes moved between clients and the store.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+
+    fn add(mut self, rhs: Self) -> Self::Output {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.bytes_read += rhs.bytes_read;
+        self.bytes_written += rhs.bytes_written;
+        self.buffer_hits += rhs.buffer_hits;
+        self.buffer_misses += rhs.buffer_misses;
+        self.disk_reads += rhs.disk_reads;
+        self.disk_writes += rhs.disk_writes;
+        self.disk_bytes_read += rhs.disk_bytes_read;
+        self.disk_bytes_written += rhs.disk_bytes_written;
+        self.pages_flushed += rhs.pages_flushed;
+        self.eviction_flushes += rhs.eviction_flushes;
+        self.wal_records += rhs.wal_records;
+        self.wal_bytes += rhs.wal_bytes;
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {} (buffer hit {:.2}%), disk reads {}, disk writes {}, \
+             flushed {}, wal {} records / {} bytes",
+            self.reads(),
+            self.buffer_hit_ratio() * 100.0,
+            self.disk_reads,
+            self.disk_writes,
+            self.pages_flushed,
+            self.wal_records,
+            self.wal_bytes
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +291,36 @@ mod tests {
         s.record_read(true);
         let text = s.to_string();
         assert!(text.contains("100.00%"));
+    }
+
+    #[test]
+    fn io_stats_ratios_and_sums() {
+        let empty = IoStats::new();
+        assert_eq!(empty.buffer_hit_ratio(), 0.0);
+        assert_eq!(empty.bytes_moved(), 0);
+        let mut a = IoStats {
+            bytes_read: 8192,
+            bytes_written: 4096,
+            buffer_hits: 3,
+            buffer_misses: 1,
+            disk_reads: 1,
+            disk_writes: 2,
+            disk_bytes_read: 4096,
+            disk_bytes_written: 8192,
+            pages_flushed: 2,
+            eviction_flushes: 1,
+            wal_records: 1,
+            wal_bytes: 4113,
+        };
+        assert!((a.buffer_hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(a.reads(), 4);
+        assert_eq!(a.bytes_moved(), 12_288);
+        let b = a;
+        a += b;
+        assert_eq!(a.buffer_hits, 6);
+        assert_eq!(a.wal_bytes, 8226);
+        assert_eq!((b + b).disk_writes, 4);
+        let text = a.to_string();
+        assert!(text.contains("75.00%"));
     }
 }

@@ -72,6 +72,10 @@ pub struct Clic {
     priorities: PriorityTable,
     tracker: Tracker,
     requests_seen: u64,
+    /// Eviction-identity log for data-plane drivers; `None` until enabled
+    /// via [`CachePolicy::record_evictions`]. Only *cache* evictions are
+    /// logged — outqueue drops are metadata-only and never hold a frame.
+    evicted_log: Option<Vec<PageId>>,
 }
 
 impl Clic {
@@ -101,6 +105,7 @@ impl Clic {
             priorities: PriorityTable::new(),
             tracker,
             requests_seen: 0,
+            evicted_log: None,
         }
     }
 
@@ -307,6 +312,9 @@ impl Clic {
                 let new_priority = self.priorities.priority(req.hint);
                 match self.table.find_victim() {
                     Some(victim) if new_priority > victim.priority => {
+                        if let Some(log) = self.evicted_log.as_mut() {
+                            log.push(victim.page);
+                        }
                         self.table.evict_slot_to_outqueue(victim.slot);
                         // The eviction may have dropped the requested page's
                         // own outqueue slot (outqueue overflow), so this
@@ -355,6 +363,21 @@ impl CachePolicy for Clic {
 
     fn access(&mut self, req: &Request, seq: u64) -> AccessOutcome {
         self.access_one(req, seq)
+    }
+
+    fn record_evictions(&mut self, enabled: bool) -> bool {
+        if enabled {
+            self.evicted_log.get_or_insert_with(Vec::new);
+        } else {
+            self.evicted_log = None;
+        }
+        true
+    }
+
+    fn drain_evictions(&mut self, out: &mut Vec<PageId>) {
+        if let Some(log) = self.evicted_log.as_mut() {
+            out.append(log);
+        }
     }
 
     fn access_batch(
@@ -472,6 +495,65 @@ mod tests {
             a_cached >= 6,
             "expected hint-A pages to fill the cache, got {a_cached}"
         );
+    }
+
+    #[test]
+    fn eviction_log_reports_exactly_the_evicted_pages() {
+        // Hot pages earn a high priority; once the cache is full, each new
+        // hot page evicts the cold resident with the lowest priority. The
+        // log must name exactly the pages that left the cache, in order.
+        let config = small_config(100);
+        let mut clic = Clic::new(4, config);
+        assert!(clic.record_evictions(true));
+        let hot = HintSetId(1);
+        let cold = HintSetId(2);
+        let mut seq = 0u64;
+        let mut admissions = 0i64;
+        let mut evictions_reported = 0i64;
+        let mut step = |clic: &mut Clic, req: &Request, seq: u64| {
+            let out = clic.access(req, seq);
+            if !out.hit && !out.bypassed {
+                admissions += 1;
+            }
+            evictions_reported += i64::from(out.evicted);
+        };
+        for round in 0..200u64 {
+            let hot_page = 100 + (round % 3);
+            step(&mut clic, &write(hot_page, hot), seq);
+            seq += 1;
+            step(&mut clic, &read(hot_page, hot), seq);
+            seq += 1;
+            step(&mut clic, &read(10_000 + round, cold), seq);
+            seq += 1;
+        }
+        let mut evicted = Vec::new();
+        clic.drain_evictions(&mut evicted);
+        assert!(evictions_reported > 0, "the workload must force evictions");
+        assert_eq!(
+            evicted.len() as i64,
+            evictions_reported,
+            "the log must name exactly as many pages as the outcomes counted"
+        );
+        // Admissions that were not evicted are still cached, and every
+        // logged page has really left the cache.
+        assert_eq!(admissions - evictions_reported, clic.len() as i64);
+        for page in &evicted {
+            assert!(
+                !clic.contains(*page),
+                "logged page {page:?} is still cached"
+            );
+        }
+        // A second drain is empty; disabling stops the recording.
+        evicted.clear();
+        clic.drain_evictions(&mut evicted);
+        assert!(evicted.is_empty());
+        clic.record_evictions(false);
+        for round in 0..50u64 {
+            clic.access(&read(20_000 + round, cold), seq);
+            seq += 1;
+        }
+        clic.drain_evictions(&mut evicted);
+        assert!(evicted.is_empty());
     }
 
     #[test]

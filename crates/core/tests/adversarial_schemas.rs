@@ -1,0 +1,210 @@
+//! Adversarial hint-schema tests for the generalization trees and the
+//! top-k tracker.
+//!
+//! The paper assumes hint sets are opaque but *stable*; a misbehaving (or
+//! simply upgraded) client can violate that mid-run by renaming hint
+//! values, permuting which attribute carries the signal, or inflating the
+//! schema with high-cardinality noise. None of that may panic, fragment
+//! the learned grouping past its budget, or evict the genuinely hot hint
+//! sets from the bounded tracker — CLIC must degrade, not fall over.
+
+use cache_sim::{simulate, AccessKind, CachePolicy, ClientId, HintSetId, Trace, TraceBuilder};
+use clic_core::{
+    train_grouping, train_grouping_from_prefix, Clic, ClicConfig, HintStatsTracker, TopKTracker,
+    TrackingMode,
+};
+
+/// First half: attribute 0 carries the hot/cold signal with values {0, 1}
+/// and attribute 1 is round-robin noise. Second half, per the adversary:
+///
+/// * `rename` — the signal values become {2, 3}, never seen in training;
+/// * `permute` — the signal moves to attribute 1, noise to attribute 0.
+fn schema_shift_trace(rename: bool, permute: bool) -> Trace {
+    let mut b = TraceBuilder::new().with_name("shift");
+    let c = b.add_client("db", &[("a", 8), ("b", 8)]);
+    let push_phase = |b: &mut TraceBuilder, phase: u64| {
+        for i in 0..6_000u64 {
+            let noise = (i % 4) as u32;
+            let (hot, cold) = if phase == 0 {
+                ([1, noise], [0, noise])
+            } else if rename {
+                ([3, noise], [2, noise])
+            } else if permute {
+                ([noise, 1], [noise, 0])
+            } else {
+                ([1, noise], [0, noise])
+            };
+            let hot_hint = b.intern_hints(c, &hot);
+            let cold_hint = b.intern_hints(c, &cold);
+            b.push(c, 500_000 + (i % 48), AccessKind::Write, None, hot_hint);
+            b.push(c, 500_000 + (i % 48), AccessKind::Read, None, hot_hint);
+            b.push(c, phase * 1_000_000 + i, AccessKind::Read, None, cold_hint);
+        }
+    };
+    push_phase(&mut b, 0);
+    push_phase(&mut b, 1);
+    b.build()
+}
+
+#[test]
+fn renamed_values_route_to_the_default_group_without_panic() {
+    let trace = schema_shift_trace(true, false);
+    // Train strictly on the first half, before the rename.
+    let grouping = train_grouping_from_prefix(&trace, 0.5, 4);
+    let tree = grouping.tree(ClientId(0)).expect("client trained");
+    // Values 2 and 3 never occurred in training; they must still map to
+    // some learned group (the default child), not panic or invent one.
+    for renamed in [2u32, 3] {
+        for noise in 0..4u32 {
+            assert!(tree.group_of(&[renamed, noise]) < tree.groups());
+        }
+    }
+    // Applying across the rename keeps the trace structurally intact and
+    // within the group budget.
+    let grouped = grouping.apply(&trace);
+    assert_eq!(grouped.len(), trace.len());
+    assert!(grouped.summary().distinct_hint_sets as u32 <= tree.groups().max(1));
+}
+
+#[test]
+fn permuted_attributes_stay_within_the_learned_groups() {
+    let trace = schema_shift_trace(false, true);
+    let grouping = train_grouping_from_prefix(&trace, 0.5, 4);
+    let tree = grouping.tree(ClientId(0)).expect("client trained");
+    // After the permutation the signal sits in the attribute the tree
+    // treats as noise; every permuted vector must still resolve.
+    for a in 0..4u32 {
+        for b in 0..2u32 {
+            assert!(tree.group_of(&[a, b]) < tree.groups());
+        }
+    }
+    // Training over BOTH halves (the analysis saw the permutation) still
+    // respects the leaf budget even though the signal is split across two
+    // attributes.
+    let full = train_grouping_from_prefix(&trace, 1.0, 4);
+    let full_tree = full.tree(ClientId(0)).expect("client trained");
+    assert!(full_tree.groups() >= 1);
+    assert!(full_tree.groups() <= 4);
+}
+
+#[test]
+fn group_of_tolerates_wrong_arity_vectors() {
+    let trace = schema_shift_trace(false, false);
+    let grouping = train_grouping_from_prefix(&trace, 0.5, 4);
+    let tree = grouping.tree(ClientId(0)).expect("client trained");
+    // A client that dropped an attribute (short vector: missing values
+    // read as 0) or bolted extra ones on (long vector: ignored) must
+    // still be classified.
+    assert!(tree.group_of(&[]) < tree.groups());
+    assert!(tree.group_of(&[1]) < tree.groups());
+    assert!(tree.group_of(&[1, 0, 7, 9, 100]) < tree.groups());
+}
+
+#[test]
+fn inflated_schema_cannot_fragment_the_tree_past_its_budget() {
+    // An adversarial client with a 64-value noise attribute alongside the
+    // 2-value signal: 128 distinct hint sets, most of them rare.
+    let mut b = TraceBuilder::new().with_name("inflate");
+    let c = b.add_client("db", &[("useful", 2), ("noise", 64)]);
+    for i in 0..30_000u64 {
+        let noise = (i % 64) as u32;
+        let hot = b.intern_hints(c, &[1, noise]);
+        let cold = b.intern_hints(c, &[0, noise]);
+        b.push(c, 1_000_000 + (i % 48), AccessKind::Write, None, hot);
+        b.push(c, 1_000_000 + (i % 48), AccessKind::Read, None, hot);
+        b.push(c, i, AccessKind::Read, None, cold);
+    }
+    let trace = b.build();
+    assert!(trace.summary().distinct_hint_sets > 100);
+
+    let grouping = train_grouping_from_prefix(&trace, 0.5, 4);
+    let tree = grouping.tree(ClientId(0)).expect("client trained");
+    // The budget holds despite 128 training samples, and the useful
+    // attribute still separates hot from cold.
+    assert!(tree.groups() <= 4);
+    assert!(tree.groups() >= 2);
+    assert_ne!(tree.group_of(&[1, 0]), tree.group_of(&[0, 0]));
+    // The grouped trace collapses the hint-set explosion.
+    let grouped = grouping.apply(&trace);
+    assert!(grouped.summary().distinct_hint_sets <= 4);
+}
+
+#[test]
+fn empty_reports_train_an_empty_grouping() {
+    let trace = schema_shift_trace(false, false);
+    let grouping = train_grouping(&trace.catalog, &[], 4);
+    assert_eq!(grouping.groups_for(ClientId(0)), 0);
+    // Applying a grouping that learned nothing degrades to one group per
+    // client rather than panicking.
+    let grouped = grouping.apply(&trace);
+    assert_eq!(grouped.len(), trace.len());
+    assert_eq!(grouped.summary().distinct_hint_sets, 1);
+}
+
+#[test]
+fn topk_tracker_survives_hint_set_churn_and_keeps_the_hot_set() {
+    let mut t = TopKTracker::new(4);
+    // One stable dominant hint set against a rotating flood of fresh ids
+    // (the "inflated mid-run" schema: every flood id occurs once).
+    for i in 0..50_000u32 {
+        t.record_request(HintSetId(0));
+        t.record_read_rereference(HintSetId(0), 10);
+        t.record_request(HintSetId(1 + i));
+        assert!(t.tracked_len() <= 4, "bounded at every step");
+    }
+    let window = t.end_window();
+    assert!(window.len() <= 4);
+    let hot = window
+        .iter()
+        .find(|(h, _)| *h == HintSetId(0))
+        .expect("the dominant hint set must survive the churn");
+    // Guaranteed count: each flood id can steal at most one counter's
+    // worth of error; the dominant set's floor stays within that bound.
+    assert!(hot.1.requests > 25_000, "got {}", hot.1.requests);
+    assert_eq!(hot.1.read_rereferences, 50_000);
+}
+
+#[test]
+fn topk_tracker_adapts_when_the_dominant_hint_is_renamed() {
+    let mut t = TopKTracker::new(2);
+    // Phase 1: hint 7 dominates. Phase 2: the client renames it to 8 and
+    // never uses 7 again, while churn ids keep flooding.
+    for i in 0..10_000u32 {
+        t.record_request(HintSetId(7));
+        t.record_request(HintSetId(100 + i));
+    }
+    for i in 0..30_000u32 {
+        t.record_request(HintSetId(8));
+        t.record_request(HintSetId(200_000 + i));
+    }
+    let window = t.end_window();
+    let new_hot = window
+        .iter()
+        .find(|(h, _)| *h == HintSetId(8))
+        .expect("the renamed dominant set must be monitored by window end");
+    assert!(new_hot.1.requests > 10_000, "got {}", new_hot.1.requests);
+}
+
+#[test]
+fn clic_with_topk_tracking_completes_under_schema_churn() {
+    // End-to-end: the full policy, tiny k, on a trace whose schema is
+    // renamed mid-run. The simulation must complete with sane statistics
+    // and the bounded tracker must actually stay bounded.
+    for (rename, permute) in [(true, false), (false, true)] {
+        let trace = schema_shift_trace(rename, permute);
+        let mut clic = Clic::new(
+            96,
+            ClicConfig::default()
+                .with_window(4_000)
+                .with_tracking(TrackingMode::TopK(4)),
+        );
+        let result = simulate(&mut clic, &trace);
+        assert_eq!(result.stats.requests(), trace.len() as u64);
+        assert!(clic.len() <= 96);
+        let ratio = result.read_hit_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "ratio {ratio}");
+        // The hot pages are re-read constantly; even with the adversarial
+        // schema the policy must retain some of them.
+        assert!(ratio > 0.0, "the policy collapsed under schema churn");
+    }
+}

@@ -12,8 +12,9 @@
 use std::time::{Duration, Instant};
 
 use cache_sim::{
-    CacheStats, ClientId, HintCatalog, Request, SimulationResult, Trace, REPLAY_CHUNK,
+    CacheStats, ClientId, HintCatalog, IoStats, Request, SimulationResult, Trace, REPLAY_CHUNK,
 };
+use clic_store::page_payload;
 use trace_gen::{PresetScale, TracePreset};
 
 use crate::protocol::ServerRequest;
@@ -121,6 +122,10 @@ pub struct LoadReport {
     pub latency: LatencySummary,
     /// Number of cross-shard priority merges the server performed.
     pub merges: u64,
+    /// Byte-level I/O counters of the data plane, when the server ran over a
+    /// disk-backed store (captured just before shutdown, so the shutdown
+    /// checkpoint's flush burst is excluded).
+    pub io: Option<IoStats>,
 }
 
 impl LoadReport {
@@ -211,6 +216,16 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
     assert!(!traces.is_empty(), "at least one client trace is required");
     let server = Server::start(config.server.clone());
     let batch_size = config.batch.max(1);
+    // On a store-backed server the clients move real bytes: every Put
+    // carries the page's deterministic payload, so reads can be verified
+    // end-to-end (the data plane checks residency; content checks live in
+    // the integration tests).
+    let with_payloads = server.cache().has_store();
+    let page_size = server
+        .cache()
+        .store()
+        .map(|s| s.page_size())
+        .unwrap_or_default();
     let started = Instant::now();
     let per_thread: Vec<(ClientLoad, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = traces
@@ -222,8 +237,17 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
                     let mut clients: Vec<ClientId> = Vec::new();
                     let mut latencies: Vec<u64> = Vec::new();
                     for chunk in trace.requests.chunks(batch_size) {
-                        let batch: Vec<ServerRequest> =
-                            chunk.iter().map(ServerRequest::from_request).collect();
+                        let batch: Vec<ServerRequest> = chunk
+                            .iter()
+                            .map(|req| {
+                                let op = ServerRequest::from_request(req);
+                                if with_payloads && req.is_write() {
+                                    op.with_payload(page_payload(req.page, page_size))
+                                } else {
+                                    op
+                                }
+                            })
+                            .collect();
                         let submitted = Instant::now();
                         let responses = server.submit(&batch);
                         latencies.push(submitted.elapsed().as_micros() as u64);
@@ -258,6 +282,7 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
     });
     let elapsed = started.elapsed();
     let merges = server.cache().merges_completed();
+    let io = server.io_stats();
     let result = server.shutdown();
     let mut clients = Vec::with_capacity(per_thread.len());
     let mut all_latencies = Vec::new();
@@ -271,6 +296,7 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
         elapsed,
         latency: LatencySummary::from_micros(all_latencies),
         merges,
+        io,
     }
 }
 

@@ -24,6 +24,13 @@
 //!   ranges), drives them against a server concurrently, and reports
 //!   throughput (requests/s), batch latency percentiles, and per-client hit
 //!   ratios in the same shape as [`cache_sim::SimulationResult`].
+//! * An optional **data plane**: attach a disk-backed page store
+//!   ([`ServerConfig::with_store`], built on [`clic_store`]) and the server
+//!   moves real bytes — `Put` payloads are staged write-back through a
+//!   write-ahead log, `Get` responses carry the page's bytes, the policy's
+//!   evictions flush dirty buffer frames, and [`Server::shutdown`]
+//!   checkpoints the store (dropping the server instead models a crash, from
+//!   which the WAL recovers every acknowledged write).
 //!
 //! # Example
 //!
@@ -49,7 +56,7 @@
 //! for chunk in trace.requests.chunks(8) {
 //!     let batch: Vec<ServerRequest> = chunk.iter().map(ServerRequest::from_request).collect();
 //!     for response in server.submit(&batch) {
-//!         if let ServerResponse::Get { hit: true } = response {
+//!         if let ServerResponse::Get { hit: true, .. } = response {
 //!             hits += 1;
 //!         }
 //!     }
@@ -76,3 +83,7 @@ pub use harness::{
 pub use protocol::{ServerRequest, ServerResponse};
 pub use server::{Server, ServerConfig};
 pub use sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
+
+// Re-exported so server embedders can configure the data plane without
+// depending on `clic-store` directly.
+pub use clic_store::{PageStore, StoreConfig, DEFAULT_PAGE_SIZE};

@@ -10,9 +10,10 @@
 use cache_sim::{AccessKind, ClientId, HintSetId, PageId, Request, SimulationResult, WriteHint};
 
 /// One operation inside a batch submitted to a [`crate::Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerRequest {
-    /// Read `page`; the response reports whether the server cache held it.
+    /// Read `page`; the response reports whether the server cache held it
+    /// (and, on a store-backed server, carries the page's bytes).
     Get {
         /// The storage client issuing the read.
         client: ClientId,
@@ -33,6 +34,11 @@ pub enum ServerRequest {
         hint: HintSetId,
         /// The typed write hint, when the client exposes one.
         write_hint: Option<WriteHint>,
+        /// The page bytes, on a store-backed server (zero-padded to the
+        /// store's page size if shorter). `None` lets the server synthesize
+        /// a deterministic payload — the policy-only server ignores payloads
+        /// entirely.
+        data: Option<Vec<u8>>,
     },
     /// Ask for a point-in-time statistics snapshot of the whole server.
     Stats,
@@ -53,8 +59,18 @@ impl ServerRequest {
                 page: req.page,
                 hint: req.hint,
                 write_hint: req.write_hint,
+                data: None,
             },
         }
+    }
+
+    /// Attaches page bytes to a [`ServerRequest::Put`]; a no-op on other
+    /// operations.
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
+        if let ServerRequest::Put { data, .. } = &mut self {
+            *data = Some(payload);
+        }
+        self
     }
 
     /// The simulator [`Request`] this operation corresponds to, or `None`
@@ -75,6 +91,7 @@ impl ServerRequest {
                 page,
                 hint,
                 write_hint,
+                ..
             } => Some(Request::write(client, page, write_hint, hint)),
             ServerRequest::Stats => None,
         }
@@ -88,6 +105,9 @@ pub enum ServerResponse {
     Get {
         /// `true` if the page was cached when the request was served.
         hit: bool,
+        /// The page bytes, on a store-backed server (`None` on the
+        /// policy-only server). A page never written reads as zeroes.
+        data: Option<Vec<u8>>,
     },
     /// Answer to a [`ServerRequest::Put`].
     Put {
@@ -103,8 +123,17 @@ impl ServerResponse {
     /// The hit flag of a data response (`None` for [`ServerResponse::Stats`]).
     pub fn hit(&self) -> Option<bool> {
         match self {
-            ServerResponse::Get { hit } | ServerResponse::Put { hit } => Some(*hit),
+            ServerResponse::Get { hit, .. } | ServerResponse::Put { hit } => Some(*hit),
             ServerResponse::Stats(_) => None,
+        }
+    }
+
+    /// The page bytes of a store-backed [`ServerResponse::Get`] (`None` for
+    /// every other response).
+    pub fn data(&self) -> Option<&[u8]> {
+        match self {
+            ServerResponse::Get { data, .. } => data.as_deref(),
+            _ => None,
         }
     }
 
@@ -142,11 +171,47 @@ mod tests {
 
     #[test]
     fn response_accessors_discriminate_variants() {
-        assert_eq!(ServerResponse::Get { hit: true }.hit(), Some(true));
-        assert_eq!(ServerResponse::Put { hit: false }.hit(), Some(false));
+        let get = ServerResponse::Get {
+            hit: true,
+            data: Some(vec![1, 2, 3]),
+        };
+        assert_eq!(get.hit(), Some(true));
+        assert_eq!(get.data(), Some(&[1u8, 2, 3][..]));
+        let put = ServerResponse::Put { hit: false };
+        assert_eq!(put.hit(), Some(false));
+        assert_eq!(put.data(), None);
         let stats = ServerResponse::Stats(Box::default());
         assert_eq!(stats.hit(), None);
         assert!(stats.stats().is_some());
-        assert!(ServerResponse::Get { hit: true }.stats().is_none());
+        assert!(get.stats().is_none());
+    }
+
+    #[test]
+    fn payloads_attach_to_puts_and_drop_through_to_request() {
+        let put = ServerRequest::from_request(&Request::write(
+            ClientId(1),
+            PageId(2),
+            None,
+            HintSetId(0),
+        ));
+        assert!(matches!(&put, ServerRequest::Put { data: None, .. }));
+        let put = put.with_payload(vec![0xab; 16]);
+        match &put {
+            ServerRequest::Put { data, .. } => assert_eq!(data.as_deref(), Some(&[0xab; 16][..])),
+            other => panic!("expected a Put, got {other:?}"),
+        }
+        // The payload never reaches the policy-level request.
+        assert_eq!(
+            put.to_request(),
+            Some(Request::write(ClientId(1), PageId(2), None, HintSetId(0)))
+        );
+        // with_payload on a Get is a no-op.
+        let get = ServerRequest::Get {
+            client: ClientId(0),
+            page: PageId(1),
+            hint: HintSetId(0),
+            prefetch: false,
+        };
+        assert_eq!(get.clone().with_payload(vec![1]), get);
     }
 }

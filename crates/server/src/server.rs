@@ -12,8 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use cache_sim::{Request, SimulationResult, REPLAY_CHUNK};
+use cache_sim::{IoStats, Request, SimulationResult, REPLAY_CHUNK};
 use clic_core::ClicConfig;
+use clic_store::StoreConfig;
 
 use crate::protocol::{ServerRequest, ServerResponse};
 use crate::sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
@@ -69,6 +70,15 @@ impl ServerConfig {
         self.queue_depth = queue_depth.max(1);
         self
     }
+
+    /// Attaches a disk-backed page store: the server then moves real bytes —
+    /// `Put` payloads are staged write-back through the WAL, `Get` responses
+    /// carry the page's bytes, and evictions flush dirty frames. See
+    /// [`ShardedClicConfig::with_store`].
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.cache = self.cache.with_store(store);
+        self
+    }
 }
 
 /// A per-shard unit of work: the requests routed to one shard (with their
@@ -79,8 +89,15 @@ impl ServerConfig {
 struct ShardJob {
     positions: Vec<usize>,
     requests: Vec<Request>,
-    reply: mpsc::Sender<(usize, bool)>,
+    /// Index-aligned with `requests`: the `Put` payloads (always `None` for
+    /// `Get`s, and ignored entirely on a server without a store).
+    payloads: Vec<Option<Vec<u8>>>,
+    reply: mpsc::Sender<(usize, bool, Option<Vec<u8>>)>,
 }
+
+/// The batch routing accumulator of [`Server::submit`]: per shard, the batch
+/// positions, the decoded requests, and the index-aligned `Put` payloads.
+type RoutedBatch = Vec<(Vec<usize>, Vec<Request>, Vec<Option<Vec<u8>>>)>;
 
 /// A running storage-server cache service.
 ///
@@ -109,6 +126,7 @@ impl Server {
                 .name(format!("clic-shard-{shard}"))
                 .spawn(move || {
                     let mut outcomes = Vec::new();
+                    let mut data = Vec::new();
                     for job in receiver {
                         // One lock + one batched policy call per replay chunk
                         // instead of one of each per request. Sub-batches are
@@ -117,14 +135,38 @@ impl Server {
                         // lock, and so the worker replays at the same
                         // granularity as the offline simulate() driver.
                         outcomes.clear();
-                        for chunk in job.requests.chunks(REPLAY_CHUNK) {
-                            cache.access_shard_batch(shard, chunk, &mut outcomes);
-                        }
-                        for (&position, outcome) in job.positions.iter().zip(&outcomes) {
-                            // A client that gave up on its batch only loses
-                            // the reply; the cache still observes every
-                            // dispatched request.
-                            let _ = job.reply.send((position, outcome.hit));
+                        data.clear();
+                        if cache.has_store() {
+                            for (chunk, payloads) in job
+                                .requests
+                                .chunks(REPLAY_CHUNK)
+                                .zip(job.payloads.chunks(REPLAY_CHUNK))
+                            {
+                                cache
+                                    .access_shard_batch_data(
+                                        shard,
+                                        chunk,
+                                        payloads,
+                                        &mut outcomes,
+                                        &mut data,
+                                    )
+                                    .expect("page store I/O failed in a shard worker");
+                            }
+                            for ((&position, outcome), bytes) in
+                                job.positions.iter().zip(&outcomes).zip(data.drain(..))
+                            {
+                                let _ = job.reply.send((position, outcome.hit, bytes));
+                            }
+                        } else {
+                            for chunk in job.requests.chunks(REPLAY_CHUNK) {
+                                cache.access_shard_batch(shard, chunk, &mut outcomes);
+                            }
+                            for (&position, outcome) in job.positions.iter().zip(&outcomes) {
+                                // A client that gave up on its batch only
+                                // loses the reply; the cache still observes
+                                // every dispatched request.
+                                let _ = job.reply.send((position, outcome.hit, None));
+                            }
                         }
                     }
                 })
@@ -151,16 +193,20 @@ impl Server {
     pub fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerResponse> {
         let shard_count = self.cache.shard_count();
         let (reply_sender, reply_receiver) = mpsc::channel();
-        let mut per_shard: Vec<(Vec<usize>, Vec<Request>)> =
-            vec![(Vec::new(), Vec::new()); shard_count];
+        let mut per_shard: RoutedBatch = vec![(Vec::new(), Vec::new(), Vec::new()); shard_count];
         let mut responses: Vec<Option<ServerResponse>> = batch.iter().map(|_| None).collect();
         let mut outstanding = 0usize;
         for (position, operation) in batch.iter().enumerate() {
             match operation.to_request() {
                 Some(request) => {
-                    let (positions, requests) = &mut per_shard[self.cache.shard_of(request.page)];
+                    let (positions, requests, payloads) =
+                        &mut per_shard[self.cache.shard_of(request.page)];
                     positions.push(position);
                     requests.push(request);
+                    payloads.push(match operation {
+                        ServerRequest::Put { data, .. } => data.clone(),
+                        _ => None,
+                    });
                     outstanding += 1;
                 }
                 None => {
@@ -168,7 +214,7 @@ impl Server {
                 }
             }
         }
-        for (shard, (positions, requests)) in per_shard.into_iter().enumerate() {
+        for (shard, (positions, requests, payloads)) in per_shard.into_iter().enumerate() {
             if requests.is_empty() {
                 continue;
             }
@@ -176,17 +222,18 @@ impl Server {
                 .send(ShardJob {
                     positions,
                     requests,
+                    payloads,
                     reply: reply_sender.clone(),
                 })
                 .expect("shard worker exited while the server was running");
         }
         drop(reply_sender);
         for _ in 0..outstanding {
-            let (position, hit) = reply_receiver
+            let (position, hit, data) = reply_receiver
                 .recv()
                 .expect("shard worker dropped a batch reply");
-            responses[position] = Some(match batch[position] {
-                ServerRequest::Get { .. } => ServerResponse::Get { hit },
+            responses[position] = Some(match &batch[position] {
+                ServerRequest::Get { .. } => ServerResponse::Get { hit, data },
                 ServerRequest::Put { .. } => ServerResponse::Put { hit },
                 ServerRequest::Stats => unreachable!("stats operations are answered inline"),
             });
@@ -226,10 +273,22 @@ impl Server {
         }
     }
 
-    /// Stops the workers (draining their queues) and returns the final
-    /// statistics.
+    /// A snapshot of the data plane's byte-level I/O counters, if the server
+    /// runs over a store (see [`ShardedClic::io_stats`]).
+    pub fn io_stats(&self) -> Option<IoStats> {
+        self.cache.io_stats()
+    }
+
+    /// Stops the workers (draining their queues), checkpoints the attached
+    /// store if any — the clean-shutdown durability point — and returns the
+    /// final statistics. Merely *dropping* the server stops the workers but
+    /// skips the checkpoint, modelling a crash: acknowledged writes then
+    /// recover from the WAL when the store is next opened.
     pub fn shutdown(mut self) -> SimulationResult {
         self.stop_workers();
+        self.cache
+            .checkpoint_store()
+            .expect("failed to checkpoint the page store at shutdown");
         self.cache.snapshot()
     }
 }
@@ -280,6 +339,54 @@ mod tests {
         let snapshot = responses[0].stats().expect("stats response");
         assert_eq!(snapshot.stats.requests(), 1);
         assert_eq!(responses[1].hit(), Some(true));
+    }
+
+    #[test]
+    fn store_backed_server_round_trips_bytes_and_recovers_after_crash() {
+        let dir =
+            std::env::temp_dir().join(format!("clic-server-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store_config = crate::StoreConfig::new(&dir, 16).with_page_size(128);
+        let payload = |seed: u8| vec![seed; 128];
+        let put = |page: u64, seed: u8| ServerRequest::Put {
+            client: ClientId(0),
+            page: PageId(page),
+            hint: HintSetId(0),
+            write_hint: None,
+            data: Some(payload(seed)),
+        };
+        {
+            let server = Server::start(ServerConfig::new(8).with_store(store_config.clone()));
+            let responses = server.submit(&[put(1, 0xaa), put(2, 0xbb), get(1), get(2)]);
+            // Byte exactness: a Get returns exactly the bytes the Put stored.
+            assert_eq!(responses[2].data(), Some(&payload(0xaa)[..]));
+            assert_eq!(responses[3].data(), Some(&payload(0xbb)[..]));
+            assert_eq!(responses[2].hit(), Some(true));
+            // Crash: drop without shutdown — no checkpoint runs.
+        }
+        // The WAL restores every acknowledged write on reopen.
+        let store = crate::PageStore::open(store_config.clone()).unwrap();
+        assert_eq!(store.recovered_writes(), 2);
+        let mut buf = Vec::new();
+        store.read(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf, payload(0xaa));
+        store.read(PageId(2), &mut buf).unwrap();
+        assert_eq!(buf, payload(0xbb));
+        drop(store);
+
+        // Clean shutdown checkpoints: the next open recovers nothing.
+        {
+            let server = Server::start(ServerConfig::new(8).with_store(store_config.clone()));
+            server.submit(&[put(3, 0xcc)]);
+            assert!(server.io_stats().unwrap().wal_records > 0);
+            server.shutdown();
+        }
+        let store = crate::PageStore::open(store_config).unwrap();
+        assert_eq!(store.recovered_writes(), 0);
+        store.read(PageId(3), &mut buf).unwrap();
+        assert_eq!(buf, payload(0xcc));
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

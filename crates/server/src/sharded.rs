@@ -14,14 +14,17 @@
 //! path stays shard-local.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use cache_sim::policy::AccessOutcome;
 use cache_sim::{
-    record_outcome, CachePolicy, CacheStats, ClientId, HintSetId, PageId, Request, SimulationResult,
+    record_outcome, CachePolicy, CacheStats, ClientId, HintSetId, IoStats, PageId, Request,
+    SimulationResult,
 };
 use clic_core::{Clic, ClicConfig};
+use clic_store::{page_payload, Flusher, PageStore, ReadSource, StoreConfig};
 
 /// How [`ShardedClic::merge_priorities`] weights each shard's contribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +59,13 @@ pub struct ShardedClicConfig {
     pub merge_every: u64,
     /// How shards are weighted when merging priorities.
     pub merge_weighting: MergeWeighting,
+    /// When set, the cache gets a real data plane: a shared
+    /// [`PageStore`] whose buffer frames mirror the policy's cache contents
+    /// (admissions install frames, evictions free them — flushing dirty ones
+    /// first), served through [`ShardedClic::access_shard_batch_data`]. The
+    /// store's frame count is raised to at least `capacity` so the policy can
+    /// never admit more pages than there are frames.
+    pub store: Option<StoreConfig>,
 }
 
 impl ShardedClicConfig {
@@ -69,6 +79,7 @@ impl ShardedClicConfig {
             merge_every: clic.window,
             clic,
             merge_weighting: MergeWeighting::default(),
+            store: None,
         }
     }
 
@@ -100,6 +111,13 @@ impl ShardedClicConfig {
     /// Sets how shards are weighted during cross-shard priority merges.
     pub fn with_merge_weighting(mut self, weighting: MergeWeighting) -> Self {
         self.merge_weighting = weighting;
+        self
+    }
+
+    /// Attaches a disk-backed [`PageStore`] (see
+    /// [`ShardedClicConfig::store`]).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -135,6 +153,15 @@ pub struct ShardedClic {
     merge_weighting: MergeWeighting,
     merges_completed: AtomicU64,
     total_capacity: usize,
+    /// The data plane, when configured: shared with an optional background
+    /// [`Flusher`]. Pages are partitioned across shards, so store operations
+    /// for a page are serialized by its owning shard's lock; the store's own
+    /// mutex only mediates between shards and the flusher.
+    store: Option<Arc<PageStore>>,
+    /// Background write-back thread; joined on drop (without flushing — a
+    /// plain drop models a crash, [`ShardedClic::checkpoint_store`] models a
+    /// clean shutdown).
+    flusher: Option<Flusher>,
 }
 
 impl ShardedClic {
@@ -156,17 +183,42 @@ impl ShardedClic {
         let shard_config = config.clic.with_window(per_shard_window);
         let base = config.capacity / config.shards;
         let remainder = config.capacity % config.shards;
-        let shards = (0..config.shards)
+        let with_store = config.store.is_some();
+        let shards: Vec<Mutex<Shard>> = (0..config.shards)
             .map(|i| {
                 let capacity = base + usize::from(i < remainder);
+                let mut clic = Clic::new(capacity, shard_config);
+                if with_store {
+                    // The data plane needs eviction identities to free (and
+                    // flush) the victims' buffer frames.
+                    assert!(
+                        clic.record_evictions(true),
+                        "CLIC must support eviction identity reporting"
+                    );
+                }
                 Mutex::new(Shard {
-                    clic: Clic::new(capacity, shard_config),
+                    clic,
                     stats: CacheStats::new(),
                     per_client: BTreeMap::new(),
                     requests_at_last_merge: 0,
                 })
             })
             .collect();
+        let (store, flusher) = match config.store {
+            Some(mut store_config) => {
+                // The store is shared by all shards; it must hold at least
+                // one frame per cache page or admissions could outrun it.
+                store_config.frames = store_config.frames.max(config.capacity);
+                let store = Arc::new(
+                    PageStore::open(store_config.clone()).expect("failed to open the page store"),
+                );
+                let flusher = store_config.flush_interval.map(|interval| {
+                    Flusher::start(Arc::clone(&store), interval, store_config.flush_batch)
+                });
+                (Some(store), flusher)
+            }
+            None => (None, None),
+        };
         ShardedClic {
             shards,
             sequencer: AtomicU64::new(0),
@@ -174,6 +226,8 @@ impl ShardedClic {
             merge_weighting: config.merge_weighting,
             merges_completed: AtomicU64::new(0),
             total_capacity: config.capacity,
+            store,
+            flusher,
         }
     }
 
@@ -294,6 +348,160 @@ impl ShardedClic {
         let last = first_seq + reqs.len() as u64;
         if last.checked_div(self.merge_every) > first_seq.checked_div(self.merge_every) {
             self.merge_priorities();
+        }
+    }
+
+    /// [`ShardedClic::access_shard_batch`] with a real data plane: serves a
+    /// batch of requests for shard `shard_idx`, moving each request's bytes
+    /// through the attached [`PageStore`].
+    ///
+    /// Per request, after the policy decision:
+    ///
+    /// * pages the policy evicted are evicted from the store first (a dirty
+    ///   victim is flushed to disk before its frame is freed);
+    /// * a **read** fetches the page's bytes — buffer frame, disk tier, or
+    ///   zeroes for a never-written page — pushing `Some(bytes)` onto
+    ///   `data_out`, and installs them as a clean frame if the policy
+    ///   admitted the miss;
+    /// * a **write** stores `payloads[i]` (zero-padded or truncated to one
+    ///   page; a deterministic [`page_payload`] when `None`): staged
+    ///   write-back through the WAL when cached, written straight through to
+    ///   disk when bypassed. Writes push `None` onto `data_out`.
+    ///
+    /// Statistics accounting and merge cadence are identical to
+    /// [`ShardedClic::access_shard_batch`]; sequence numbers are drawn
+    /// per-request under the shard lock exactly as [`ShardedClic::access`]
+    /// draws them, so a single-shard, single-caller run is bit-identical to
+    /// the policy-only path. Store I/O happens under the shard lock — pages
+    /// are shard-partitioned, so this serializes exactly the I/O that a
+    /// correctness race would otherwise reorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no store is attached ([`ShardedClicConfig::with_store`]),
+    /// if `payloads` is shorter than `reqs`, or (in debug builds) if any
+    /// request's page does not belong to `shard_idx`.
+    pub fn access_shard_batch_data(
+        &self,
+        shard_idx: usize,
+        reqs: &[Request],
+        payloads: &[Option<Vec<u8>>],
+        outcomes: &mut Vec<AccessOutcome>,
+        data_out: &mut Vec<Option<Vec<u8>>>,
+    ) -> io::Result<()> {
+        let store = self
+            .store
+            .as_ref()
+            .expect("access_shard_batch_data requires an attached page store");
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        assert!(
+            payloads.len() >= reqs.len(),
+            "one payload slot per request is required"
+        );
+        debug_assert!(
+            reqs.iter().all(|r| self.shard_of(r.page) == shard_idx),
+            "batch contains requests for a different shard"
+        );
+        let page_size = store.page_size();
+        let mut evicted: Vec<PageId> = Vec::new();
+        let mut buf: Vec<u8> = Vec::with_capacity(page_size);
+        let (first_seq, last_seq) = {
+            let mut shard = self.shards[shard_idx].lock().expect("shard lock poisoned");
+            let mut first_seq = 0;
+            let mut last_seq = 0;
+            for (i, req) in reqs.iter().enumerate() {
+                // As in `access`: drawn under the shard lock, so sequence
+                // numbers stay monotone within the shard.
+                let seq = self.sequencer.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    first_seq = seq;
+                }
+                last_seq = seq;
+                let outcome = shard.clic.access(req, seq);
+                outcomes.push(outcome);
+                // Free the victims' frames before touching the new page,
+                // flushing dirty ones: eviction order is write-back order.
+                shard.clic.drain_evictions(&mut evicted);
+                for victim in evicted.drain(..) {
+                    store.evict(victim)?;
+                }
+                if req.is_read() {
+                    let source = store.read(req.page, &mut buf)?;
+                    debug_assert_eq!(
+                        outcome.hit,
+                        source == ReadSource::Buffer,
+                        "policy hit/miss and buffer residency disagree for {}",
+                        req.page
+                    );
+                    if !outcome.hit && !outcome.bypassed {
+                        store.admit(req.page, &buf)?;
+                    }
+                    data_out.push(Some(buf.clone()));
+                } else {
+                    let data = match &payloads[i] {
+                        Some(bytes) => {
+                            let mut page = vec![0u8; page_size];
+                            let n = bytes.len().min(page_size);
+                            page[..n].copy_from_slice(&bytes[..n]);
+                            page
+                        }
+                        None => page_payload(req.page, page_size),
+                    };
+                    if outcome.bypassed {
+                        store.write_through(req.page, &data)?;
+                    } else {
+                        store.stage(req.page, &data)?;
+                    }
+                    data_out.push(None);
+                }
+                let Shard {
+                    stats, per_client, ..
+                } = &mut *shard;
+                record_outcome(stats, per_client, req, outcome);
+            }
+            (first_seq, last_seq)
+        };
+        if (last_seq + 1).checked_div(self.merge_every) > first_seq.checked_div(self.merge_every) {
+            self.merge_priorities();
+        }
+        Ok(())
+    }
+
+    /// Whether a data plane is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The attached page store, if any.
+    pub fn store(&self) -> Option<&Arc<PageStore>> {
+        self.store.as_ref()
+    }
+
+    /// A snapshot of the data plane's byte-level I/O counters, if a store is
+    /// attached.
+    pub fn io_stats(&self) -> Option<IoStats> {
+        self.store.as_ref().map(|s| s.io_stats())
+    }
+
+    /// Checkpoints the attached store — flushes every dirty frame, syncs the
+    /// backing file, truncates the WAL — and returns how many frames were
+    /// written back. `Ok(0)` without a store. This is the clean-shutdown
+    /// path; merely dropping the cache models a crash (acknowledged writes
+    /// then recover from the WAL on the next open).
+    pub fn checkpoint_store(&self) -> io::Result<usize> {
+        match &self.store {
+            Some(store) => store.checkpoint(),
+            None => Ok(0),
+        }
+    }
+
+    /// Stops the background flusher thread, if one is running (also done on
+    /// drop).
+    pub fn stop_flusher(&mut self) {
+        if let Some(flusher) = self.flusher.as_mut() {
+            flusher.stop();
         }
     }
 
@@ -638,6 +846,87 @@ mod tests {
         assert_eq!(sharded.requests_seen(), trace.len() as u64);
         assert_eq!(sharded.snapshot().stats.requests(), trace.len() as u64);
         assert!(sharded.merges_completed() > 0);
+    }
+
+    #[test]
+    fn data_plane_matches_policy_only_statistics_and_serves_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("clic-sharded-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = {
+            let mut b = TraceBuilder::new();
+            let c = b.add_client("db", &[("kind", 2)]);
+            let hot = b.intern_hints(c, &[0]);
+            let cold = b.intern_hints(c, &[1]);
+            for i in 0..2_000u64 {
+                b.push(c, i % 64, AccessKind::Write, None, hot);
+                b.push(c, i % 64, AccessKind::Read, None, hot);
+                b.push(c, 1_000_000 + i, AccessKind::Read, None, cold);
+            }
+            b.build()
+        };
+        let config = ClicConfig::default().with_window(1_000);
+
+        // Policy-only reference.
+        let reference = ShardedClic::new(
+            ShardedClicConfig::new(128)
+                .with_clic(config)
+                .with_merge_every(500),
+        );
+        let mut outcomes = Vec::new();
+        for chunk in trace.requests.chunks(64) {
+            outcomes.clear();
+            reference.access_shard_batch(0, chunk, &mut outcomes);
+        }
+
+        // Same single-shard cache over a real store (tiny pages keep the
+        // test fast).
+        let sharded = ShardedClic::new(
+            ShardedClicConfig::new(128)
+                .with_clic(config)
+                .with_merge_every(500)
+                .with_store(StoreConfig::new(&dir, 128).with_page_size(64)),
+        );
+        assert!(sharded.has_store());
+        let mut data = Vec::new();
+        for chunk in trace.requests.chunks(64) {
+            outcomes.clear();
+            data.clear();
+            let payloads = vec![None; chunk.len()];
+            sharded
+                .access_shard_batch_data(0, chunk, &payloads, &mut outcomes, &mut data)
+                .unwrap();
+            assert_eq!(data.len(), chunk.len());
+            for (req, bytes) in chunk.iter().zip(&data) {
+                assert_eq!(req.is_read(), bytes.is_some());
+            }
+        }
+
+        // The data plane must not change policy behaviour.
+        let got = sharded.snapshot();
+        let expected = reference.snapshot();
+        assert_eq!(got.stats, expected.stats);
+        assert_eq!(got.per_client, expected.per_client);
+
+        // Bytes actually moved, and a read of a written page returns its
+        // deterministic payload.
+        let io = sharded.io_stats().unwrap();
+        assert!(io.disk_reads > 0, "cold misses must hit the disk tier");
+        assert!(io.wal_records > 0, "writes must be logged");
+        let store = sharded.store().unwrap();
+        let mut buf = Vec::new();
+        store.read(PageId(3), &mut buf).unwrap();
+        assert_eq!(buf, page_payload(PageId(3), 64));
+
+        // Checkpoint writes the dirty hot pages back and leaves nothing
+        // dirty. (Dirty *eviction* flushes are exercised in clic-store's
+        // replay tests, where the cache is smaller than the write set.)
+        assert!(store.dirty_len() > 0, "hot written pages should be dirty");
+        sharded.checkpoint_store().unwrap();
+        assert_eq!(store.dirty_len(), 0);
+        assert!(sharded.io_stats().unwrap().pages_flushed > 0);
+        drop(sharded);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

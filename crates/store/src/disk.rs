@@ -1,0 +1,388 @@
+//! [`DiskManager`]: fixed-size page slots in one backing file, with an
+//! allocation bitmap and per-slot CRC headers.
+//!
+//! # File layout
+//!
+//! ```text
+//! [file header: magic (8) | page_size u32 LE | reserved u32]      16 bytes
+//! [slot 0: meta (16) | page bytes (page_size)]
+//! [slot 1: meta (16) | page bytes (page_size)]
+//! ...
+//! slot meta = page id u64 LE | crc32 u32 LE | flags u32 LE
+//! ```
+//!
+//! The CRC covers the page-id bytes followed by the page bytes, so a slot
+//! whose header and data were not written together (a torn frame) fails
+//! verification on read. Page ids are sparse (clients address disjoint
+//! ranges offset by 100 M pages), so slots are assigned first-fit through an
+//! [`AllocationBitmap`] and an in-memory `page → slot` directory; both are
+//! rebuilt by scanning the slot headers when the file is opened. Freeing a
+//! page zeroes its slot meta and returns the slot to the bitmap.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use cache_sim::{FastHashMap, PageId};
+
+use crate::crc::Crc32;
+
+/// Identifies a clic-store backing file (version 1).
+const FILE_MAGIC: [u8; 8] = *b"CLICPGS1";
+/// Bytes of file header before slot 0.
+const HEADER_LEN: u64 = 16;
+/// Bytes of per-slot metadata before the page bytes.
+const SLOT_META_LEN: usize = 16;
+/// Slot meta flag: the slot holds a live page.
+const FLAG_ALLOCATED: u32 = 1;
+
+/// A slot-granular allocation bitmap: one bit per slot, first-fit
+/// allocation, growing as needed.
+#[derive(Debug, Default)]
+pub struct AllocationBitmap {
+    words: Vec<u64>,
+    /// Word index to start the next first-fit scan from (monotone until a
+    /// clear rewinds it), so repeated allocation is amortized O(1).
+    scan_hint: usize,
+    allocated: usize,
+}
+
+impl AllocationBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        AllocationBitmap::default()
+    }
+
+    /// Returns the lowest free slot, marking it allocated (growing the
+    /// bitmap if every existing slot is taken).
+    pub fn allocate(&mut self) -> usize {
+        for (offset, word) in self.words[self.scan_hint..].iter_mut().enumerate() {
+            if *word != u64::MAX {
+                let bit = word.trailing_ones() as usize;
+                *word |= 1 << bit;
+                self.scan_hint += offset;
+                self.allocated += 1;
+                return (self.scan_hint) * 64 + bit;
+            }
+        }
+        self.scan_hint = self.words.len();
+        self.words.push(1);
+        self.allocated += 1;
+        self.scan_hint * 64
+    }
+
+    /// Marks `slot` allocated (used when rebuilding from a file scan).
+    pub fn set(&mut self, slot: usize) {
+        let word = slot / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        if self.words[word] & (1 << (slot % 64)) == 0 {
+            self.words[word] |= 1 << (slot % 64);
+            self.allocated += 1;
+        }
+    }
+
+    /// Marks `slot` free.
+    pub fn clear(&mut self, slot: usize) {
+        let word = slot / 64;
+        if word < self.words.len() && self.words[word] & (1 << (slot % 64)) != 0 {
+            self.words[word] &= !(1 << (slot % 64));
+            self.allocated -= 1;
+            self.scan_hint = self.scan_hint.min(word);
+        }
+    }
+
+    /// Whether `slot` is allocated.
+    pub fn is_set(&self, slot: usize) -> bool {
+        self.words
+            .get(slot / 64)
+            .is_some_and(|word| word & (1 << (slot % 64)) != 0)
+    }
+
+    /// Number of allocated slots.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+}
+
+/// Reads and writes fixed-size page frames in a single backing file.
+///
+/// All I/O is positioned (`seek` + read/write on a cloned cursor-free path),
+/// one slot per call; a page write emits the slot meta and page bytes as one
+/// contiguous write. The manager is single-threaded by design — the
+/// [`crate::PageStore`] serializes access behind its mutex.
+#[derive(Debug)]
+pub struct DiskManager {
+    file: File,
+    page_size: usize,
+    directory: FastHashMap<PageId, u32>,
+    bitmap: AllocationBitmap,
+    /// Scratch for one slot (meta + page bytes), reused across calls.
+    slot_buf: Vec<u8>,
+}
+
+impl DiskManager {
+    /// Opens (or creates) the backing file at `path` with the given page
+    /// size, rebuilding the slot directory and allocation bitmap by scanning
+    /// the slot headers.
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] if the file exists but its
+    /// magic or page size disagree, or if two live slots claim the same
+    /// page.
+    pub fn open(path: &Path, page_size: usize) -> io::Result<DiskManager> {
+        assert!(page_size > 0, "page size must be positive");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            let mut header = [0u8; HEADER_LEN as usize];
+            header[..8].copy_from_slice(&FILE_MAGIC);
+            header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header)?;
+        } else {
+            let mut header = [0u8; HEADER_LEN as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut header)?;
+            if header[..8] != FILE_MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not a clic-store backing file (bad magic)",
+                ));
+            }
+            let stored = u32::from_le_bytes(header[8..12].try_into().unwrap());
+            if stored as usize != page_size {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("backing file has page size {stored}, expected {page_size}"),
+                ));
+            }
+        }
+        let mut manager = DiskManager {
+            file,
+            page_size,
+            directory: FastHashMap::default(),
+            bitmap: AllocationBitmap::new(),
+            slot_buf: vec![0u8; SLOT_META_LEN + page_size],
+        };
+        let stride = manager.stride();
+        let slots = file_len.saturating_sub(HEADER_LEN) / stride;
+        let mut meta = [0u8; SLOT_META_LEN];
+        for slot in 0..slots {
+            manager
+                .file
+                .seek(SeekFrom::Start(HEADER_LEN + slot * stride))?;
+            manager.file.read_exact(&mut meta)?;
+            let flags = u32::from_le_bytes(meta[12..16].try_into().unwrap());
+            if flags & FLAG_ALLOCATED == 0 {
+                continue;
+            }
+            let page = PageId(u64::from_le_bytes(meta[..8].try_into().unwrap()));
+            if manager.directory.insert(page, slot as u32).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("page {} is live in two slots", page.0),
+                ));
+            }
+            manager.bitmap.set(slot as usize);
+        }
+        Ok(manager)
+    }
+
+    fn stride(&self) -> u64 {
+        (SLOT_META_LEN + self.page_size) as u64
+    }
+
+    fn slot_offset(&self, slot: u32) -> u64 {
+        HEADER_LEN + u64::from(slot) * self.stride()
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of live pages in the file.
+    pub fn allocated_pages(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Whether the file holds a live copy of `page`.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.directory.contains_key(&page)
+    }
+
+    /// Every live page, in unspecified order.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.directory.keys().copied().collect()
+    }
+
+    fn checksum(page: PageId, data: &[u8]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(&page.0.to_le_bytes());
+        crc.update(data);
+        crc.finish()
+    }
+
+    /// Reads `page` into `buf` (which must be exactly one page long).
+    /// Returns `Ok(false)` if the file holds no copy of the page, and
+    /// [`io::ErrorKind::InvalidData`] if the stored frame fails CRC
+    /// verification (a torn write).
+    pub fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> io::Result<bool> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page");
+        let Some(&slot) = self.directory.get(&page) else {
+            return Ok(false);
+        };
+        let offset = self.slot_offset(slot);
+        self.file.seek(SeekFrom::Start(offset))?;
+        let slot_buf = &mut self.slot_buf;
+        self.file.read_exact(slot_buf)?;
+        let stored_page = u64::from_le_bytes(slot_buf[..8].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(slot_buf[8..12].try_into().unwrap());
+        let data = &slot_buf[SLOT_META_LEN..];
+        if stored_page != page.0 || stored_crc != Self::checksum(page, data) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("torn frame: page {} failed CRC verification", page.0),
+            ));
+        }
+        buf.copy_from_slice(data);
+        Ok(true)
+    }
+
+    /// Writes `data` (exactly one page) as the live copy of `page`,
+    /// allocating a slot first-fit if the page has none. Meta and page bytes
+    /// go out as one contiguous write.
+    pub fn write_page(&mut self, page: PageId, data: &[u8]) -> io::Result<()> {
+        assert_eq!(data.len(), self.page_size, "data must be one page");
+        let slot = match self.directory.get(&page) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.bitmap.allocate() as u32;
+                self.directory.insert(page, slot);
+                slot
+            }
+        };
+        self.slot_buf[..8].copy_from_slice(&page.0.to_le_bytes());
+        self.slot_buf[8..12].copy_from_slice(&Self::checksum(page, data).to_le_bytes());
+        self.slot_buf[12..16].copy_from_slice(&FLAG_ALLOCATED.to_le_bytes());
+        self.slot_buf[SLOT_META_LEN..].copy_from_slice(data);
+        let offset = self.slot_offset(slot);
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&self.slot_buf)?;
+        Ok(())
+    }
+
+    /// Drops the live copy of `page` (zeroing its slot meta) and returns its
+    /// slot to the allocator. Returns `Ok(false)` if the page had no copy.
+    pub fn free_page(&mut self, page: PageId) -> io::Result<bool> {
+        let Some(slot) = self.directory.remove(&page) else {
+            return Ok(false);
+        };
+        let offset = self.slot_offset(slot);
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&[0u8; SLOT_META_LEN])?;
+        self.bitmap.clear(slot as usize);
+        Ok(true)
+    }
+
+    /// Flushes file contents to the device (`fsync`-equivalent).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("clic-disk-test-{}-{tag}.pages", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn bitmap_first_fit_and_reuse() {
+        let mut bitmap = AllocationBitmap::new();
+        assert_eq!(bitmap.allocate(), 0);
+        assert_eq!(bitmap.allocate(), 1);
+        assert_eq!(bitmap.allocate(), 2);
+        bitmap.clear(1);
+        assert_eq!(bitmap.allocated(), 2);
+        assert_eq!(bitmap.allocate(), 1, "freed slot is reused first-fit");
+        for expected in 3..70 {
+            assert_eq!(bitmap.allocate(), expected);
+        }
+        assert!(bitmap.is_set(64));
+        assert!(!bitmap.is_set(1000));
+        assert_eq!(bitmap.allocated(), 70);
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_rescan() {
+        let path = temp_file("roundtrip");
+        let page_size = 256;
+        let pattern = |seed: u8| vec![seed; page_size];
+        {
+            let mut disk = DiskManager::open(&path, page_size).unwrap();
+            // Sparse page ids land in dense slots.
+            disk.write_page(PageId(7), &pattern(1)).unwrap();
+            disk.write_page(PageId(100_000_007), &pattern(2)).unwrap();
+            disk.write_page(PageId(7), &pattern(3)).unwrap(); // overwrite in place
+            assert_eq!(disk.allocated_pages(), 2);
+            let mut buf = vec![0u8; page_size];
+            assert!(disk.read_page(PageId(7), &mut buf).unwrap());
+            assert_eq!(buf, pattern(3));
+            assert!(!disk.read_page(PageId(8), &mut buf).unwrap());
+            assert!(disk.free_page(PageId(7)).unwrap());
+            assert!(!disk.free_page(PageId(7)).unwrap());
+            disk.write_page(PageId(42), &pattern(4)).unwrap();
+            disk.sync().unwrap();
+        }
+        // Reopen: the directory and bitmap are rebuilt from the headers.
+        let mut disk = DiskManager::open(&path, page_size).unwrap();
+        assert_eq!(disk.allocated_pages(), 2);
+        let mut buf = vec![0u8; page_size];
+        assert!(disk.read_page(PageId(100_000_007), &mut buf).unwrap());
+        assert_eq!(buf, pattern(2));
+        assert!(disk.read_page(PageId(42), &mut buf).unwrap());
+        assert_eq!(buf, pattern(4));
+        assert!(!disk.contains(PageId(7)), "freed page stays freed");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_frames_fail_crc_verification() {
+        let path = temp_file("torn");
+        let page_size = 128;
+        let mut disk = DiskManager::open(&path, page_size).unwrap();
+        disk.write_page(PageId(1), &vec![9u8; page_size]).unwrap();
+        drop(disk);
+        // Corrupt one byte in the middle of slot 0's page bytes.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = HEADER_LEN as usize + SLOT_META_LEN + page_size / 2;
+        bytes[victim] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut disk = DiskManager::open(&path, page_size).unwrap();
+        let mut buf = vec![0u8; page_size];
+        let err = disk.read_page(PageId(1), &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_page_size_is_rejected() {
+        let path = temp_file("pagesize");
+        drop(DiskManager::open(&path, 256).unwrap());
+        let err = DiskManager::open(&path, 512).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+}

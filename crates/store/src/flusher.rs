@@ -1,0 +1,96 @@
+//! [`Flusher`]: a background thread that writes dirty frames back on a
+//! fixed period.
+//!
+//! The store itself never spawns threads — deterministic callers (the
+//! benchmarks) use the inline flush threshold instead, and the server cache
+//! attaches a `Flusher` when [`crate::StoreConfig::flush_interval`] is set.
+//! Dropping the flusher stops the thread and joins it; it does **not** flush
+//! on the way out, so dropping a store+flusher pair without a checkpoint
+//! still models a crash.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::store::PageStore;
+
+/// Handle to a background flush thread over a shared [`PageStore`].
+#[derive(Debug)]
+pub struct Flusher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Spawns a thread that flushes up to `batch` dirty frames every
+    /// `interval` until the handle is dropped. I/O errors in the background
+    /// stop the thread (the next foreground flush or checkpoint will surface
+    /// the underlying problem).
+    pub fn start(store: Arc<PageStore>, interval: Duration, batch: usize) -> Flusher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let batch = batch.max(1);
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if thread_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if store.flush_some(batch).is_err() {
+                    break;
+                }
+            }
+        });
+        Flusher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the thread and joins it (also done on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use cache_sim::PageId;
+
+    #[test]
+    fn background_flusher_drains_dirty_frames() {
+        let dir = std::env::temp_dir().join(format!("clic-flusher-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            Arc::new(PageStore::open(StoreConfig::new(&dir, 16).with_page_size(32)).unwrap());
+        for p in 0..8u64 {
+            store.stage(PageId(p), &[p as u8; 32]).unwrap();
+        }
+        assert_eq!(store.dirty_len(), 8);
+        let mut flusher = Flusher::start(Arc::clone(&store), Duration::from_millis(1), 4);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.dirty_len() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        flusher.stop();
+        assert_eq!(
+            store.dirty_len(),
+            0,
+            "flusher should drain all dirty frames"
+        );
+        assert_eq!(store.io_stats().pages_flushed, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

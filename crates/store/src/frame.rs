@@ -1,0 +1,437 @@
+//! [`FrameArena`]: in-memory buffer frames with pin counts, dirty bits, and
+//! RAII page guards.
+//!
+//! The arena owns one contiguous allocation of `frames × page_size` bytes
+//! plus per-frame metadata (resident page, pin state, dirty bit) and a
+//! `page → frame` directory. See the crate docs for the frame lifecycle and
+//! the pin/unpin rules; the short version:
+//!
+//! * [`FrameArena::read`] pins a frame shared (any number of concurrent read
+//!   guards), [`FrameArena::write`] pins it exclusive and marks it dirty;
+//!   dropping the guard unpins.
+//! * Structural mutation ([`FrameArena::install`], [`FrameArena::evict_into`])
+//!   takes `&mut self`, so the borrow checker statically rules out live
+//!   guards across it — a pinned frame can never be evicted.
+//! * Pin-state violations *within* a shared borrow (e.g. `write` while a
+//!   read guard is live) are caught at runtime and panic, mirroring
+//!   `RefCell`.
+//!
+//! The arena is intentionally `!Sync` (pin state lives in `Cell`s): it is
+//! always owned by a single-threaded section — in practice behind the
+//! [`crate::PageStore`] mutex — which is what makes the `UnsafeCell` buffer
+//! sound: two guards alias the buffer only for *distinct* frames (disjoint
+//! byte ranges) or as multiple shared readers of one frame.
+
+use std::cell::{Cell, UnsafeCell};
+use std::ops::{Deref, DerefMut};
+
+use cache_sim::{FastHashMap, PageId};
+
+/// Pin state: `0` = unpinned, `> 0` = that many read guards, `-1` = one
+/// write guard.
+const WRITE_PINNED: i32 = -1;
+
+#[derive(Debug)]
+struct FrameMeta {
+    page: Option<PageId>,
+    pins: Cell<i32>,
+    dirty: Cell<bool>,
+}
+
+/// A fixed-capacity arena of page-sized buffer frames.
+#[derive(Debug)]
+pub struct FrameArena {
+    page_size: usize,
+    /// The frame bytes. `UnsafeCell` per byte (layout-identical to `[u8]`)
+    /// lets guards derive their slices from the shared base pointer without
+    /// ever materializing a reference to the whole buffer, which would alias
+    /// other live guards.
+    buf: Box<[UnsafeCell<u8>]>,
+    frames: Vec<FrameMeta>,
+    directory: FastHashMap<PageId, usize>,
+    free: Vec<usize>,
+    dirty_count: Cell<usize>,
+}
+
+impl FrameArena {
+    /// An arena of `frames` frames of `page_size` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(frames: usize, page_size: usize) -> Self {
+        assert!(frames > 0, "at least one frame is required");
+        assert!(page_size > 0, "page size must be positive");
+        FrameArena {
+            page_size,
+            buf: std::iter::repeat_with(|| UnsafeCell::new(0u8))
+                .take(frames * page_size)
+                .collect(),
+            frames: (0..frames)
+                .map(|_| FrameMeta {
+                    page: None,
+                    pins: Cell::new(0),
+                    dirty: Cell::new(false),
+                })
+                .collect(),
+            directory: FastHashMap::default(),
+            // Popped from the back; reversed so frames are first handed out
+            // in index order (deterministic, cache-friendly).
+            free: (0..frames).rev().collect(),
+            dirty_count: Cell::new(0),
+        }
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Bytes per frame.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Whether no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Number of resident dirty frames.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty_count.get()
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.directory.contains_key(&page)
+    }
+
+    /// Raw pointer to frame `frame`'s bytes; callers uphold the pin
+    /// discipline before turning it into a reference.
+    fn frame_ptr(&self, frame: usize) -> *mut u8 {
+        // SAFETY: the offset stays inside the single allocation (frame <
+        // capacity). Taking the base pointer through `&self.buf` is fine —
+        // shared references to `UnsafeCell`s coexist with mutation through
+        // them; dereferencing is guarded by the pin protocol at call sites.
+        unsafe { (self.buf.as_ptr() as *mut u8).add(frame * self.page_size) }
+    }
+
+    /// Installs `data` as a new resident frame for `page` with the given
+    /// dirty bit. Returns `false` (and installs nothing) if every frame is
+    /// occupied — the caller must evict first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already resident (overwrite through
+    /// [`FrameArena::write`] instead) or `data` is not one page.
+    pub fn install(&mut self, page: PageId, data: &[u8], dirty: bool) -> bool {
+        assert_eq!(data.len(), self.page_size, "data must be one page");
+        assert!(
+            !self.directory.contains_key(&page),
+            "page {} is already resident",
+            page.0
+        );
+        let Some(frame) = self.free.pop() else {
+            return false;
+        };
+        let meta = &mut self.frames[frame];
+        debug_assert_eq!(meta.pins.get(), 0, "free frame cannot be pinned");
+        meta.page = Some(page);
+        meta.dirty.set(dirty);
+        if dirty {
+            self.dirty_count.set(self.dirty_count.get() + 1);
+        }
+        // SAFETY: `&mut self` guarantees no guard borrows the arena.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.frame_ptr(frame), self.page_size);
+        }
+        self.directory.insert(page, frame);
+        true
+    }
+
+    /// Pins `page`'s frame shared and returns a read guard over its bytes,
+    /// or `None` if the page is not resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is write-pinned.
+    pub fn read(&self, page: PageId) -> Option<PageReadGuard<'_>> {
+        let &frame = self.directory.get(&page)?;
+        let pins = &self.frames[frame].pins;
+        assert!(
+            pins.get() != WRITE_PINNED,
+            "page {} is write-pinned",
+            page.0
+        );
+        pins.set(pins.get() + 1);
+        Some(PageReadGuard { arena: self, frame })
+    }
+
+    /// Pins `page`'s frame exclusive, marks it dirty, and returns a write
+    /// guard over its bytes, or `None` if the page is not resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is pinned in any way.
+    pub fn write(&self, page: PageId) -> Option<PageWriteGuard<'_>> {
+        let &frame = self.directory.get(&page)?;
+        let meta = &self.frames[frame];
+        assert_eq!(meta.pins.get(), 0, "page {} is pinned", page.0);
+        meta.pins.set(WRITE_PINNED);
+        if !meta.dirty.replace(true) {
+            self.dirty_count.set(self.dirty_count.get() + 1);
+        }
+        Some(PageWriteGuard { arena: self, frame })
+    }
+
+    /// Copies `page`'s resident bytes into `out` (one page long). Returns
+    /// `false` if the page is not resident.
+    pub fn copy_out(&self, page: PageId, out: &mut [u8]) -> bool {
+        match self.read(page) {
+            Some(guard) => {
+                out.copy_from_slice(&guard);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `page`'s resident frame is dirty (`None` if not resident).
+    pub fn is_dirty(&self, page: PageId) -> Option<bool> {
+        let &frame = self.directory.get(&page)?;
+        Some(self.frames[frame].dirty.get())
+    }
+
+    /// Clears `page`'s dirty bit after a successful write-back. Returns
+    /// `false` if the page is not resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is write-pinned (the flusher must not race a
+    /// writer's in-flight mutation).
+    pub fn mark_clean(&self, page: PageId) -> bool {
+        let Some(&frame) = self.directory.get(&page) else {
+            return false;
+        };
+        let meta = &self.frames[frame];
+        assert!(
+            meta.pins.get() != WRITE_PINNED,
+            "page {} is write-pinned",
+            page.0
+        );
+        if meta.dirty.replace(false) {
+            self.dirty_count.set(self.dirty_count.get() - 1);
+        }
+        true
+    }
+
+    /// Appends up to `max` dirty, unpinned resident pages to `out` in frame
+    /// order (deterministic).
+    pub fn dirty_pages(&self, max: usize, out: &mut Vec<PageId>) {
+        if max == 0 {
+            return;
+        }
+        let mut taken = 0;
+        for meta in &self.frames {
+            if let Some(page) = meta.page {
+                if meta.dirty.get() && meta.pins.get() == 0 {
+                    out.push(page);
+                    taken += 1;
+                    if taken == max {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `page` from the arena. When the frame was dirty its bytes are
+    /// copied into `out` (one page long) so the caller can write them back;
+    /// the returned flag says whether that happened. Returns `None` if the
+    /// page is not resident.
+    ///
+    /// Live guards cannot exist here (`&mut self`), so the frame is
+    /// guaranteed unpinned unless a guard was leaked via `mem::forget`.
+    pub fn evict_into(&mut self, page: PageId, out: &mut [u8]) -> Option<bool> {
+        let frame = self.directory.remove(&page)?;
+        let meta = &mut self.frames[frame];
+        assert_eq!(
+            meta.pins.get(),
+            0,
+            "evicting a pinned frame (leaked guard?)"
+        );
+        meta.page = None;
+        let dirty = meta.dirty.replace(false);
+        if dirty {
+            assert_eq!(out.len(), self.page_size, "out must be one page");
+            self.dirty_count.set(self.dirty_count.get() - 1);
+            // SAFETY: `&mut self` guarantees no guard borrows the arena.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.frame_ptr(frame),
+                    out.as_mut_ptr(),
+                    self.page_size,
+                );
+            }
+        }
+        self.free.push(frame);
+        Some(dirty)
+    }
+}
+
+/// A shared RAII pin on one resident frame; dereferences to the page bytes.
+#[derive(Debug)]
+pub struct PageReadGuard<'a> {
+    arena: &'a FrameArena,
+    frame: usize,
+}
+
+impl Deref for PageReadGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the frame is read-pinned, so no write guard aliases it;
+        // other read guards only produce shared references.
+        unsafe {
+            std::slice::from_raw_parts(self.arena.frame_ptr(self.frame), self.arena.page_size)
+        }
+    }
+}
+
+impl Drop for PageReadGuard<'_> {
+    fn drop(&mut self) {
+        let pins = &self.arena.frames[self.frame].pins;
+        pins.set(pins.get() - 1);
+    }
+}
+
+/// An exclusive RAII pin on one resident frame; dereferences mutably to the
+/// page bytes. Acquiring it marks the frame dirty.
+#[derive(Debug)]
+pub struct PageWriteGuard<'a> {
+    arena: &'a FrameArena,
+    frame: usize,
+}
+
+impl Deref for PageWriteGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the frame is write-pinned, so this guard is the only
+        // reference to its bytes.
+        unsafe {
+            std::slice::from_raw_parts(self.arena.frame_ptr(self.frame), self.arena.page_size)
+        }
+    }
+}
+
+impl DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `deref`; exclusivity is enforced by the pin state.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.arena.frame_ptr(self.frame), self.arena.page_size)
+        }
+    }
+}
+
+impl Drop for PageWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.arena.frames[self.frame].pins.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_read_write_evict_lifecycle() {
+        let mut arena = FrameArena::new(2, 16);
+        assert!(arena.install(PageId(1), &[1u8; 16], false));
+        assert!(arena.install(PageId(2), &[2u8; 16], true));
+        assert!(!arena.install(PageId(3), &[3u8; 16], false), "arena full");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.dirty_len(), 1);
+        assert_eq!(arena.is_dirty(PageId(1)), Some(false));
+
+        {
+            let a = arena.read(PageId(1)).unwrap();
+            let b = arena.read(PageId(1)).unwrap(); // shared pins coexist
+            assert_eq!(&a[..4], &[1, 1, 1, 1]);
+            assert_eq!(a[0], b[0]);
+        }
+        {
+            let mut w = arena.write(PageId(1)).unwrap();
+            w[0] = 9;
+        }
+        assert_eq!(arena.is_dirty(PageId(1)), Some(true));
+        assert_eq!(arena.dirty_len(), 2);
+        let g = arena.read(PageId(1)).unwrap();
+        assert_eq!(g[0], 9);
+        drop(g);
+
+        assert!(arena.mark_clean(PageId(1)));
+        assert_eq!(arena.dirty_len(), 1);
+
+        let mut out = vec![0u8; 16];
+        assert_eq!(arena.evict_into(PageId(1), &mut out), Some(false));
+        assert_eq!(arena.evict_into(PageId(2), &mut out), Some(true));
+        assert_eq!(out, vec![2u8; 16]);
+        assert_eq!(arena.evict_into(PageId(2), &mut out), None);
+        assert!(arena.is_empty());
+        assert_eq!(arena.dirty_len(), 0);
+        // Freed frames are reusable.
+        assert!(arena.install(PageId(4), &[4u8; 16], false));
+    }
+
+    #[test]
+    fn dirty_pages_lists_in_frame_order_up_to_max() {
+        let mut arena = FrameArena::new(4, 8);
+        for p in 1..=4u64 {
+            assert!(arena.install(PageId(p), &[p as u8; 8], p % 2 == 0));
+        }
+        let mut dirty = Vec::new();
+        arena.dirty_pages(10, &mut dirty);
+        assert_eq!(dirty, vec![PageId(2), PageId(4)]);
+        dirty.clear();
+        arena.dirty_pages(1, &mut dirty);
+        assert_eq!(dirty, vec![PageId(2)]);
+        // A pinned frame is skipped by the flusher's listing.
+        let _guard = arena.write(PageId(2)).unwrap();
+        dirty.clear();
+        arena.dirty_pages(10, &mut dirty);
+        assert_eq!(dirty, vec![PageId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-pinned")]
+    fn read_while_write_pinned_panics() {
+        let mut arena = FrameArena::new(1, 8);
+        arena.install(PageId(1), &[0u8; 8], false);
+        let _w = arena.write(PageId(1)).unwrap();
+        let _ = arena.read(PageId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "is pinned")]
+    fn write_while_read_pinned_panics() {
+        let mut arena = FrameArena::new(1, 8);
+        arena.install(PageId(1), &[0u8; 8], false);
+        let _r = arena.read(PageId(1)).unwrap();
+        let _ = arena.write(PageId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_install_panics() {
+        let mut arena = FrameArena::new(2, 8);
+        arena.install(PageId(1), &[0u8; 8], false);
+        arena.install(PageId(1), &[0u8; 8], false);
+    }
+}

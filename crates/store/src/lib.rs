@@ -1,0 +1,103 @@
+//! The data plane of the CLIC reproduction: a disk-backed page store in the
+//! style of a buffer-pool manager.
+//!
+//! The paper's policy work ([`clic_core`](../clic_core/index.html)) decides
+//! *which* pages deserve cache space; this crate supplies the machinery that
+//! makes those decisions matter — real bytes in buffer frames, a backing
+//! file, dirty-page write-back, and crash consistency. The pieces compose
+//! bottom-up:
+//!
+//! * [`DiskManager`] ([`disk`]) — fixed-size page slots in one backing file.
+//!   Each slot carries a header (page id, CRC-32 over id + data, allocation
+//!   flag) followed by the page bytes; a slot-granular allocation bitmap
+//!   hands out free slots first-fit. The slot directory is rebuilt by
+//!   scanning headers on open, and the CRC is verified on every read, so a
+//!   torn (partially written) frame is *detected*, never silently returned.
+//! * [`FrameArena`] ([`frame`]) — a contiguous arena of in-memory buffer
+//!   frames with per-frame pin counts and dirty bits, accessed through RAII
+//!   [`PageReadGuard`]/[`PageWriteGuard`]s.
+//!
+//!   **Frame lifecycle:** free → resident-clean (installed from a disk read)
+//!   or resident-dirty (installed from a staged write) → possibly
+//!   resident-clean again (flushed) → free (evicted; a dirty eviction forces
+//!   a write-back first).
+//!
+//!   **Pin/unpin rules:** any number of read guards may share a frame; a
+//!   write guard is exclusive (no other guard of either kind); acquiring a
+//!   guard pins the frame and dropping it unpins; eviction and flushing
+//!   require the frame to be unpinned (enforced — structural mutation takes
+//!   `&mut self`, which the borrow checker refuses while any guard borrows
+//!   the arena, and the flusher skips pinned frames).
+//! * [`Wal`] ([`wal`]) — an optional write-ahead log.
+//!
+//!   **WAL format:** a flat sequence of length-prefixed records
+//!   `[len: u32 LE][crc32: u32 LE][payload]` with
+//!   `payload = [kind: u8][page: u64 LE][page bytes]`; the CRC covers the
+//!   payload. Replay on open applies every record of the longest valid
+//!   prefix and stops at the first short or corrupt record (a torn tail from
+//!   a crash mid-append). A checkpoint (flush everything, sync the data
+//!   file) truncates the log to zero.
+//! * [`PageStore`] ([`store`]) — ties the three together behind one mutex:
+//!   reads prefer the arena and fall back to the disk, writes are staged
+//!   *write-back* (WAL append first — the write is acknowledged once the
+//!   record is handed to the OS — then a dirty frame), evictions of dirty
+//!   frames force a flush, and every byte moved is counted in a shared
+//!   [`cache_sim::IoStats`].
+//! * [`Flusher`] ([`flusher`]) — a background thread calling
+//!   [`PageStore::flush_some`] on an interval, bounded per pass by a batch
+//!   size, so dirty pages drain without stalling the request path.
+//!
+//!   **Flusher policy:** write-back is bounded two ways — *inline* by
+//!   [`StoreConfig::flush_threshold`] (when the dirty-frame count reaches
+//!   the threshold, the staging call itself flushes a batch; deterministic,
+//!   used by the benchmarks) and *in the background* by an interval/batch
+//!   `Flusher` (used by the live server, where determinism is not required).
+//! * [`replay_storage`] ([`replay`]) — the offline driver: replays a trace
+//!   through any [`cache_sim::CachePolicy`] while moving real bytes through
+//!   a store, using the policy's eviction-identity log
+//!   ([`cache_sim::CachePolicy::drain_evictions`]) to keep arena residency
+//!   and policy state in lockstep. This is what the `storage_io` benchmark
+//!   uses to measure disk reads avoided by CLIC admission vs an LRU
+//!   baseline.
+//!
+//! The online counterpart lives in `clic-server`: a `ShardedClic` with a
+//! store attached runs the same data plane under its shard locks, so `Put`
+//! carries bytes in and `Get` carries bytes out of a live server.
+//!
+//! # Example
+//!
+//! ```
+//! use cache_sim::PageId;
+//! use clic_store::{PageStore, ReadSource, StoreConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("clic-store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let store = PageStore::open(StoreConfig::new(&dir, 8)).unwrap();
+//! let payload = vec![0xabu8; store.page_size()];
+//! store.stage(PageId(7), &payload).unwrap(); // write-back: WAL + dirty frame
+//! let mut out = Vec::new();
+//! assert_eq!(store.read(PageId(7), &mut out).unwrap(), ReadSource::Buffer);
+//! assert_eq!(out, payload);
+//! store.checkpoint().unwrap(); // flush dirty frames, truncate the WAL
+//! drop(store);
+//! let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod crc;
+pub mod disk;
+pub mod flusher;
+pub mod frame;
+pub mod replay;
+pub mod store;
+pub mod wal;
+
+pub use crc::{crc32, Crc32};
+pub use disk::{AllocationBitmap, DiskManager};
+pub use flusher::Flusher;
+pub use frame::{FrameArena, PageReadGuard, PageWriteGuard};
+pub use replay::{page_payload, replay_storage, StorageReplayReport};
+pub use store::{PageStore, ReadSource, StoreConfig, DEFAULT_PAGE_SIZE};
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,240 @@
+//! [`Wal`]: the optional write-ahead log that makes staged (write-back)
+//! writes crash-consistent.
+//!
+//! # Record format
+//!
+//! The log is a flat sequence of length-prefixed records:
+//!
+//! ```text
+//! [len: u32 LE][crc32: u32 LE][payload: len bytes]
+//! payload = [kind: u8][page: u64 LE][page bytes]
+//! ```
+//!
+//! The CRC covers the payload. The only record kind today is a full-page
+//! write (`kind = 1`); the byte exists so future kinds (checkpoint markers,
+//! partial-page deltas) stay backward-readable.
+//!
+//! # Durability contract
+//!
+//! [`Wal::append`] hands the record to the OS with an ordinary buffered
+//! write — at that point the write is *acknowledged*: it survives a process
+//! crash (the failure mode this crate models and the crash-recovery tests
+//! exercise), though not a kernel panic unless [`Wal::sync`] is also called.
+//!
+//! # Replay
+//!
+//! [`Wal::open`] parses the longest valid prefix: it stops at the first
+//! record that is short (a crash truncated the tail mid-append) or whose CRC
+//! disagrees (a torn in-place write), returning every record before it.
+//! After the recovered pages are re-applied to the data file and synced, the
+//! caller truncates the log ([`Wal::truncate`]); the same happens at every
+//! checkpoint, which is what keeps the log short.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use cache_sim::PageId;
+
+use crate::crc::crc32;
+
+/// Record kind: a full-page write.
+const KIND_PAGE_WRITE: u8 = 1;
+/// Bytes of record framing (length + CRC) before the payload.
+const FRAME_LEN: usize = 8;
+/// Bytes of payload header (kind + page id) before the page bytes.
+const PAYLOAD_HEADER: usize = 9;
+
+/// One recovered log record: a full-page write that had been acknowledged
+/// before the crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The page the record writes.
+    pub page: PageId,
+    /// The page bytes.
+    pub data: Vec<u8>,
+}
+
+/// An append-only write-ahead log over one file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// Bytes of valid log (append position).
+    len: u64,
+    records: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path` and replays it: returns the
+    /// records of the longest valid prefix, oldest first. A torn tail —
+    /// short or CRC-corrupt final record, the signature of a crash
+    /// mid-append — is silently discarded (subsequent appends overwrite it).
+    pub fn open(path: &Path) -> io::Result<(Wal, Vec<WalRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        while bytes.len() - offset >= FRAME_LEN {
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+            let payload_start = offset + FRAME_LEN;
+            if len < PAYLOAD_HEADER || bytes.len() - payload_start < len {
+                break; // short record: torn tail
+            }
+            let payload = &bytes[payload_start..payload_start + len];
+            if crc32(payload) != crc {
+                break; // corrupt record: torn tail
+            }
+            if payload[0] == KIND_PAGE_WRITE {
+                let page = PageId(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
+                records.push(WalRecord {
+                    page,
+                    data: payload[PAYLOAD_HEADER..].to_vec(),
+                });
+            }
+            offset = payload_start + len;
+        }
+        let wal = Wal {
+            file,
+            len: offset as u64,
+            records: records.len() as u64,
+        };
+        Ok((wal, records))
+    }
+
+    /// Appends a full-page write record; the write is acknowledged once this
+    /// returns. Returns the number of log bytes appended (framing included).
+    pub fn append(&mut self, page: PageId, data: &[u8]) -> io::Result<u64> {
+        let len = PAYLOAD_HEADER + data.len();
+        let mut record = Vec::with_capacity(FRAME_LEN + len);
+        record.extend_from_slice(&(len as u32).to_le_bytes());
+        record.extend_from_slice(&[0u8; 4]); // CRC patched below
+        record.push(KIND_PAGE_WRITE);
+        record.extend_from_slice(&page.0.to_le_bytes());
+        record.extend_from_slice(data);
+        let crc = crc32(&record[FRAME_LEN..]);
+        record[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(&record)?;
+        self.len += record.len() as u64;
+        self.records += 1;
+        Ok(record.len() as u64)
+    }
+
+    /// Flushes the log to the device.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Empties the log (after a checkpoint has made its records redundant).
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.len = 0;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Bytes of valid log.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Records appended since open/truncate plus those recovered at open.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("clic-wal-test-{}-{tag}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_then_replay_roundtrip() {
+        let path = temp_wal("roundtrip");
+        {
+            let (mut wal, recovered) = Wal::open(&path).unwrap();
+            assert!(recovered.is_empty());
+            wal.append(PageId(1), &[0xaa; 32]).unwrap();
+            wal.append(PageId(2), &[0xbb; 32]).unwrap();
+            assert_eq!(wal.records(), 2);
+        } // dropped without sync: buffered writes still reach the OS
+        let (wal, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].page, PageId(1));
+        assert_eq!(recovered[0].data, vec![0xaa; 32]);
+        assert_eq!(recovered[1].page, PageId(2));
+        assert_eq!(wal.records(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_overwritten() {
+        let path = temp_wal("torn");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(PageId(1), &[1; 16]).unwrap();
+            wal.append(PageId(2), &[2; 16]).unwrap();
+        }
+        // Truncate mid-way through the second record: a crash mid-append.
+        let full = std::fs::read(&path).unwrap();
+        let record_len = FRAME_LEN + PAYLOAD_HEADER + 16;
+        std::fs::write(&path, &full[..record_len + 5]).unwrap();
+        let (mut wal, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 1, "only the intact record replays");
+        assert_eq!(recovered[0].page, PageId(1));
+        // New appends overwrite the torn tail.
+        wal.append(PageId(3), &[3; 16]).unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[1].page, PageId(3));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let path = temp_wal("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(PageId(1), &[1; 16]).unwrap();
+            wal.append(PageId(2), &[2; 16]).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_payload = FRAME_LEN + PAYLOAD_HEADER + 16 + FRAME_LEN + 3;
+        bytes[second_payload] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let path = temp_wal("truncate");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(PageId(1), &[1; 8]).unwrap();
+        assert!(wal.len_bytes() > 0);
+        wal.truncate().unwrap();
+        assert_eq!(wal.len_bytes(), 0);
+        assert_eq!(wal.records(), 0);
+        drop(wal);
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert!(recovered.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

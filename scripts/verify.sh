@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # CI-style verification for the CLIC reproduction.
 #
-#   scripts/verify.sh                  # tier-1 + examples + format + clippy
+#   scripts/verify.sh                  # tier-1 + store smoke + examples +
+#                                      # format + clippy
 #   scripts/verify.sh --quick          # tier-1 only
 #   scripts/verify.sh --smoke-server   # additionally crash-check the
 #                                      # clic-server throughput harness (~1 s
 #                                      # of load at smoke scale)
+#   scripts/verify.sh --smoke-store    # data-plane smoke: the page store's
+#                                      # write->crash->recover->verify cycle
+#                                      # (~1 s) plus the storage_io bench at
+#                                      # smoke scale; part of the default
+#                                      # full run, this flag adds it to
+#                                      # --quick runs
 #   scripts/verify.sh --smoke-bench    # additionally crash-check EVERY bench
 #                                      # binary (via run_all) at smoke scale,
 #                                      # BOTH with --jobs 1 and --jobs 2, and
@@ -30,14 +37,22 @@ cd "$(dirname "$0")/.."
 quick=0
 smoke_server=0
 smoke_bench=0
+smoke_store=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --smoke-server) smoke_server=1 ;;
         --smoke-bench) smoke_bench=1 ;;
-        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench]" >&2; exit 2 ;;
+        --smoke-store) smoke_store=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench] [--smoke-store]" >&2; exit 2 ;;
     esac
 done
+
+# The data-plane smoke is part of the default full run; --smoke-store only
+# needs to be spelled out to add it to a --quick run.
+if [ "$quick" -eq 0 ]; then
+    smoke_store=1
+fi
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
@@ -104,6 +119,18 @@ if [ "$smoke_bench" -eq 1 ]; then
         exit 1
     fi
     echo "deterministic: every comparable result file is bit-identical"
+fi
+
+if [ "$smoke_store" -eq 1 ]; then
+    echo "== smoke: page store write->crash->recover->verify cycle =="
+    cargo test --release -q -p clic-store --test crash_recovery
+    if [ "$smoke_bench" -eq 0 ]; then
+        # (--smoke-bench subsumes this: run_all already includes
+        # storage_io, so don't run it twice.)
+        echo "== smoke: storage_io bench (smoke scale, crash check) =="
+        cargo run --release -q -p clic-bench --bin storage_io -- \
+            --quick --out-dir target/smoke-results
+    fi
 fi
 
 if [ "$quick" -eq 1 ]; then

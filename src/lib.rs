@@ -18,7 +18,11 @@
 //!   of the paper's Figure 5, noise injection, and trace interleaving,
 //! * [`server`] ([`clic_server`]) — the *online* deployment: a concurrent,
 //!   sharded storage-server cache service with batched request dispatch,
-//!   cross-shard hint-priority merging, and a multi-client load harness.
+//!   cross-shard hint-priority merging, and a multi-client load harness,
+//! * [`store`] ([`clic_store`]) — the data plane behind the server: a
+//!   disk-backed page store with buffer frames, dirty tracking, a background
+//!   flusher, and a write-ahead log, so `Put`/`Get` move real bytes and
+//!   acknowledged writes survive a crash.
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper lives in the `clic-bench` crate (`crates/bench`), with one binary
@@ -67,6 +71,7 @@
 //!         page: PageId(7),
 //!         hint,
 //!         write_hint: None,
+//!         data: None, // page bytes, when the server runs over a store
 //!     },
 //!     ServerRequest::Get {
 //!         client: ClientId(0),
@@ -87,6 +92,7 @@
 pub use cache_sim as sim;
 pub use clic_core as core;
 pub use clic_server as server;
+pub use clic_store as store;
 pub use stream_stats as stats;
 pub use trace_gen as workloads;
 
@@ -97,7 +103,7 @@ pub mod prelude {
     pub use cache_sim::policies::{Arc, Lru, Opt, Tq};
     pub use cache_sim::{
         compare_policies, simulate, simulate_partitioned, simulate_partitioned_parallel, sweep,
-        sweep_parallel, AccessKind, CachePolicy, CacheStats, ClientId, HintSetId, PageId,
+        sweep_parallel, AccessKind, CachePolicy, CacheStats, ClientId, HintSetId, IoStats, PageId,
         PartitionedCache, Request, SimulationResult, ThreadPool, Trace, TraceBuilder, WriteHint,
     };
     pub use clic_core::{
@@ -107,6 +113,10 @@ pub mod prelude {
         merge_client_traces, preset_client_traces, run_load, LoadConfig, LoadReport,
         MergeWeighting, Server, ServerConfig, ServerRequest, ServerResponse, ShardedClic,
         ShardedClicConfig,
+    };
+    pub use clic_store::{
+        page_payload, replay_storage, PageStore, StorageReplayReport, StoreConfig,
+        DEFAULT_PAGE_SIZE,
     };
     pub use stream_stats::{FrequencyEstimator, SpaceSaving};
     pub use trace_gen::{
