@@ -69,8 +69,13 @@
 //! policy with its byte-level counters (`bytes_read`, `bytes_written`,
 //! `buffer_hit_ratio`, `disk_reads`, `disk_writes`, `disk_bytes_read`,
 //! `disk_bytes_written`, `disk_reads_per_request`, `pages_flushed`,
-//! `eviction_flushes`, `wal_records`, `wal_bytes`), and the headline
-//! `clic_vs_lru_disk_reads_saved`. The combined `run_all` file wraps
+//! `eviction_flushes`, `wal_records`, `wal_bytes`, `data_syncs`,
+//! `wal_syncs`, `group_commits`, `fsyncs`), a `durability` object with the
+//! same counters for the CLIC replay at each WAL durability level
+//! (`buffered`, `group-commit`, `strict`), a `shards` object with the
+//! counters for CLIC partitioned across 2 and 4 per-shard stores, and the
+//! headlines `clic_vs_lru_disk_reads_saved` and
+//! `group_commit_vs_strict_fsyncs_saved`. The combined `run_all` file wraps
 //! those fragments:
 //!
 //! ```json

@@ -166,6 +166,14 @@ pub struct IoStats {
     pub wal_records: u64,
     /// Bytes appended to the write-ahead log (including record framing).
     pub wal_bytes: u64,
+    /// `fsync` calls issued against the page file (checkpoints and
+    /// recovery-time write-back).
+    pub data_syncs: u64,
+    /// `fsync` calls issued against the write-ahead log.
+    pub wal_syncs: u64,
+    /// WAL syncs that covered more than one pending append — the group
+    /// commits that amortized durability across concurrent writers.
+    pub group_commits: u64,
 }
 
 impl IoStats {
@@ -194,6 +202,12 @@ impl IoStats {
     pub fn bytes_moved(&self) -> u64 {
         self.bytes_read + self.bytes_written
     }
+
+    /// Total `fsync` calls across the page file and the WAL — the raw
+    /// durability cost that group commit amortizes.
+    pub fn fsyncs(&self) -> u64 {
+        self.data_syncs + self.wal_syncs
+    }
 }
 
 impl Add for IoStats {
@@ -219,6 +233,9 @@ impl AddAssign for IoStats {
         self.eviction_flushes += rhs.eviction_flushes;
         self.wal_records += rhs.wal_records;
         self.wal_bytes += rhs.wal_bytes;
+        self.data_syncs += rhs.data_syncs;
+        self.wal_syncs += rhs.wal_syncs;
+        self.group_commits += rhs.group_commits;
     }
 }
 
@@ -311,14 +328,20 @@ mod tests {
             eviction_flushes: 1,
             wal_records: 1,
             wal_bytes: 4113,
+            data_syncs: 2,
+            wal_syncs: 3,
+            group_commits: 1,
         };
         assert!((a.buffer_hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(a.reads(), 4);
         assert_eq!(a.bytes_moved(), 12_288);
+        assert_eq!(a.fsyncs(), 5);
         let b = a;
         a += b;
         assert_eq!(a.buffer_hits, 6);
         assert_eq!(a.wal_bytes, 8226);
+        assert_eq!(a.fsyncs(), 10);
+        assert_eq!(a.group_commits, 2);
         assert_eq!((b + b).disk_writes, 4);
         let text = a.to_string();
         assert!(text.contains("75.00%"));

@@ -223,7 +223,7 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
     let with_payloads = server.cache().has_store();
     let page_size = server
         .cache()
-        .store()
+        .shard_store(0)
         .map(|s| s.page_size())
         .unwrap_or_default();
     let started = Instant::now();

@@ -86,4 +86,4 @@ pub use sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
 
 // Re-exported so server embedders can configure the data plane without
 // depending on `clic-store` directly.
-pub use clic_store::{PageStore, StoreConfig, DEFAULT_PAGE_SIZE};
+pub use clic_store::{Durability, PageStore, StoreConfig, StoreError, DEFAULT_PAGE_SIZE};

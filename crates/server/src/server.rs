@@ -11,10 +11,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cache_sim::{IoStats, Request, SimulationResult, REPLAY_CHUNK};
 use clic_core::ClicConfig;
-use clic_store::StoreConfig;
+use clic_store::{Durability, StoreConfig, StoreError};
 
 use crate::protocol::{ServerRequest, ServerResponse};
 use crate::sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
@@ -28,6 +29,14 @@ pub struct ServerConfig {
     /// values give tighter back-pressure; the default of 4 keeps a worker
     /// busy while the next batch is being partitioned.
     pub queue_depth: usize,
+    /// WAL durability applied to the attached store at start-up, when set —
+    /// a server-level knob so deployments can pick the
+    /// acknowledgement/`fsync` trade without rebuilding the
+    /// [`StoreConfig`]. `None` keeps whatever the store config says.
+    pub durability: Option<Durability>,
+    /// How long [`Server::try_shutdown`] waits for the background flusher
+    /// to acknowledge its stop before declaring the disk wedged.
+    pub shutdown_timeout: Duration,
 }
 
 impl ServerConfig {
@@ -36,6 +45,8 @@ impl ServerConfig {
         ServerConfig {
             cache: ShardedClicConfig::new(capacity),
             queue_depth: 4,
+            durability: None,
+            shutdown_timeout: Duration::from_secs(30),
         }
     }
 
@@ -79,6 +90,21 @@ impl ServerConfig {
         self.cache = self.cache.with_store(store);
         self
     }
+
+    /// Sets the WAL durability level for the attached store (see
+    /// [`Durability`]); may be called before or after
+    /// [`ServerConfig::with_store`]. Ignored on a server without a store.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Sets the bounded-shutdown timeout (see
+    /// [`ServerConfig::shutdown_timeout`]).
+    pub fn with_shutdown_timeout(mut self, timeout: Duration) -> Self {
+        self.shutdown_timeout = timeout;
+        self
+    }
 }
 
 /// A per-shard unit of work: the requests routed to one shard (with their
@@ -111,12 +137,17 @@ pub struct Server {
     senders: Vec<mpsc::SyncSender<ShardJob>>,
     workers: Vec<JoinHandle<()>>,
     batches_served: AtomicU64,
+    shutdown_timeout: Duration,
 }
 
 impl Server {
     /// Starts the shard workers and returns the running server.
     pub fn start(config: ServerConfig) -> Server {
-        let cache = Arc::new(ShardedClic::new(config.cache));
+        let mut cache_config = config.cache;
+        if let (Some(durability), Some(store)) = (config.durability, cache_config.store.as_mut()) {
+            store.durability = durability;
+        }
+        let cache = Arc::new(ShardedClic::new(cache_config));
         let mut senders = Vec::with_capacity(cache.shard_count());
         let mut workers = Vec::with_capacity(cache.shard_count());
         for shard in 0..cache.shard_count() {
@@ -179,6 +210,7 @@ impl Server {
             senders,
             workers,
             batches_served: AtomicU64::new(0),
+            shutdown_timeout: config.shutdown_timeout,
         }
     }
 
@@ -279,17 +311,34 @@ impl Server {
         self.cache.io_stats()
     }
 
-    /// Stops the workers (draining their queues), checkpoints the attached
-    /// store if any — the clean-shutdown durability point — and returns the
-    /// final statistics. Merely *dropping* the server stops the workers but
-    /// skips the checkpoint, modelling a crash: acknowledged writes then
-    /// recover from the WAL when the store is next opened.
-    pub fn shutdown(mut self) -> SimulationResult {
+    /// Stops the workers (draining their queues), stops the background
+    /// flusher within the configured
+    /// [`ServerConfig::shutdown_timeout`], checkpoints every shard store —
+    /// the clean-shutdown durability point — and returns the final
+    /// statistics. Merely *dropping* the server stops the workers but skips
+    /// the checkpoint, modelling a crash: acknowledged writes then recover
+    /// from the per-shard WALs when the stores are next opened.
+    ///
+    /// Errors surface as [`StoreError`]: a wedged disk shows up as
+    /// [`StoreError::ShutdownTimeout`] instead of hanging the caller
+    /// forever.
+    pub fn try_shutdown(mut self) -> Result<SimulationResult, StoreError> {
         self.stop_workers();
-        self.cache
-            .checkpoint_store()
-            .expect("failed to checkpoint the page store at shutdown");
-        self.cache.snapshot()
+        // The workers are joined, so their Arcs are gone and the cache is
+        // uniquely held — unless a caller keeps its own clone, in which
+        // case the flusher is stopped by drop (unbounded) instead.
+        let timeout = self.shutdown_timeout;
+        if let Some(cache) = Arc::get_mut(&mut self.cache) {
+            cache.stop_flusher_timeout(timeout)?;
+        }
+        self.cache.checkpoint_store()?;
+        Ok(self.cache.snapshot())
+    }
+
+    /// [`Server::try_shutdown`], panicking on storage errors.
+    pub fn shutdown(self) -> SimulationResult {
+        self.try_shutdown()
+            .expect("failed to checkpoint the page store at shutdown")
     }
 }
 

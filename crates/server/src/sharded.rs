@@ -17,14 +17,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use cache_sim::policy::AccessOutcome;
+use cache_sim::sync::recover_lock;
 use cache_sim::{
     record_outcome, CachePolicy, CacheStats, ClientId, HintSetId, IoStats, PageId, Request,
     SimulationResult,
 };
 use clic_core::{Clic, ClicConfig};
-use clic_store::{page_payload, Flusher, PageStore, ReadSource, StoreConfig};
+use clic_store::{page_payload, Flusher, PageStore, ReadSource, StoreConfig, StoreResult};
 
 /// How [`ShardedClic::merge_priorities`] weights each shard's contribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,12 +61,18 @@ pub struct ShardedClicConfig {
     pub merge_every: u64,
     /// How shards are weighted when merging priorities.
     pub merge_weighting: MergeWeighting,
-    /// When set, the cache gets a real data plane: a shared
-    /// [`PageStore`] whose buffer frames mirror the policy's cache contents
-    /// (admissions install frames, evictions free them — flushing dirty ones
-    /// first), served through [`ShardedClic::access_shard_batch_data`]. The
-    /// store's frame count is raised to at least `capacity` so the policy can
-    /// never admit more pages than there are frames.
+    /// When set, the cache gets a real data plane: **one [`PageStore`] per
+    /// shard** (multi-shard deployments place each under a `shard-N`
+    /// subdirectory via [`StoreConfig::for_shard`]; a single shard keeps the
+    /// base directory), whose buffer frames mirror that shard's cache
+    /// contents (admissions install frames, evictions free them — flushing
+    /// dirty ones first), served through
+    /// [`ShardedClic::access_shard_batch_data`]. Each shard store's frame
+    /// count is raised to at least the shard's capacity so the policy can
+    /// never admit more pages than there are frames. Pages are
+    /// shard-partitioned, so two shards share *no* storage state — Get/Put
+    /// traffic for different shards touches disjoint files, frames, and
+    /// WALs.
     pub store: Option<StoreConfig>,
 }
 
@@ -153,14 +161,16 @@ pub struct ShardedClic {
     merge_weighting: MergeWeighting,
     merges_completed: AtomicU64,
     total_capacity: usize,
-    /// The data plane, when configured: shared with an optional background
-    /// [`Flusher`]. Pages are partitioned across shards, so store operations
-    /// for a page are serialized by its owning shard's lock; the store's own
-    /// mutex only mediates between shards and the flusher.
-    store: Option<Arc<PageStore>>,
-    /// Background write-back thread; joined on drop (without flushing — a
-    /// plain drop models a crash, [`ShardedClic::checkpoint_store`] models a
-    /// clean shutdown).
+    /// The data plane, when configured: one store per shard (same indexing
+    /// as `shards`), held *outside* the shard mutexes and shared with an
+    /// optional background [`Flusher`]. Pages are partitioned across shards,
+    /// so operations on a page are serialized by its owning shard's lock;
+    /// the stores' internal latches only mediate between a shard and the
+    /// flusher. Empty when no store is attached.
+    stores: Vec<Arc<PageStore>>,
+    /// Background write-back thread over *all* shard stores; joined on drop
+    /// (without flushing — a plain drop models a crash,
+    /// [`ShardedClic::checkpoint_store`] models a clean shutdown).
     flusher: Option<Flusher>,
 }
 
@@ -204,20 +214,33 @@ impl ShardedClic {
                 })
             })
             .collect();
-        let (store, flusher) = match config.store {
-            Some(mut store_config) => {
-                // The store is shared by all shards; it must hold at least
-                // one frame per cache page or admissions could outrun it.
-                store_config.frames = store_config.frames.max(config.capacity);
-                let store = Arc::new(
-                    PageStore::open(store_config.clone()).expect("failed to open the page store"),
-                );
+        let (stores, flusher) = match config.store {
+            Some(store_config) => {
+                let stores: Vec<Arc<PageStore>> = (0..config.shards)
+                    .map(|i| {
+                        let shard_capacity = base + usize::from(i < remainder);
+                        let mut shard_store = store_config.for_shard(i, config.shards);
+                        // Each shard store must hold at least one frame per
+                        // cache page of its shard, or admissions could
+                        // outrun it; a configured frame budget is split
+                        // across the shards.
+                        shard_store.frames = shard_store
+                            .frames
+                            .div_ceil(config.shards)
+                            .max(shard_capacity)
+                            .max(1);
+                        Arc::new(
+                            PageStore::open(shard_store)
+                                .expect("failed to open a shard's page store"),
+                        )
+                    })
+                    .collect();
                 let flusher = store_config.flush_interval.map(|interval| {
-                    Flusher::start(Arc::clone(&store), interval, store_config.flush_batch)
+                    Flusher::start(stores.clone(), interval, store_config.flush_batch)
                 });
-                (Some(store), flusher)
+                (stores, flusher)
             }
-            None => (None, None),
+            None => (Vec::new(), None),
         };
         ShardedClic {
             shards,
@@ -226,7 +249,7 @@ impl ShardedClic {
             merge_weighting: config.merge_weighting,
             merges_completed: AtomicU64::new(0),
             total_capacity: config.capacity,
-            store,
+            stores,
             flusher,
         }
     }
@@ -270,9 +293,7 @@ impl ShardedClic {
     /// priority merge every [`ShardedClicConfig::merge_every`] requests.
     pub fn access(&self, req: &Request) -> AccessOutcome {
         let (seq, outcome) = {
-            let mut shard = self.shards[self.shard_of(req.page)]
-                .lock()
-                .expect("shard lock poisoned");
+            let mut shard = recover_lock(&self.shards[self.shard_of(req.page)]);
             // The sequence number is drawn while holding the shard lock:
             // still globally unique, but also monotone *within* the shard,
             // which the per-shard Clic relies on (its lists are ordered by
@@ -326,7 +347,7 @@ impl ShardedClic {
             "batch contains requests for a different shard"
         );
         let first_seq = {
-            let mut shard = self.shards[shard_idx].lock().expect("shard lock poisoned");
+            let mut shard = recover_lock(&self.shards[shard_idx]);
             // As in `access`, sequence numbers are drawn under the shard
             // lock so they stay monotone within the shard.
             let first_seq = self
@@ -372,9 +393,10 @@ impl ShardedClic {
     /// [`ShardedClic::access_shard_batch`]; sequence numbers are drawn
     /// per-request under the shard lock exactly as [`ShardedClic::access`]
     /// draws them, so a single-shard, single-caller run is bit-identical to
-    /// the policy-only path. Store I/O happens under the shard lock — pages
-    /// are shard-partitioned, so this serializes exactly the I/O that a
-    /// correctness race would otherwise reorder.
+    /// the policy-only path. Store I/O happens under the shard lock against
+    /// the shard's *own* store — pages are shard-partitioned, so this
+    /// serializes exactly the I/O that a correctness race would otherwise
+    /// reorder, and I/O for different shards shares no lock at all.
     ///
     /// # Panics
     ///
@@ -390,8 +412,8 @@ impl ShardedClic {
         data_out: &mut Vec<Option<Vec<u8>>>,
     ) -> io::Result<()> {
         let store = self
-            .store
-            .as_ref()
+            .stores
+            .get(shard_idx)
             .expect("access_shard_batch_data requires an attached page store");
         if reqs.is_empty() {
             return Ok(());
@@ -408,7 +430,7 @@ impl ShardedClic {
         let mut evicted: Vec<PageId> = Vec::new();
         let mut buf: Vec<u8> = Vec::with_capacity(page_size);
         let (first_seq, last_seq) = {
-            let mut shard = self.shards[shard_idx].lock().expect("shard lock poisoned");
+            let mut shard = recover_lock(&self.shards[shard_idx]);
             let mut first_seq = 0;
             let mut last_seq = 0;
             for (i, req) in reqs.iter().enumerate() {
@@ -471,30 +493,46 @@ impl ShardedClic {
 
     /// Whether a data plane is attached.
     pub fn has_store(&self) -> bool {
-        self.store.is_some()
+        !self.stores.is_empty()
     }
 
-    /// The attached page store, if any.
-    pub fn store(&self) -> Option<&Arc<PageStore>> {
-        self.store.as_ref()
+    /// Shard `idx`'s page store, if a data plane is attached (and the index
+    /// is in range).
+    pub fn shard_store(&self, idx: usize) -> Option<&Arc<PageStore>> {
+        self.stores.get(idx)
     }
 
-    /// A snapshot of the data plane's byte-level I/O counters, if a store is
-    /// attached.
+    /// All per-shard stores, indexed like the shards (empty without a data
+    /// plane).
+    pub fn stores(&self) -> &[Arc<PageStore>] {
+        &self.stores
+    }
+
+    /// A snapshot of the data plane's byte-level I/O counters summed across
+    /// every shard store, if a data plane is attached.
     pub fn io_stats(&self) -> Option<IoStats> {
-        self.store.as_ref().map(|s| s.io_stats())
+        if self.stores.is_empty() {
+            return None;
+        }
+        let mut total = IoStats::new();
+        for store in &self.stores {
+            total += store.io_stats();
+        }
+        Some(total)
     }
 
-    /// Checkpoints the attached store — flushes every dirty frame, syncs the
-    /// backing file, truncates the WAL — and returns how many frames were
-    /// written back. `Ok(0)` without a store. This is the clean-shutdown
-    /// path; merely dropping the cache models a crash (acknowledged writes
-    /// then recover from the WAL on the next open).
+    /// Checkpoints every shard store — flushes every dirty frame, syncs the
+    /// backing files, truncates the WALs — and returns how many frames were
+    /// written back in total. `Ok(0)` without a store. This is the
+    /// clean-shutdown path; merely dropping the cache models a crash
+    /// (acknowledged writes then recover from each shard's WAL on the next
+    /// open).
     pub fn checkpoint_store(&self) -> io::Result<usize> {
-        match &self.store {
-            Some(store) => store.checkpoint(),
-            None => Ok(0),
+        let mut flushed = 0;
+        for store in &self.stores {
+            flushed += store.checkpoint()?;
         }
+        Ok(flushed)
     }
 
     /// Stops the background flusher thread, if one is running (also done on
@@ -505,21 +543,27 @@ impl ShardedClic {
         }
     }
 
+    /// Stops the background flusher, waiting at most `timeout`: a flush pass
+    /// wedged in the kernel (dying disk) surfaces as
+    /// [`clic_store::StoreError::ShutdownTimeout`] instead of hanging
+    /// shutdown forever. A no-op without a flusher.
+    pub fn stop_flusher_timeout(&mut self, timeout: Duration) -> StoreResult<()> {
+        match self.flusher.as_mut() {
+            Some(flusher) => flusher.stop_timeout(timeout),
+            None => Ok(()),
+        }
+    }
+
     /// Returns `true` if `page` is currently cached (in its shard).
     pub fn contains(&self, page: PageId) -> bool {
-        self.shards[self.shard_of(page)]
-            .lock()
-            .expect("shard lock poisoned")
+        recover_lock(&self.shards[self.shard_of(page)])
             .clic
             .contains(page)
     }
 
     /// Total number of pages currently cached across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").clic.len())
-            .sum()
+        self.shards.iter().map(|s| recover_lock(s).clic.len()).sum()
     }
 
     /// Returns `true` if no shard holds any page.
@@ -547,7 +591,7 @@ impl ShardedClic {
         let mut merged: HashMap<HintSetId, f64> = HashMap::new();
         let mut requests_at_export: Vec<u64> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            let shard = shard.lock().expect("shard lock poisoned");
+            let shard = recover_lock(shard);
             let requests = shard.clic.requests_seen();
             requests_at_export.push(requests);
             let weight = match self.merge_weighting {
@@ -572,7 +616,7 @@ impl ShardedClic {
         }
         let snapshot: Vec<(HintSetId, f64)> = merged.into_iter().collect();
         for (shard, &requests) in self.shards.iter().zip(&requests_at_export) {
-            let mut shard = shard.lock().expect("shard lock poisoned");
+            let mut shard = recover_lock(shard);
             // The marker is pinned to the export-time count, so requests
             // that raced in between export and import still weigh in next
             // time.
@@ -592,7 +636,7 @@ impl ShardedClic {
             ..SimulationResult::default()
         };
         for shard in &self.shards {
-            let shard = shard.lock().expect("shard lock poisoned");
+            let shard = recover_lock(shard);
             let partial = SimulationResult {
                 policy: String::new(),
                 capacity: 0,
@@ -913,7 +957,7 @@ mod tests {
         let io = sharded.io_stats().unwrap();
         assert!(io.disk_reads > 0, "cold misses must hit the disk tier");
         assert!(io.wal_records > 0, "writes must be logged");
-        let store = sharded.store().unwrap();
+        let store = sharded.shard_store(0).unwrap();
         let mut buf = Vec::new();
         store.read(PageId(3), &mut buf).unwrap();
         assert_eq!(buf, page_payload(PageId(3), 64));

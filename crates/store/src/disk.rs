@@ -1,5 +1,5 @@
-//! [`DiskManager`]: fixed-size page slots in one backing file, with an
-//! allocation bitmap and per-slot CRC headers.
+//! [`DiskManager`]: fixed-size page slots in one backing file, with a
+//! sharded allocation bitmap and per-slot CRC headers.
 //!
 //! # File layout
 //!
@@ -14,16 +14,38 @@
 //! The CRC covers the page-id bytes followed by the page bytes, so a slot
 //! whose header and data were not written together (a torn frame) fails
 //! verification on read. Page ids are sparse (clients address disjoint
-//! ranges offset by 100 M pages), so slots are assigned first-fit through an
-//! [`AllocationBitmap`] and an in-memory `page → slot` directory; both are
-//! rebuilt by scanning the slot headers when the file is opened. Freeing a
-//! page zeroes its slot meta and returns the slot to the bitmap.
+//! ranges offset by 100 M pages), so slots are assigned through a
+//! [`ShardedBitmap`] — independently locked [`AllocationBitmap`] stripes
+//! interleaved across the slot space — and an in-memory `page → slot`
+//! directory striped the same way; both are rebuilt by scanning the slot
+//! headers when the file is opened. Freeing a page zeroes its slot meta and
+//! returns the slot to its bitmap stripe.
+//!
+//! # Locking
+//!
+//! The manager is internally synchronized and every method takes `&self`:
+//!
+//! * file I/O uses positioned reads/writes (`pread`/`pwrite`), so no seek
+//!   cursor is shared and distinct slots never contend;
+//! * the `page → slot` directory is striped by page hash; a lookup takes
+//!   one stripe mutex for the map access only, never across an I/O call;
+//! * each bitmap stripe has its own mutex, taken *inside* a directory
+//!   stripe lock when a write allocates (lock order: directory stripe →
+//!   bitmap stripe, never the reverse).
+//!
+//! Races on the *same* page (two concurrent writes, a write and a free) are
+//! excluded by the caller — the buffer pool's per-frame latches admit one
+//! writer per page — so slot assignments observed through the directory are
+//! stable for the duration of an I/O call.
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
+use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::Mutex;
 
-use cache_sim::{FastHashMap, PageId};
+use cache_sim::sync::recover_lock;
+use cache_sim::{page_partition, FastHashMap, PageId};
 
 use crate::crc::Crc32;
 
@@ -35,9 +57,14 @@ const HEADER_LEN: u64 = 16;
 const SLOT_META_LEN: usize = 16;
 /// Slot meta flag: the slot holds a live page.
 const FLAG_ALLOCATED: u32 = 1;
+/// Directory stripes: page lookups hash-partition across this many maps.
+const DIRECTORY_STRIPES: usize = 16;
+/// Bitmap stripes used by [`DiskManager`]'s slot allocator.
+const BITMAP_STRIPES: usize = 8;
 
 /// A slot-granular allocation bitmap: one bit per slot, first-fit
-/// allocation, growing as needed.
+/// allocation, growing as needed. Single-threaded; [`ShardedBitmap`] wraps
+/// a set of these in stripe locks for concurrent allocation.
 #[derive(Debug, Default)]
 pub struct AllocationBitmap {
     words: Vec<u64>,
@@ -106,20 +133,89 @@ impl AllocationBitmap {
     }
 }
 
+/// A sharded slot allocator: `stripes` independently locked
+/// [`AllocationBitmap`]s interleaved across the global slot space.
+///
+/// Stripe `s` owns global slots `s, s + stripes, s + 2·stripes, …`; a
+/// page's allocations always come from stripe `page_partition(page,
+/// stripes)`, so concurrent writers of hash-distinct pages allocate without
+/// contending on one lock. Within a stripe allocation is still first-fit
+/// (lowest interleaved slot), so a single-threaded caller gets a
+/// deterministic slot assignment.
+#[derive(Debug)]
+pub struct ShardedBitmap {
+    stripes: Box<[Mutex<AllocationBitmap>]>,
+}
+
+impl ShardedBitmap {
+    /// A bitmap sharded over `stripes` independently locked stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` is zero.
+    pub fn new(stripes: usize) -> Self {
+        assert!(stripes > 0, "at least one stripe is required");
+        ShardedBitmap {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(AllocationBitmap::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Allocates the first free slot in `page`'s stripe and returns its
+    /// global slot number.
+    pub fn allocate_for(&self, page: PageId) -> usize {
+        let n = self.stripes.len();
+        let stripe = page_partition(page, n);
+        let local = recover_lock(&self.stripes[stripe]).allocate();
+        local * n + stripe
+    }
+
+    /// Marks global `slot` allocated (used when rebuilding from a scan).
+    pub fn set(&self, slot: usize) {
+        let n = self.stripes.len();
+        recover_lock(&self.stripes[slot % n]).set(slot / n);
+    }
+
+    /// Marks global `slot` free.
+    pub fn clear(&self, slot: usize) {
+        let n = self.stripes.len();
+        recover_lock(&self.stripes[slot % n]).clear(slot / n);
+    }
+
+    /// Whether global `slot` is allocated.
+    pub fn is_set(&self, slot: usize) -> bool {
+        let n = self.stripes.len();
+        recover_lock(&self.stripes[slot % n]).is_set(slot / n)
+    }
+
+    /// Number of allocated slots across all stripes.
+    pub fn allocated(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|stripe| recover_lock(stripe).allocated())
+            .sum()
+    }
+}
+
 /// Reads and writes fixed-size page frames in a single backing file.
 ///
-/// All I/O is positioned (`seek` + read/write on a cloned cursor-free path),
-/// one slot per call; a page write emits the slot meta and page bytes as one
-/// contiguous write. The manager is single-threaded by design — the
-/// [`crate::PageStore`] serializes access behind its mutex.
+/// Internally synchronized (see the module docs): positioned I/O plus a
+/// striped directory and a [`ShardedBitmap`] allocator mean concurrent
+/// reads and writes of distinct pages proceed without sharing a lock.
+/// Callers serialize operations on the *same* page (the buffer pool's
+/// frame latches do this above).
 #[derive(Debug)]
 pub struct DiskManager {
     file: File,
     page_size: usize,
-    directory: FastHashMap<PageId, u32>,
-    bitmap: AllocationBitmap,
-    /// Scratch for one slot (meta + page bytes), reused across calls.
-    slot_buf: Vec<u8>,
+    directory: Box<[Mutex<FastHashMap<PageId, u32>>]>,
+    bitmap: ShardedBitmap,
 }
 
 impl DiskManager {
@@ -132,7 +228,7 @@ impl DiskManager {
     /// page.
     pub fn open(path: &Path, page_size: usize) -> io::Result<DiskManager> {
         assert!(page_size > 0, "page size must be positive");
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
@@ -143,12 +239,10 @@ impl DiskManager {
             let mut header = [0u8; HEADER_LEN as usize];
             header[..8].copy_from_slice(&FILE_MAGIC);
             header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(&header)?;
+            file.write_all_at(&header, 0)?;
         } else {
             let mut header = [0u8; HEADER_LEN as usize];
-            file.seek(SeekFrom::Start(0))?;
-            file.read_exact(&mut header)?;
+            file.read_exact_at(&mut header, 0)?;
             if header[..8] != FILE_MAGIC {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -163,12 +257,13 @@ impl DiskManager {
                 ));
             }
         }
-        let mut manager = DiskManager {
+        let manager = DiskManager {
             file,
             page_size,
-            directory: FastHashMap::default(),
-            bitmap: AllocationBitmap::new(),
-            slot_buf: vec![0u8; SLOT_META_LEN + page_size],
+            directory: (0..DIRECTORY_STRIPES)
+                .map(|_| Mutex::new(FastHashMap::default()))
+                .collect(),
+            bitmap: ShardedBitmap::new(BITMAP_STRIPES),
         };
         let stride = manager.stride();
         let slots = file_len.saturating_sub(HEADER_LEN) / stride;
@@ -176,19 +271,20 @@ impl DiskManager {
         for slot in 0..slots {
             manager
                 .file
-                .seek(SeekFrom::Start(HEADER_LEN + slot * stride))?;
-            manager.file.read_exact(&mut meta)?;
+                .read_exact_at(&mut meta, HEADER_LEN + slot * stride)?;
             let flags = u32::from_le_bytes(meta[12..16].try_into().unwrap());
             if flags & FLAG_ALLOCATED == 0 {
                 continue;
             }
             let page = PageId(u64::from_le_bytes(meta[..8].try_into().unwrap()));
-            if manager.directory.insert(page, slot as u32).is_some() {
+            let mut stripe = recover_lock(manager.stripe_of(page));
+            if stripe.insert(page, slot as u32).is_some() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("page {} is live in two slots", page.0),
                 ));
             }
+            drop(stripe);
             manager.bitmap.set(slot as usize);
         }
         Ok(manager)
@@ -202,6 +298,10 @@ impl DiskManager {
         HEADER_LEN + u64::from(slot) * self.stride()
     }
 
+    fn stripe_of(&self, page: PageId) -> &Mutex<FastHashMap<PageId, u32>> {
+        &self.directory[page_partition(page, self.directory.len())]
+    }
+
     /// The configured page size in bytes.
     pub fn page_size(&self) -> usize {
         self.page_size
@@ -209,17 +309,27 @@ impl DiskManager {
 
     /// Number of live pages in the file.
     pub fn allocated_pages(&self) -> usize {
-        self.directory.len()
+        self.directory
+            .iter()
+            .map(|stripe| recover_lock(stripe).len())
+            .sum()
     }
 
     /// Whether the file holds a live copy of `page`.
     pub fn contains(&self, page: PageId) -> bool {
-        self.directory.contains_key(&page)
+        recover_lock(self.stripe_of(page)).contains_key(&page)
     }
 
-    /// Every live page, in unspecified order.
+    /// Every live page, sorted by id (a deterministic order regardless of
+    /// stripe layout).
     pub fn pages(&self) -> Vec<PageId> {
-        self.directory.keys().copied().collect()
+        let mut pages: Vec<PageId> = self
+            .directory
+            .iter()
+            .flat_map(|stripe| recover_lock(stripe).keys().copied().collect::<Vec<_>>())
+            .collect();
+        pages.sort_unstable();
+        pages
     }
 
     fn checksum(page: PageId, data: &[u8]) -> u32 {
@@ -233,15 +343,15 @@ impl DiskManager {
     /// Returns `Ok(false)` if the file holds no copy of the page, and
     /// [`io::ErrorKind::InvalidData`] if the stored frame fails CRC
     /// verification (a torn write).
-    pub fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> io::Result<bool> {
+    pub fn read_page(&self, page: PageId, buf: &mut [u8]) -> io::Result<bool> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let Some(&slot) = self.directory.get(&page) else {
-            return Ok(false);
+        let slot = match recover_lock(self.stripe_of(page)).get(&page) {
+            Some(&slot) => slot,
+            None => return Ok(false),
         };
-        let offset = self.slot_offset(slot);
-        self.file.seek(SeekFrom::Start(offset))?;
-        let slot_buf = &mut self.slot_buf;
-        self.file.read_exact(slot_buf)?;
+        let mut slot_buf = vec![0u8; SLOT_META_LEN + self.page_size];
+        self.file
+            .read_exact_at(&mut slot_buf, self.slot_offset(slot))?;
         let stored_page = u64::from_le_bytes(slot_buf[..8].try_into().unwrap());
         let stored_crc = u32::from_le_bytes(slot_buf[8..12].try_into().unwrap());
         let data = &slot_buf[SLOT_META_LEN..];
@@ -256,43 +366,50 @@ impl DiskManager {
     }
 
     /// Writes `data` (exactly one page) as the live copy of `page`,
-    /// allocating a slot first-fit if the page has none. Meta and page bytes
-    /// go out as one contiguous write.
-    pub fn write_page(&mut self, page: PageId, data: &[u8]) -> io::Result<()> {
+    /// allocating a slot from the page's bitmap stripe if it has none. Meta
+    /// and page bytes go out as one contiguous positioned write, after the
+    /// directory stripe lock is already released.
+    pub fn write_page(&self, page: PageId, data: &[u8]) -> io::Result<()> {
         assert_eq!(data.len(), self.page_size, "data must be one page");
-        let slot = match self.directory.get(&page) {
-            Some(&slot) => slot,
-            None => {
-                let slot = self.bitmap.allocate() as u32;
-                self.directory.insert(page, slot);
-                slot
+        let slot = {
+            let mut stripe = recover_lock(self.stripe_of(page));
+            match stripe.get(&page) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = self.bitmap.allocate_for(page) as u32;
+                    stripe.insert(page, slot);
+                    slot
+                }
             }
         };
-        self.slot_buf[..8].copy_from_slice(&page.0.to_le_bytes());
-        self.slot_buf[8..12].copy_from_slice(&Self::checksum(page, data).to_le_bytes());
-        self.slot_buf[12..16].copy_from_slice(&FLAG_ALLOCATED.to_le_bytes());
-        self.slot_buf[SLOT_META_LEN..].copy_from_slice(data);
-        let offset = self.slot_offset(slot);
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.write_all(&self.slot_buf)?;
+        let mut slot_buf = vec![0u8; SLOT_META_LEN + self.page_size];
+        slot_buf[..8].copy_from_slice(&page.0.to_le_bytes());
+        slot_buf[8..12].copy_from_slice(&Self::checksum(page, data).to_le_bytes());
+        slot_buf[12..16].copy_from_slice(&FLAG_ALLOCATED.to_le_bytes());
+        slot_buf[SLOT_META_LEN..].copy_from_slice(data);
+        self.file.write_all_at(&slot_buf, self.slot_offset(slot))?;
         Ok(())
     }
 
     /// Drops the live copy of `page` (zeroing its slot meta) and returns its
     /// slot to the allocator. Returns `Ok(false)` if the page had no copy.
-    pub fn free_page(&mut self, page: PageId) -> io::Result<bool> {
-        let Some(slot) = self.directory.remove(&page) else {
-            return Ok(false);
+    ///
+    /// The slot is returned to the bitmap only *after* the zeroed meta hits
+    /// the file, so a concurrent allocation can never be clobbered by this
+    /// free's write.
+    pub fn free_page(&self, page: PageId) -> io::Result<bool> {
+        let slot = match recover_lock(self.stripe_of(page)).remove(&page) {
+            Some(slot) => slot,
+            None => return Ok(false),
         };
-        let offset = self.slot_offset(slot);
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.write_all(&[0u8; SLOT_META_LEN])?;
+        self.file
+            .write_all_at(&[0u8; SLOT_META_LEN], self.slot_offset(slot))?;
         self.bitmap.clear(slot as usize);
         Ok(true)
     }
 
     /// Flushes file contents to the device (`fsync`-equivalent).
-    pub fn sync(&mut self) -> io::Result<()> {
+    pub fn sync(&self) -> io::Result<()> {
         self.file.sync_data()
     }
 }
@@ -306,6 +423,23 @@ mod tests {
             std::env::temp_dir().join(format!("clic-disk-test-{}-{tag}.pages", std::process::id()));
         let _ = std::fs::remove_file(&path);
         path
+    }
+
+    /// Byte offset of the live slot holding `page`, found by scanning slot
+    /// metas (slot assignment depends on the bitmap's stripe interleave).
+    fn slot_offset_of(bytes: &[u8], page: u64, page_size: usize) -> usize {
+        let stride = SLOT_META_LEN + page_size;
+        let mut offset = HEADER_LEN as usize;
+        while offset + stride <= bytes.len() {
+            let meta = &bytes[offset..offset + SLOT_META_LEN];
+            let id = u64::from_le_bytes(meta[..8].try_into().unwrap());
+            let flags = u32::from_le_bytes(meta[12..16].try_into().unwrap());
+            if flags & FLAG_ALLOCATED != 0 && id == page {
+                return offset;
+            }
+            offset += stride;
+        }
+        panic!("page {page} has no live slot");
     }
 
     #[test]
@@ -326,12 +460,39 @@ mod tests {
     }
 
     #[test]
+    fn sharded_bitmap_keeps_stripes_disjoint() {
+        let bitmap = ShardedBitmap::new(4);
+        let mut slots = Vec::new();
+        for p in 0..64u64 {
+            slots.push(bitmap.allocate_for(PageId(p)));
+        }
+        let mut unique = slots.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), slots.len(), "no slot is handed out twice");
+        assert_eq!(bitmap.allocated(), 64);
+        // Each slot lives in the stripe of the page that allocated it.
+        for (i, &slot) in slots.iter().enumerate() {
+            assert!(bitmap.is_set(slot));
+            assert_eq!(slot % 4, page_partition(PageId(i as u64), 4));
+        }
+        let victim = slots[7];
+        bitmap.clear(victim);
+        assert!(!bitmap.is_set(victim));
+        assert_eq!(bitmap.allocated(), 63);
+        // set() rebuilds the same state a scan would.
+        bitmap.set(victim);
+        assert!(bitmap.is_set(victim));
+        assert_eq!(bitmap.allocated(), 64);
+    }
+
+    #[test]
     fn write_read_roundtrip_and_rescan() {
         let path = temp_file("roundtrip");
         let page_size = 256;
         let pattern = |seed: u8| vec![seed; page_size];
         {
-            let mut disk = DiskManager::open(&path, page_size).unwrap();
+            let disk = DiskManager::open(&path, page_size).unwrap();
             // Sparse page ids land in dense slots.
             disk.write_page(PageId(7), &pattern(1)).unwrap();
             disk.write_page(PageId(100_000_007), &pattern(2)).unwrap();
@@ -347,7 +508,7 @@ mod tests {
             disk.sync().unwrap();
         }
         // Reopen: the directory and bitmap are rebuilt from the headers.
-        let mut disk = DiskManager::open(&path, page_size).unwrap();
+        let disk = DiskManager::open(&path, page_size).unwrap();
         assert_eq!(disk.allocated_pages(), 2);
         let mut buf = vec![0u8; page_size];
         assert!(disk.read_page(PageId(100_000_007), &mut buf).unwrap());
@@ -359,18 +520,51 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_writers_of_distinct_pages_round_trip() {
+        let path = temp_file("concurrent");
+        let page_size = 64;
+        let disk = std::sync::Arc::new(DiskManager::open(&path, page_size).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let disk = std::sync::Arc::clone(&disk);
+                scope.spawn(move || {
+                    for i in 0..32u64 {
+                        let page = PageId(t * 1_000 + i);
+                        let data = vec![(t * 32 + i) as u8; page_size];
+                        disk.write_page(page, &data).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(disk.allocated_pages(), 128);
+        let mut buf = vec![0u8; page_size];
+        for t in 0..4u64 {
+            for i in 0..32u64 {
+                let page = PageId(t * 1_000 + i);
+                assert!(disk.read_page(page, &mut buf).unwrap());
+                assert_eq!(buf, vec![(t * 32 + i) as u8; page_size], "page {page}");
+            }
+        }
+        // A reopen rebuilds the same directory the writers built.
+        drop(disk);
+        let disk = DiskManager::open(&path, page_size).unwrap();
+        assert_eq!(disk.allocated_pages(), 128);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn torn_frames_fail_crc_verification() {
         let path = temp_file("torn");
         let page_size = 128;
-        let mut disk = DiskManager::open(&path, page_size).unwrap();
+        let disk = DiskManager::open(&path, page_size).unwrap();
         disk.write_page(PageId(1), &vec![9u8; page_size]).unwrap();
         drop(disk);
-        // Corrupt one byte in the middle of slot 0's page bytes.
+        // Corrupt one byte in the middle of the page's slot bytes.
         let mut bytes = std::fs::read(&path).unwrap();
-        let victim = HEADER_LEN as usize + SLOT_META_LEN + page_size / 2;
+        let victim = slot_offset_of(&bytes, 1, page_size) + SLOT_META_LEN + page_size / 2;
         bytes[victim] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
-        let mut disk = DiskManager::open(&path, page_size).unwrap();
+        let disk = DiskManager::open(&path, page_size).unwrap();
         let mut buf = vec![0u8; page_size];
         let err = disk.read_page(PageId(1), &mut buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);

@@ -1,0 +1,94 @@
+//! [`StoreError`]: the storage stack's error type, unifying I/O failures,
+//! poisoned locks, and bounded-shutdown timeouts.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use cache_sim::LockPoisoned;
+
+/// Result alias for storage operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Why a storage operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying file I/O failed.
+    Io(io::Error),
+    /// A lock inside the store was poisoned by a panicked thread and the
+    /// operation could not proceed on a clean error path.
+    LockPoisoned,
+    /// A bounded join (flusher stop, shutdown) did not finish in time —
+    /// the signature of a wedged disk or a stuck worker.
+    ShutdownTimeout {
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "storage I/O failed: {err}"),
+            StoreError::LockPoisoned => f.write_str("storage lock poisoned by a panicked thread"),
+            StoreError::ShutdownTimeout { waited } => {
+                write!(f, "storage shutdown timed out after {waited:?}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+impl From<LockPoisoned> for StoreError {
+    fn from(_: LockPoisoned) -> Self {
+        StoreError::LockPoisoned
+    }
+}
+
+impl From<StoreError> for io::Error {
+    fn from(err: StoreError) -> Self {
+        match err {
+            StoreError::Io(err) => err,
+            StoreError::LockPoisoned => io::Error::other(err.to_string()),
+            StoreError::ShutdownTimeout { .. } => {
+                io::Error::new(io::ErrorKind::TimedOut, err.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip_through_io() {
+        let io_err: io::Error = StoreError::ShutdownTimeout {
+            waited: Duration::from_secs(1),
+        }
+        .into();
+        assert_eq!(io_err.kind(), io::ErrorKind::TimedOut);
+        let io_err: io::Error = StoreError::LockPoisoned.into();
+        assert!(io_err.to_string().contains("poisoned"));
+        let store_err: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(store_err, StoreError::Io(_)));
+        let store_err: StoreError = LockPoisoned.into();
+        assert!(matches!(store_err, StoreError::LockPoisoned));
+        assert!(store_err.to_string().contains("poisoned"));
+    }
+}

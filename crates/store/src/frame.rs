@@ -1,44 +1,67 @@
-//! [`FrameArena`]: in-memory buffer frames with pin counts, dirty bits, and
-//! RAII page guards.
+//! [`FrameArena`]: in-memory buffer frames with atomic pin counts,
+//! per-frame latches, dirty bits, and RAII page guards.
 //!
 //! The arena owns one contiguous allocation of `frames × page_size` bytes
-//! plus per-frame metadata (resident page, pin state, dirty bit) and a
-//! `page → frame` directory. See the crate docs for the frame lifecycle and
-//! the pin/unpin rules; the short version:
+//! plus per-frame metadata (resident page, latch word, dirty bit), a
+//! striped `page → frame` directory, and a free list. Unlike its earlier
+//! single-threaded incarnation the arena is `Sync`: all synchronization is
+//! per-frame (an atomic latch word) or per-directory-stripe (an `RwLock`
+//! around one hash map), so threads reading *distinct* pages never touch a
+//! shared lock and threads reading the *same* clean page share only that
+//! frame's latch word.
 //!
-//! * [`FrameArena::read`] pins a frame shared (any number of concurrent read
-//!   guards), [`FrameArena::write`] pins it exclusive and marks it dirty;
-//!   dropping the guard unpins.
-//! * Structural mutation ([`FrameArena::install`], [`FrameArena::evict_into`])
-//!   takes `&mut self`, so the borrow checker statically rules out live
-//!   guards across it — a pinned frame can never be evicted.
-//! * Pin-state violations *within* a shared borrow (e.g. `write` while a
-//!   read guard is live) are caught at runtime and panic, mirroring
-//!   `RefCell`.
+//! # Latch protocol
 //!
-//! The arena is intentionally `!Sync` (pin state lives in `Cell`s): it is
-//! always owned by a single-threaded section — in practice behind the
-//! [`crate::PageStore`] mutex — which is what makes the `UnsafeCell` buffer
-//! sound: two guards alias the buffer only for *distinct* frames (disjoint
-//! byte ranges) or as multiple shared readers of one frame.
+//! Each frame carries a latch word: `0` = unlatched, `n > 0` = `n` read
+//! pins, `-1` = one write pin.
+//!
+//! * [`FrameArena::read`] looks the page up under its stripe's read lock
+//!   and increments the latch *before* releasing the stripe — eviction
+//!   removes the directory entry under the stripe's write lock, so a frame
+//!   can never be recycled between lookup and pin.
+//! * [`FrameArena::write`] does the same but latches exclusive (`0 → -1`),
+//!   spinning while readers drain.
+//! * [`FrameArena::evict`] removes the directory entry first (no new pins
+//!   can arrive), then latches exclusive and hands back an [`EvictGuard`]
+//!   exposing the frame's bytes for write-back; dropping the guard recycles
+//!   the frame onto the free list.
+//! * [`FrameArena::install`] pops a free frame and fills it *before*
+//!   publishing it in the directory, so the copy races nothing.
+//!
+//! Latch acquisition spins (with exponential backoff to `yield_now`); the
+//! caller must therefore never request a second guard for a page while
+//! holding one with a conflicting mode on the same thread — that is the
+//! classic latch discipline, and the store upholds it by taking at most one
+//! guard per operation.
 
-use std::cell::{Cell, UnsafeCell};
+use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
-use cache_sim::{FastHashMap, PageId};
+use cache_sim::sync::{read_lock, recover_lock, write_lock};
+use cache_sim::{page_partition, FastHashMap, PageId};
 
-/// Pin state: `0` = unpinned, `> 0` = that many read guards, `-1` = one
-/// write guard.
-const WRITE_PINNED: i32 = -1;
+/// Latch value: one exclusive (write) pin.
+const WRITE_LATCHED: i32 = -1;
+/// Sentinel in a frame's `page` word: the frame holds no page. Page ids
+/// are dense trace offsets, so `u64::MAX` is safely out of band.
+const NO_PAGE: u64 = u64::MAX;
+/// Directory stripes: page lookups hash-partition across this many maps.
+const DIRECTORY_STRIPES: usize = 16;
 
 #[derive(Debug)]
-struct FrameMeta {
-    page: Option<PageId>,
-    pins: Cell<i32>,
-    dirty: Cell<bool>,
+struct Frame {
+    /// `0` = unlatched, `> 0` = that many read pins, `-1` = write-latched.
+    latch: AtomicI32,
+    dirty: AtomicBool,
+    /// Resident page id, or [`NO_PAGE`]. Written only while the frame is
+    /// unpublished (install) or write-latched (evict teardown).
+    page: AtomicU64,
 }
 
-/// A fixed-capacity arena of page-sized buffer frames.
+/// A fixed-capacity arena of page-sized buffer frames, safe to share
+/// across threads (see the module docs for the latch protocol).
 #[derive(Debug)]
 pub struct FrameArena {
     page_size: usize,
@@ -47,11 +70,19 @@ pub struct FrameArena {
     /// ever materializing a reference to the whole buffer, which would alias
     /// other live guards.
     buf: Box<[UnsafeCell<u8>]>,
-    frames: Vec<FrameMeta>,
-    directory: FastHashMap<PageId, usize>,
-    free: Vec<usize>,
-    dirty_count: Cell<usize>,
+    frames: Box<[Frame]>,
+    directory: Box<[RwLock<FastHashMap<PageId, u32>>]>,
+    free: Mutex<Vec<u32>>,
+    dirty_count: AtomicUsize,
 }
+
+// SAFETY: the `UnsafeCell` buffer is the only reason the type is not
+// automatically `Sync`. Access to frame bytes is mediated by the per-frame
+// latch word: shared slices exist only under a read pin (excluding the one
+// writer), exclusive slices only under the write latch (excluding
+// everyone), and unpublished frames (install) are reachable by exactly one
+// thread — the one that popped them off the free list.
+unsafe impl Sync for FrameArena {}
 
 impl FrameArena {
     /// An arena of `frames` frames of `page_size` bytes each.
@@ -62,23 +93,26 @@ impl FrameArena {
     pub fn new(frames: usize, page_size: usize) -> Self {
         assert!(frames > 0, "at least one frame is required");
         assert!(page_size > 0, "page size must be positive");
+        assert!(u32::try_from(frames).is_ok(), "frame count exceeds u32");
         FrameArena {
             page_size,
             buf: std::iter::repeat_with(|| UnsafeCell::new(0u8))
                 .take(frames * page_size)
                 .collect(),
             frames: (0..frames)
-                .map(|_| FrameMeta {
-                    page: None,
-                    pins: Cell::new(0),
-                    dirty: Cell::new(false),
+                .map(|_| Frame {
+                    latch: AtomicI32::new(0),
+                    dirty: AtomicBool::new(false),
+                    page: AtomicU64::new(NO_PAGE),
                 })
                 .collect(),
-            directory: FastHashMap::default(),
+            directory: (0..DIRECTORY_STRIPES)
+                .map(|_| RwLock::new(FastHashMap::default()))
+                .collect(),
             // Popped from the back; reversed so frames are first handed out
             // in index order (deterministic, cache-friendly).
-            free: (0..frames).rev().collect(),
-            dirty_count: Cell::new(0),
+            free: Mutex::new((0..frames as u32).rev().collect()),
+            dirty_count: AtomicUsize::new(0),
         }
     }
 
@@ -94,32 +128,70 @@ impl FrameArena {
 
     /// Number of resident pages.
     pub fn len(&self) -> usize {
-        self.directory.len()
+        self.directory
+            .iter()
+            .map(|stripe| read_lock(stripe).len())
+            .sum()
     }
 
     /// Whether no page is resident.
     pub fn is_empty(&self) -> bool {
-        self.directory.is_empty()
+        self.len() == 0
     }
 
     /// Number of resident dirty frames.
     pub fn dirty_len(&self) -> usize {
-        self.dirty_count.get()
+        self.dirty_count.load(Ordering::Acquire)
     }
 
     /// Whether `page` is resident.
     pub fn contains(&self, page: PageId) -> bool {
-        self.directory.contains_key(&page)
+        read_lock(self.stripe_of(page)).contains_key(&page)
     }
 
-    /// Raw pointer to frame `frame`'s bytes; callers uphold the pin
+    fn stripe_of(&self, page: PageId) -> &RwLock<FastHashMap<PageId, u32>> {
+        &self.directory[page_partition(page, self.directory.len())]
+    }
+
+    /// Raw pointer to frame `frame`'s bytes; callers uphold the latch
     /// discipline before turning it into a reference.
-    fn frame_ptr(&self, frame: usize) -> *mut u8 {
+    fn frame_ptr(&self, frame: u32) -> *mut u8 {
         // SAFETY: the offset stays inside the single allocation (frame <
         // capacity). Taking the base pointer through `&self.buf` is fine —
         // shared references to `UnsafeCell`s coexist with mutation through
-        // them; dereferencing is guarded by the pin protocol at call sites.
-        unsafe { (self.buf.as_ptr() as *mut u8).add(frame * self.page_size) }
+        // them; dereferencing is guarded by the latch protocol at call
+        // sites.
+        unsafe { (self.buf.as_ptr() as *mut u8).add(frame as usize * self.page_size) }
+    }
+
+    /// Spin-acquires one read pin on `frame` (waits out a write latch).
+    fn pin_read(&self, frame: u32) {
+        let latch = &self.frames[frame as usize].latch;
+        let mut spins = 0u32;
+        loop {
+            let state = latch.load(Ordering::Acquire);
+            if state >= 0
+                && latch
+                    .compare_exchange_weak(state, state + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Spin-acquires the write latch on `frame` (waits for readers to
+    /// drain and any writer to finish).
+    fn pin_write(&self, frame: u32) {
+        let latch = &self.frames[frame as usize].latch;
+        let mut spins = 0u32;
+        while latch
+            .compare_exchange_weak(0, WRITE_LATCHED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff(&mut spins);
+        }
     }
 
     /// Installs `data` as a new resident frame for `page` with the given
@@ -130,62 +202,61 @@ impl FrameArena {
     ///
     /// Panics if `page` is already resident (overwrite through
     /// [`FrameArena::write`] instead) or `data` is not one page.
-    pub fn install(&mut self, page: PageId, data: &[u8], dirty: bool) -> bool {
+    pub fn install(&self, page: PageId, data: &[u8], dirty: bool) -> bool {
         assert_eq!(data.len(), self.page_size, "data must be one page");
-        assert!(
-            !self.directory.contains_key(&page),
-            "page {} is already resident",
-            page.0
-        );
-        let Some(frame) = self.free.pop() else {
+        assert_ne!(page.0, NO_PAGE, "page id {NO_PAGE} is reserved");
+        let Some(frame) = recover_lock(&self.free).pop() else {
             return false;
         };
-        let meta = &mut self.frames[frame];
-        debug_assert_eq!(meta.pins.get(), 0, "free frame cannot be pinned");
-        meta.page = Some(page);
-        meta.dirty.set(dirty);
-        if dirty {
-            self.dirty_count.set(self.dirty_count.get() + 1);
-        }
-        // SAFETY: `&mut self` guarantees no guard borrows the arena.
+        let meta = &self.frames[frame as usize];
+        debug_assert_eq!(
+            meta.latch.load(Ordering::Relaxed),
+            0,
+            "free frame cannot be latched"
+        );
+        // SAFETY: the frame came off the free list and is not yet published
+        // in the directory, so this thread is the only one that can reach
+        // its bytes.
         unsafe {
             std::ptr::copy_nonoverlapping(data.as_ptr(), self.frame_ptr(frame), self.page_size);
         }
-        self.directory.insert(page, frame);
+        meta.dirty.store(dirty, Ordering::Release);
+        meta.page.store(page.0, Ordering::Release);
+        if dirty {
+            self.dirty_count.fetch_add(1, Ordering::AcqRel);
+        }
+        let previous = write_lock(self.stripe_of(page)).insert(page, frame);
+        assert!(previous.is_none(), "page {} is already resident", page.0);
         true
     }
 
     /// Pins `page`'s frame shared and returns a read guard over its bytes,
-    /// or `None` if the page is not resident.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is write-pinned.
+    /// or `None` if the page is not resident. Blocks (spinning) while the
+    /// frame is write-latched.
     pub fn read(&self, page: PageId) -> Option<PageReadGuard<'_>> {
-        let &frame = self.directory.get(&page)?;
-        let pins = &self.frames[frame].pins;
-        assert!(
-            pins.get() != WRITE_PINNED,
-            "page {} is write-pinned",
-            page.0
-        );
-        pins.set(pins.get() + 1);
+        let stripe = read_lock(self.stripe_of(page));
+        let &frame = stripe.get(&page)?;
+        // Pin before releasing the stripe lock: eviction removes the entry
+        // under the stripe's write lock, so the frame cannot be recycled
+        // between this lookup and the pin.
+        self.pin_read(frame);
+        drop(stripe);
         Some(PageReadGuard { arena: self, frame })
     }
 
-    /// Pins `page`'s frame exclusive, marks it dirty, and returns a write
-    /// guard over its bytes, or `None` if the page is not resident.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is pinned in any way.
+    /// Latches `page`'s frame exclusive, marks it dirty, and returns a
+    /// write guard over its bytes, or `None` if the page is not resident.
+    /// Blocks (spinning) while other pins drain.
     pub fn write(&self, page: PageId) -> Option<PageWriteGuard<'_>> {
-        let &frame = self.directory.get(&page)?;
-        let meta = &self.frames[frame];
-        assert_eq!(meta.pins.get(), 0, "page {} is pinned", page.0);
-        meta.pins.set(WRITE_PINNED);
-        if !meta.dirty.replace(true) {
-            self.dirty_count.set(self.dirty_count.get() + 1);
+        let stripe = read_lock(self.stripe_of(page));
+        let &frame = stripe.get(&page)?;
+        self.pin_write(frame);
+        drop(stripe);
+        if !self.frames[frame as usize]
+            .dirty
+            .swap(true, Ordering::AcqRel)
+        {
+            self.dirty_count.fetch_add(1, Ordering::AcqRel);
         }
         Some(PageWriteGuard { arena: self, frame })
     }
@@ -204,84 +275,91 @@ impl FrameArena {
 
     /// Whether `page`'s resident frame is dirty (`None` if not resident).
     pub fn is_dirty(&self, page: PageId) -> Option<bool> {
-        let &frame = self.directory.get(&page)?;
-        Some(self.frames[frame].dirty.get())
+        let stripe = read_lock(self.stripe_of(page));
+        let &frame = stripe.get(&page)?;
+        Some(self.frames[frame as usize].dirty.load(Ordering::Acquire))
     }
 
-    /// Clears `page`'s dirty bit after a successful write-back. Returns
-    /// `false` if the page is not resident.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is write-pinned (the flusher must not race a
-    /// writer's in-flight mutation).
+    /// Clears `page`'s dirty bit after a successful write-back (by taking a
+    /// short read pin — see [`PageReadGuard::mark_clean`] for the flush
+    /// path that already holds one). Returns `false` if the page is not
+    /// resident.
     pub fn mark_clean(&self, page: PageId) -> bool {
-        let Some(&frame) = self.directory.get(&page) else {
-            return false;
-        };
-        let meta = &self.frames[frame];
-        assert!(
-            meta.pins.get() != WRITE_PINNED,
-            "page {} is write-pinned",
-            page.0
-        );
-        if meta.dirty.replace(false) {
-            self.dirty_count.set(self.dirty_count.get() - 1);
+        match self.read(page) {
+            Some(guard) => {
+                guard.mark_clean();
+                true
+            }
+            None => false,
         }
-        true
     }
 
-    /// Appends up to `max` dirty, unpinned resident pages to `out` in frame
-    /// order (deterministic).
+    /// Appends up to `max` dirty, unlatched resident pages to `out` in
+    /// frame order (deterministic). Racy by design: a page may be evicted
+    /// or re-latched before the caller flushes it, in which case the flush
+    /// simply skips it.
     pub fn dirty_pages(&self, max: usize, out: &mut Vec<PageId>) {
         if max == 0 {
             return;
         }
         let mut taken = 0;
-        for meta in &self.frames {
-            if let Some(page) = meta.page {
-                if meta.dirty.get() && meta.pins.get() == 0 {
-                    out.push(page);
-                    taken += 1;
-                    if taken == max {
-                        return;
-                    }
+        for meta in self.frames.iter() {
+            let page = meta.page.load(Ordering::Acquire);
+            if page != NO_PAGE
+                && meta.dirty.load(Ordering::Acquire)
+                && meta.latch.load(Ordering::Acquire) == 0
+            {
+                out.push(PageId(page));
+                taken += 1;
+                if taken == max {
+                    return;
                 }
             }
         }
     }
 
-    /// Removes `page` from the arena. When the frame was dirty its bytes are
-    /// copied into `out` (one page long) so the caller can write them back;
-    /// the returned flag says whether that happened. Returns `None` if the
-    /// page is not resident.
+    /// Removes `page` from the arena, write-latching its frame, and
+    /// returns an [`EvictGuard`] exposing the frame's bytes (and whether
+    /// they were dirty) so the caller can write them back without a copy.
+    /// Dropping the guard recycles the frame. Returns `None` if the page
+    /// is not resident.
     ///
-    /// Live guards cannot exist here (`&mut self`), so the frame is
-    /// guaranteed unpinned unless a guard was leaked via `mem::forget`.
-    pub fn evict_into(&mut self, page: PageId, out: &mut [u8]) -> Option<bool> {
-        let frame = self.directory.remove(&page)?;
-        let meta = &mut self.frames[frame];
-        assert_eq!(
-            meta.pins.get(),
-            0,
-            "evicting a pinned frame (leaked guard?)"
-        );
-        meta.page = None;
-        let dirty = meta.dirty.replace(false);
+    /// Blocks (spinning) while existing pins drain; new pins cannot arrive
+    /// because the directory entry is removed first.
+    pub fn evict(&self, page: PageId) -> Option<EvictGuard<'_>> {
+        let frame = write_lock(self.stripe_of(page)).remove(&page)?;
+        self.pin_write(frame);
+        let meta = &self.frames[frame as usize];
+        let dirty = meta.dirty.swap(false, Ordering::AcqRel);
         if dirty {
-            assert_eq!(out.len(), self.page_size, "out must be one page");
-            self.dirty_count.set(self.dirty_count.get() - 1);
-            // SAFETY: `&mut self` guarantees no guard borrows the arena.
-            unsafe {
-                std::ptr::copy_nonoverlapping(
-                    self.frame_ptr(frame),
-                    out.as_mut_ptr(),
-                    self.page_size,
-                );
-            }
+            self.dirty_count.fetch_sub(1, Ordering::AcqRel);
         }
-        self.free.push(frame);
-        Some(dirty)
+        Some(EvictGuard {
+            arena: self,
+            frame,
+            dirty,
+        })
+    }
+
+    /// [`FrameArena::evict`], copying the bytes into `out` when the frame
+    /// was dirty. The returned flag says whether that happened; `None`
+    /// means the page was not resident.
+    pub fn evict_into(&self, page: PageId, out: &mut [u8]) -> Option<bool> {
+        let guard = self.evict(page)?;
+        if guard.dirty() {
+            assert_eq!(out.len(), self.page_size, "out must be one page");
+            out.copy_from_slice(&guard);
+        }
+        Some(guard.dirty())
+    }
+}
+
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
     }
 }
 
@@ -289,7 +367,20 @@ impl FrameArena {
 #[derive(Debug)]
 pub struct PageReadGuard<'a> {
     arena: &'a FrameArena,
-    frame: usize,
+    frame: u32,
+}
+
+impl PageReadGuard<'_> {
+    /// Clears the frame's dirty bit. Sound while read-pinned: a writer
+    /// needs the latch at `0` to re-dirty the frame, so the clear cannot
+    /// race an in-flight mutation — exactly what the flush path needs after
+    /// writing these bytes back.
+    pub fn mark_clean(&self) {
+        let meta = &self.arena.frames[self.frame as usize];
+        if meta.dirty.swap(false, Ordering::AcqRel) {
+            self.arena.dirty_count.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 impl Deref for PageReadGuard<'_> {
@@ -306,8 +397,9 @@ impl Deref for PageReadGuard<'_> {
 
 impl Drop for PageReadGuard<'_> {
     fn drop(&mut self) {
-        let pins = &self.arena.frames[self.frame].pins;
-        pins.set(pins.get() - 1);
+        self.arena.frames[self.frame as usize]
+            .latch
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -316,14 +408,14 @@ impl Drop for PageReadGuard<'_> {
 #[derive(Debug)]
 pub struct PageWriteGuard<'a> {
     arena: &'a FrameArena,
-    frame: usize,
+    frame: u32,
 }
 
 impl Deref for PageWriteGuard<'_> {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        // SAFETY: the frame is write-pinned, so this guard is the only
+        // SAFETY: the frame is write-latched, so this guard is the only
         // reference to its bytes.
         unsafe {
             std::slice::from_raw_parts(self.arena.frame_ptr(self.frame), self.arena.page_size)
@@ -333,7 +425,7 @@ impl Deref for PageWriteGuard<'_> {
 
 impl DerefMut for PageWriteGuard<'_> {
     fn deref_mut(&mut self) -> &mut [u8] {
-        // SAFETY: as in `deref`; exclusivity is enforced by the pin state.
+        // SAFETY: as in `deref`; exclusivity is enforced by the latch.
         unsafe {
             std::slice::from_raw_parts_mut(self.arena.frame_ptr(self.frame), self.arena.page_size)
         }
@@ -342,7 +434,49 @@ impl DerefMut for PageWriteGuard<'_> {
 
 impl Drop for PageWriteGuard<'_> {
     fn drop(&mut self) {
-        self.arena.frames[self.frame].pins.set(0);
+        self.arena.frames[self.frame as usize]
+            .latch
+            .store(0, Ordering::Release);
+    }
+}
+
+/// The result of [`FrameArena::evict`]: an exclusive hold on the evicted
+/// frame, no longer reachable through the directory. Dereferences to the
+/// departing bytes so a dirty victim can be written back straight from the
+/// frame; dropping the guard resets the frame and returns it to the free
+/// list.
+#[derive(Debug)]
+pub struct EvictGuard<'a> {
+    arena: &'a FrameArena,
+    frame: u32,
+    dirty: bool,
+}
+
+impl EvictGuard<'_> {
+    /// Whether the frame held un-flushed writes when it was evicted.
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+impl Deref for EvictGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the frame is write-latched and unpublished; this guard is
+        // the only reference to its bytes.
+        unsafe {
+            std::slice::from_raw_parts(self.arena.frame_ptr(self.frame), self.arena.page_size)
+        }
+    }
+}
+
+impl Drop for EvictGuard<'_> {
+    fn drop(&mut self) {
+        let meta = &self.arena.frames[self.frame as usize];
+        meta.page.store(NO_PAGE, Ordering::Release);
+        meta.latch.store(0, Ordering::Release);
+        recover_lock(&self.arena.free).push(self.frame);
     }
 }
 
@@ -352,7 +486,7 @@ mod tests {
 
     #[test]
     fn install_read_write_evict_lifecycle() {
-        let mut arena = FrameArena::new(2, 16);
+        let arena = FrameArena::new(2, 16);
         assert!(arena.install(PageId(1), &[1u8; 16], false));
         assert!(arena.install(PageId(2), &[2u8; 16], true));
         assert!(!arena.install(PageId(3), &[3u8; 16], false), "arena full");
@@ -391,8 +525,24 @@ mod tests {
     }
 
     #[test]
+    fn evict_guard_exposes_bytes_without_a_copy() {
+        let arena = FrameArena::new(1, 8);
+        assert!(arena.install(PageId(7), &[7u8; 8], true));
+        let guard = arena.evict(PageId(7)).unwrap();
+        assert!(guard.dirty());
+        assert_eq!(&guard[..], &[7u8; 8]);
+        assert!(!arena.contains(PageId(7)));
+        assert!(
+            !arena.install(PageId(8), &[8u8; 8], false),
+            "frame is recycled only when the evict guard drops"
+        );
+        drop(guard);
+        assert!(arena.install(PageId(8), &[8u8; 8], false));
+    }
+
+    #[test]
     fn dirty_pages_lists_in_frame_order_up_to_max() {
-        let mut arena = FrameArena::new(4, 8);
+        let arena = FrameArena::new(4, 8);
         for p in 1..=4u64 {
             assert!(arena.install(PageId(p), &[p as u8; 8], p % 2 == 0));
         }
@@ -402,7 +552,7 @@ mod tests {
         dirty.clear();
         arena.dirty_pages(1, &mut dirty);
         assert_eq!(dirty, vec![PageId(2)]);
-        // A pinned frame is skipped by the flusher's listing.
+        // A latched frame is skipped by the flusher's listing.
         let _guard = arena.write(PageId(2)).unwrap();
         dirty.clear();
         arena.dirty_pages(10, &mut dirty);
@@ -410,28 +560,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "write-pinned")]
-    fn read_while_write_pinned_panics() {
-        let mut arena = FrameArena::new(1, 8);
-        arena.install(PageId(1), &[0u8; 8], false);
-        let _w = arena.write(PageId(1)).unwrap();
-        let _ = arena.read(PageId(1));
-    }
-
-    #[test]
-    #[should_panic(expected = "is pinned")]
-    fn write_while_read_pinned_panics() {
-        let mut arena = FrameArena::new(1, 8);
-        arena.install(PageId(1), &[0u8; 8], false);
-        let _r = arena.read(PageId(1)).unwrap();
-        let _ = arena.write(PageId(1));
-    }
-
-    #[test]
     #[should_panic(expected = "already resident")]
     fn double_install_panics() {
-        let mut arena = FrameArena::new(2, 8);
+        let arena = FrameArena::new(2, 8);
         arena.install(PageId(1), &[0u8; 8], false);
         arena.install(PageId(1), &[0u8; 8], false);
+    }
+
+    #[test]
+    fn write_latch_excludes_readers_until_dropped() {
+        let arena = FrameArena::new(1, 8);
+        assert!(arena.install(PageId(1), &[0u8; 8], false));
+        let mut w = arena.write(PageId(1)).unwrap();
+        w[0] = 42;
+        let observed = std::sync::atomic::AtomicU8::new(0);
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(|| {
+                // Blocks until the writer drops, then sees its byte.
+                let g = arena.read(PageId(1)).unwrap();
+                observed.store(g[0], Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(
+                observed.load(Ordering::SeqCst),
+                0,
+                "reader must wait out the write latch"
+            );
+            w[1] = 7;
+            drop(w);
+            reader.join().unwrap();
+        });
+        assert_eq!(observed.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn concurrent_threads_on_disjoint_pages_share_no_lock_state() {
+        const THREADS: u64 = 4;
+        const PAGES_PER_THREAD: u64 = 8;
+        let arena = FrameArena::new((THREADS * PAGES_PER_THREAD) as usize, 16);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let arena = &arena;
+                scope.spawn(move || {
+                    for round in 0..50u64 {
+                        for i in 0..PAGES_PER_THREAD {
+                            let page = PageId(t * 1_000 + i);
+                            let stamp = (t * PAGES_PER_THREAD + i) as u8;
+                            if round == 0 {
+                                assert!(arena.install(page, &[stamp; 16], false));
+                            } else {
+                                let mut w = arena.write(page).unwrap();
+                                assert_eq!(w[0], stamp);
+                                w[15] = round as u8;
+                            }
+                            let r = arena.read(page).unwrap();
+                            assert_eq!(r[0], stamp);
+                        }
+                    }
+                    // Tear half of this thread's pages back down.
+                    let mut out = vec![0u8; 16];
+                    for i in 0..PAGES_PER_THREAD / 2 {
+                        let page = PageId(t * 1_000 + i);
+                        assert_eq!(arena.evict_into(page, &mut out), Some(true));
+                        assert_eq!(out[0], (t * PAGES_PER_THREAD + i) as u8);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.len(), (THREADS * PAGES_PER_THREAD / 2) as usize);
+        assert_eq!(arena.dirty_len(), (THREADS * PAGES_PER_THREAD / 2) as usize);
     }
 }

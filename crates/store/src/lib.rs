@@ -14,7 +14,7 @@
 //!   scanning headers on open, and the CRC is verified on every read, so a
 //!   torn (partially written) frame is *detected*, never silently returned.
 //! * [`FrameArena`] ([`frame`]) — a contiguous arena of in-memory buffer
-//!   frames with per-frame pin counts and dirty bits, accessed through RAII
+//!   frames with per-frame latch words and dirty bits, accessed through RAII
 //!   [`PageReadGuard`]/[`PageWriteGuard`]s.
 //!
 //!   **Frame lifecycle:** free → resident-clean (installed from a disk read)
@@ -22,13 +22,13 @@
 //!   resident-clean again (flushed) → free (evicted; a dirty eviction forces
 //!   a write-back first).
 //!
-//!   **Pin/unpin rules:** any number of read guards may share a frame; a
-//!   write guard is exclusive (no other guard of either kind); acquiring a
-//!   guard pins the frame and dropping it unpins; eviction and flushing
-//!   require the frame to be unpinned (enforced — structural mutation takes
-//!   `&mut self`, which the borrow checker refuses while any guard borrows
-//!   the arena, and the flusher skips pinned frames).
-//! * [`Wal`] ([`wal`]) — an optional write-ahead log.
+//!   **Latch rules:** any number of read guards may share a frame; a write
+//!   guard is exclusive (no other guard of either kind); acquiring a guard
+//!   latches the frame and dropping it releases; eviction write-latches the
+//!   frame and unpublishes it from the directory before handing its bytes
+//!   out, and the flusher holds a read latch while writing back.
+//! * [`Wal`] ([`wal`]) — an optional write-ahead log with selectable
+//!   [`Durability`].
 //!
 //!   **WAL format:** a flat sequence of length-prefixed records
 //!   `[len: u32 LE][crc32: u32 LE][payload]` with
@@ -37,42 +37,80 @@
 //!   prefix and stops at the first short or corrupt record (a torn tail from
 //!   a crash mid-append). A checkpoint (flush everything, sync the data
 //!   file) truncates the log to zero.
-//! * [`PageStore`] ([`store`]) — ties the three together behind one mutex:
-//!   reads prefer the arena and fall back to the disk, writes are staged
-//!   *write-back* (WAL append first — the write is acknowledged once the
-//!   record is handed to the OS — then a dirty frame), evictions of dirty
-//!   frames force a flush, and every byte moved is counted in a shared
-//!   [`cache_sim::IoStats`].
-//! * [`Flusher`] ([`flusher`]) — a background thread calling
-//!   [`PageStore::flush_some`] on an interval, bounded per pass by a batch
-//!   size, so dirty pages drain without stalling the request path.
 //!
-//!   **Flusher policy:** write-back is bounded two ways — *inline* by
-//!   [`StoreConfig::flush_threshold`] (when the dirty-frame count reaches
-//!   the threshold, the staging call itself flushes a batch; deterministic,
-//!   used by the benchmarks) and *in the background* by an interval/batch
-//!   `Flusher` (used by the live server, where determinism is not required).
+//!   **Durability levels:** [`Durability::Buffered`] never syncs inline
+//!   (a kernel crash can lose OS-buffered records), [`Durability::Strict`]
+//!   syncs every append, and [`Durability::GroupCommit`] coalesces up to
+//!   `max_batch` appends (or `max_wait` of wall time) into one sync — the
+//!   classic group-commit trade of bounded staleness for an order of
+//!   magnitude fewer `fsync`s.
+//! * [`PageStore`] ([`store`]) — ties the three together with **no
+//!   store-wide lock** (see *Locking architecture* below): reads prefer the
+//!   arena and fall back to the disk, writes are staged *write-back* (WAL
+//!   append first — the write is acknowledged once the record is handed to
+//!   the OS, or synced per the durability level — then a dirty frame),
+//!   evictions of dirty frames force a flush, and every byte moved is
+//!   counted in shared atomic [`cache_sim::IoStats`] counters.
+//! * [`Flusher`] ([`flusher`]) — a background thread calling
+//!   [`PageStore::flush_some`] on an interval — across *all* of a server's
+//!   shard stores — bounded per pass by a batch size, so dirty pages drain
+//!   without stalling the request path. [`Flusher::stop_timeout`] bounds
+//!   shutdown against a wedged disk, surfacing
+//!   [`StoreError::ShutdownTimeout`] instead of hanging.
 //! * [`replay_storage`] ([`replay`]) — the offline driver: replays a trace
 //!   through any [`cache_sim::CachePolicy`] while moving real bytes through
 //!   a store, using the policy's eviction-identity log
 //!   ([`cache_sim::CachePolicy::drain_evictions`]) to keep arena residency
-//!   and policy state in lockstep. This is what the `storage_io` benchmark
-//!   uses to measure disk reads avoided by CLIC admission vs an LRU
-//!   baseline.
+//!   and policy state in lockstep. [`replay_storage_partitioned`] is the
+//!   sharded shape: per-partition policies and per-shard store directories,
+//!   replayed in parallel yet bit-identical to a serial run. This is what
+//!   the `storage_io` benchmark uses to measure disk reads avoided by CLIC
+//!   admission vs an LRU baseline, across durability levels and shard
+//!   counts.
 //!
-//! The online counterpart lives in `clic-server`: a `ShardedClic` with a
-//! store attached runs the same data plane under its shard locks, so `Put`
-//! carries bytes in and `Get` carries bytes out of a live server.
+//! The online counterpart lives in `clic-server`: a `ShardedClic` attaches
+//! one store *per shard*, so `Put` carries bytes in and `Get` carries bytes
+//! out of a live server with no cross-shard storage coupling.
+//!
+//! # Locking architecture
+//!
+//! The store used to hide behind one `Mutex<Inner>`; it is now decomposed
+//! into independently synchronized layers. What each lock protects:
+//!
+//! | Lock | Protects | Held for |
+//! |---|---|---|
+//! | `DiskManager` directory stripes (16 × `Mutex`) | page → slot map, slot allocation decision | map lookup/insert only — never across file I/O for reads; a write holds its stripe across the positioned write so slot reuse cannot interleave |
+//! | `DiskManager` bitmap stripes (8 × `Mutex` inside [`ShardedBitmap`]) | slot allocation bits | single bit set/scan |
+//! | `FrameArena` directory stripes (16 × `RwLock`) | page → frame map | lookup + latch acquisition (so a frame cannot be recycled between the two) |
+//! | Per-frame latch word (`AtomicI32`) | that frame's bytes + dirty bit | the lifetime of a guard — clean-page reads take **only** this and one stripe read-lock |
+//! | WAL mutex (`Mutex<Wal>`) | log file offset, group-commit window | one append (+ optional sync) — this is the only serialization on the write-ack path |
+//! | Flush-pass mutex (`Mutex<()>`) | "one flush pass at a time" | listing + writing back a batch (frames themselves only read-latched) |
+//!
+//! **Lock order:** arena stripe → frame latch; disk directory stripe →
+//! bitmap stripe. No code path holds an arena lock and a disk lock at the
+//! same time except via a held frame *latch* (flush/evict write-back), which
+//! is below every map lock; the WAL mutex is taken before arena locks in
+//! [`PageStore::stage`] and never after them. Poisoned locks are either
+//! recovered ([`cache_sim::recover_lock`] — for counters and signalling
+//! where the invariant is trivially intact) or surfaced as
+//! [`StoreError::LockPoisoned`] ([`cache_sim::checked_lock`] — for the WAL,
+//! whose offset invariant a panicked holder could have broken).
+//!
+//! This crate denies `clippy::disallowed_methods` with a `clippy.toml` that
+//! bans bare `Mutex::lock`/`RwLock::read`/`RwLock::write` — every
+//! acquisition goes through the poison-explicit helpers in
+//! [`cache_sim::sync`].
 //!
 //! # Example
 //!
 //! ```
 //! use cache_sim::PageId;
-//! use clic_store::{PageStore, ReadSource, StoreConfig};
+//! use clic_store::{Durability, PageStore, ReadSource, StoreConfig};
 //!
 //! let dir = std::env::temp_dir().join(format!("clic-store-doc-{}", std::process::id()));
 //! let _ = std::fs::remove_dir_all(&dir);
-//! let store = PageStore::open(StoreConfig::new(&dir, 8)).unwrap();
+//! let config = StoreConfig::new(&dir, 8).with_durability(Durability::group_commit());
+//! let store = PageStore::open(config).unwrap();
 //! let payload = vec![0xabu8; store.page_size()];
 //! store.stage(PageId(7), &payload).unwrap(); // write-back: WAL + dirty frame
 //! let mut out = Vec::new();
@@ -85,9 +123,11 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(clippy::disallowed_methods)]
 
 pub mod crc;
 pub mod disk;
+pub mod error;
 pub mod flusher;
 pub mod frame;
 pub mod replay;
@@ -95,9 +135,10 @@ pub mod store;
 pub mod wal;
 
 pub use crc::{crc32, Crc32};
-pub use disk::{AllocationBitmap, DiskManager};
+pub use disk::{AllocationBitmap, DiskManager, ShardedBitmap};
+pub use error::{StoreError, StoreResult};
 pub use flusher::Flusher;
-pub use frame::{FrameArena, PageReadGuard, PageWriteGuard};
-pub use replay::{page_payload, replay_storage, StorageReplayReport};
+pub use frame::{EvictGuard, FrameArena, PageReadGuard, PageWriteGuard};
+pub use replay::{page_payload, replay_storage, replay_storage_partitioned, StorageReplayReport};
 pub use store::{PageStore, ReadSource, StoreConfig, DEFAULT_PAGE_SIZE};
-pub use wal::{Wal, WalRecord};
+pub use wal::{AppendOutcome, Durability, Wal, WalRecord};

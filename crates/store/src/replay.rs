@@ -9,14 +9,27 @@
 //! what the paper's Section 6 argues actually matters — disk reads — and
 //! verifies end-to-end that every byte read back is the byte that was
 //! written.
+//!
+//! [`replay_storage_partitioned`] is the sharded-server shape of the same
+//! replay: the trace is split by page hash into partitions, each replayed
+//! against its *own* policy instance and its own [`PageStore`] (per-shard
+//! subdirectories via [`StoreConfig::for_shard`]), then merged in partition
+//! order. Like `simulate_partitioned_parallel` it is **bit-identical**
+//! regardless of how many worker threads replay the partitions, which is
+//! what lets the bench harness sweep shard counts under `--jobs` without
+//! losing determinism. Durability is a [`StoreConfig`] knob
+//! ([`StoreConfig::with_durability`]), so both replays are parameterized
+//! over it for free.
 
+use std::collections::BTreeMap;
 use std::io;
 
 use cache_sim::{
-    record_outcome, CachePolicy, FastHashSet, IoStats, PageId, SimulationResult, Trace,
+    record_outcome, CachePolicy, CacheStats, ClientId, FastHashSet, IoStats, PageId, PolicyFactory,
+    Request, SimulationResult, ThreadPool, Trace,
 };
 
-use crate::store::{PageStore, ReadSource};
+use crate::store::{PageStore, ReadSource, StoreConfig};
 
 /// Deterministic page payload: the first 8 bytes are the page id
 /// (little-endian) — the *stamp* the replay verifies on every read of a
@@ -60,45 +73,32 @@ impl StorageReplayReport {
     }
 }
 
-/// Replays `trace` through `policy`, mirroring its admission/eviction
-/// decisions onto `store`:
-///
-/// * a **read** fetches the page's bytes (buffer frame or disk tier) and, if
-///   the policy admitted the miss, installs them as a clean frame;
-/// * a **write** stages the page's deterministic [`page_payload`] write-back
-///   through the WAL when admitted (or resident), and writes it straight
-///   through to disk when the policy bypassed it;
-/// * every page the policy **evicts** is evicted from the store first, so a
-///   dirty victim is flushed before its frame is reused.
-///
-/// Reads of previously written pages are verified byte-for-byte against
-/// [`page_payload`]; a mismatch is an `InvalidData` error.
-///
-/// Fails with `Unsupported` if the policy does not implement eviction
-/// identity reporting (`CachePolicy::record_evictions`).
-pub fn replay_storage(
+fn unsupported_policy(name: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        format!(
+            "policy {name} does not report eviction identities; \
+             it cannot drive a real data plane"
+        ),
+    )
+}
+
+/// The shared per-request loop of both replays: drives `requests` (with
+/// their global sequence numbers) through `policy` and `store`, verifying
+/// read-back content. The caller has already enabled eviction recording.
+fn replay_requests(
     policy: &mut dyn CachePolicy,
     store: &PageStore,
-    trace: &Trace,
-) -> io::Result<StorageReplayReport> {
-    if !policy.record_evictions(true) {
-        return Err(io::Error::new(
-            io::ErrorKind::Unsupported,
-            format!(
-                "policy {} does not report eviction identities; \
-                 it cannot drive a real data plane",
-                policy.name()
-            ),
-        ));
-    }
+    requests: impl Iterator<Item = (u64, Request)>,
+) -> io::Result<(CacheStats, BTreeMap<ClientId, CacheStats>)> {
     let page_size = store.page_size();
-    let mut stats = cache_sim::CacheStats::new();
-    let mut per_client = std::collections::BTreeMap::new();
+    let mut stats = CacheStats::new();
+    let mut per_client = BTreeMap::new();
     let mut evicted: Vec<PageId> = Vec::new();
     let mut buf: Vec<u8> = Vec::with_capacity(page_size);
     let mut written: FastHashSet<PageId> = FastHashSet::default();
-    for (seq, req) in trace.requests.iter().enumerate() {
-        let outcome = policy.access(req, seq as u64);
+    for (seq, req) in requests {
+        let outcome = policy.access(&req, seq);
         // Free the victims' frames before touching the new page, flushing
         // dirty ones — eviction order is write-back order.
         policy.drain_evictions(&mut evicted);
@@ -134,8 +134,41 @@ pub fn replay_storage(
             }
             written.insert(req.page);
         }
-        record_outcome(&mut stats, &mut per_client, req, outcome);
+        record_outcome(&mut stats, &mut per_client, &req, outcome);
     }
+    Ok((stats, per_client))
+}
+
+/// Replays `trace` through `policy`, mirroring its admission/eviction
+/// decisions onto `store`:
+///
+/// * a **read** fetches the page's bytes (buffer frame or disk tier) and, if
+///   the policy admitted the miss, installs them as a clean frame;
+/// * a **write** stages the page's deterministic [`page_payload`] write-back
+///   through the WAL when admitted (or resident), and writes it straight
+///   through to disk when the policy bypassed it;
+/// * every page the policy **evicts** is evicted from the store first, so a
+///   dirty victim is flushed before its frame is reused.
+///
+/// Reads of previously written pages are verified byte-for-byte against
+/// [`page_payload`]; a mismatch is an `InvalidData` error.
+///
+/// Fails with `Unsupported` if the policy does not implement eviction
+/// identity reporting (`CachePolicy::record_evictions`).
+pub fn replay_storage(
+    policy: &mut dyn CachePolicy,
+    store: &PageStore,
+    trace: &Trace,
+) -> io::Result<StorageReplayReport> {
+    if !policy.record_evictions(true) {
+        return Err(unsupported_policy(&policy.name()));
+    }
+    let requests = trace
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(seq, req)| (seq as u64, *req));
+    let (stats, per_client) = replay_requests(policy, store, requests)?;
     policy.record_evictions(false);
     Ok(StorageReplayReport {
         result: SimulationResult {
@@ -148,12 +181,81 @@ pub fn replay_storage(
     })
 }
 
+/// [`replay_storage`] in the sharded-server shape: the trace is split by
+/// page hash into `partitions`, each partition gets its own policy instance
+/// (capacity split evenly, remainder to the low partitions) and its own
+/// freshly opened [`PageStore`] under `store_config.for_shard(i,
+/// partitions)`, and the partitions replay concurrently on `pool`'s
+/// workers. Requests keep their global sequence numbers, like shards of a
+/// server drawing from one global sequencer.
+///
+/// Partitions are disjoint by construction and merged in partition order,
+/// so the result — policy statistics *and* I/O counters — is
+/// **bit-identical** to a serial replay and independent of the pool's job
+/// count.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero or exceeds `capacity`.
+pub fn replay_storage_partitioned(
+    pool: &ThreadPool,
+    factory: &(dyn PolicyFactory + Sync),
+    trace: &Trace,
+    capacity: usize,
+    partitions: usize,
+    store_config: &StoreConfig,
+) -> io::Result<StorageReplayReport> {
+    assert!(partitions > 0, "at least one partition is required");
+    assert!(
+        capacity >= partitions,
+        "capacity ({capacity}) must be at least one page per partition ({partitions})"
+    );
+    let mut split: Vec<Vec<(u64, Request)>> = vec![Vec::new(); partitions];
+    for (seq, req) in trace.requests.iter().enumerate() {
+        split[cache_sim::page_partition(req.page, partitions)].push((seq as u64, *req));
+    }
+    let base = capacity / partitions;
+    let remainder = capacity % partitions;
+    let indexed: Vec<(usize, Vec<(u64, Request)>)> = split.into_iter().enumerate().collect();
+    let partials = pool.par_map(&indexed, |_, (index, requests)| {
+        let partition_capacity = base + usize::from(*index < remainder);
+        let mut policy = factory.build(partition_capacity);
+        if !policy.record_evictions(true) {
+            return Err(unsupported_policy(&policy.name()));
+        }
+        let mut config = store_config.for_shard(*index, partitions);
+        config.frames = config.frames.max(partition_capacity).max(1);
+        let store = PageStore::open(config)?;
+        let (stats, per_client) =
+            replay_requests(policy.as_mut(), &store, requests.iter().copied())?;
+        Ok(SimulationResult {
+            policy: policy.name(),
+            capacity: partition_capacity,
+            stats,
+            per_client,
+        })
+        .map(|result| (result, store.io_stats()))
+    });
+    let mut result = SimulationResult {
+        policy: format!("Partitioned<{}x{partitions}>", factory.name()),
+        capacity,
+        ..SimulationResult::default()
+    };
+    let mut io = IoStats::new();
+    for partial in partials {
+        let (partial_result, partial_io) = partial?;
+        result.merge_from(&partial_result);
+        io += partial_io;
+    }
+    Ok(StorageReplayReport { result, io })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::store::StoreConfig;
     use cache_sim::policies::Lru;
-    use cache_sim::{simulate, AccessKind, TraceBuilder};
+    use cache_sim::{simulate, simulate_partitioned, AccessKind, BoxedPolicy, TraceBuilder};
 
     fn mixed_trace(pages: u64, rounds: usize) -> Trace {
         let mut b = TraceBuilder::new().with_name("mixed");
@@ -226,5 +328,67 @@ mod tests {
         assert_eq!(&p[..8], &0x0123_4567_89ab_cdef_u64.to_le_bytes());
         assert_ne!(page_payload(PageId(1), 64), page_payload(PageId(2), 64));
         assert_eq!(page_payload(PageId(1), 64), page_payload(PageId(1), 64));
+    }
+
+    struct LruFactory;
+
+    impl PolicyFactory for LruFactory {
+        fn build(&self, capacity: usize) -> BoxedPolicy {
+            Box::new(Lru::new(capacity))
+        }
+
+        fn name(&self) -> String {
+            "LRU".to_string()
+        }
+    }
+
+    #[test]
+    fn partitioned_replay_is_job_count_invariant_and_matches_pure_partitioning() {
+        let trace = mixed_trace(48, 4);
+        let base = std::env::temp_dir().join(format!("clic-replay-part-{}", std::process::id()));
+        let reports: Vec<StorageReplayReport> = [1usize, 4]
+            .iter()
+            .map(|&jobs| {
+                let dir = base.join(format!("jobs-{jobs}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                let pool = ThreadPool::new(jobs);
+                let config = StoreConfig::new(&dir, 4).with_page_size(64);
+                let report =
+                    replay_storage_partitioned(&pool, &LruFactory, &trace, 12, 3, &config).unwrap();
+                let _ = std::fs::remove_dir_all(&dir);
+                report
+            })
+            .collect();
+        assert_eq!(
+            reports[0].result.stats, reports[1].result.stats,
+            "policy statistics must not depend on the job count"
+        );
+        assert_eq!(reports[0].result.per_client, reports[1].result.per_client);
+        assert_eq!(
+            reports[0].io, reports[1].io,
+            "I/O counters must not depend on the job count"
+        );
+        let pure = simulate_partitioned(&LruFactory, &trace, 12, 3);
+        assert_eq!(reports[0].result.stats, pure.stats);
+        assert_eq!(reports[0].result.per_client, pure.per_client);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn partitioned_replay_uses_per_shard_directories() {
+        let trace = mixed_trace(16, 2);
+        let dir =
+            std::env::temp_dir().join(format!("clic-replay-shard-dirs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pool = ThreadPool::new(2);
+        let config = StoreConfig::new(&dir, 4).with_page_size(64);
+        replay_storage_partitioned(&pool, &LruFactory, &trace, 8, 2, &config).unwrap();
+        assert!(dir.join("shard-0").join("store.pages").exists());
+        assert!(dir.join("shard-1").join("store.pages").exists());
+        assert!(
+            !dir.join("store.pages").exists(),
+            "multi-shard replay must not write the base dir"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

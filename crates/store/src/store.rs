@@ -1,25 +1,42 @@
 //! [`PageStore`]: the thread-safe façade over [`DiskManager`] +
 //! [`FrameArena`] + [`Wal`], with byte-level I/O accounting.
 //!
-//! One mutex guards the whole data plane — the policy layer above
-//! (`ShardedClic`) already serializes per shard, and the paper's experiments
-//! are disk-read-bound, not lock-bound. Reads prefer the arena and fall back
-//! to the disk tier; writes are staged write-back (WAL append = the
-//! acknowledgement point, then a dirty frame); evicting a dirty page forces
-//! its write-back; a checkpoint flushes everything, syncs the data file, and
-//! truncates the WAL. Every operation updates a [`IoStats`] that callers
-//! snapshot with [`PageStore::io_stats`].
+//! There is **no store-wide lock**. Each layer synchronizes itself (see the
+//! crate docs for the full locking architecture):
+//!
+//! * reads prefer the arena — a clean-page buffer hit takes one directory
+//!   stripe read-lock and the frame's latch word, nothing else — and fall
+//!   back to the disk tier through [`DiskManager`]'s striped directory and
+//!   positioned I/O;
+//! * writes are staged write-back: the WAL append under the log's own
+//!   mutex is the acknowledgement point (with [`Durability`] deciding when
+//!   the log also syncs), then the frame is latched and overwritten or
+//!   installed dirty;
+//! * evicting a dirty page writes it back straight from the departing
+//!   frame's [`EvictGuard`](crate::frame::EvictGuard) bytes;
+//! * flush passes serialize on a dedicated flush mutex (so the background
+//!   flusher and inline threshold flushes do not double-write) but take
+//!   only per-frame read pins while writing back;
+//! * a checkpoint flushes everything, syncs the data file, and truncates
+//!   the WAL.
+//!
+//! Every operation updates a set of shared atomic counters that callers
+//! snapshot with [`PageStore::io_stats`]; the snapshot covers activity
+//! since the store was opened (WAL recovery I/O is not counted).
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
+use cache_sim::sync::{checked_lock, recover_lock};
 use cache_sim::{IoStats, PageId};
 
 use crate::disk::DiskManager;
+use crate::error::StoreError;
 use crate::frame::FrameArena;
-use crate::wal::Wal;
+use crate::wal::{Durability, Wal};
 
 /// The paper-typical page size: 4 KiB.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -39,6 +56,9 @@ pub struct StoreConfig {
     /// Whether staged writes go through the write-ahead log (on by
     /// default). Without it, a crash loses dirty frames.
     pub wal: bool,
+    /// When the log also reaches the device: see [`Durability`]. Only
+    /// meaningful while `wal` is on.
+    pub durability: Durability,
     /// When non-zero, a staging call that finds at least this many dirty
     /// frames flushes a batch *inline* — deterministic write-back, used by
     /// the benchmarks. Zero leaves write-back to evictions, checkpoints, and
@@ -54,14 +74,15 @@ pub struct StoreConfig {
 
 impl StoreConfig {
     /// A write-back store with `frames` buffer frames of
-    /// [`DEFAULT_PAGE_SIZE`] bytes under `dir`, WAL on, no inline or
-    /// background flushing.
+    /// [`DEFAULT_PAGE_SIZE`] bytes under `dir`, WAL on at
+    /// [`Durability::Buffered`], no inline or background flushing.
     pub fn new(dir: impl AsRef<Path>, frames: usize) -> Self {
         StoreConfig {
             dir: dir.as_ref().to_path_buf(),
             page_size: DEFAULT_PAGE_SIZE,
             frames,
             wal: true,
+            durability: Durability::Buffered,
             flush_threshold: 0,
             flush_batch: 64,
             flush_interval: None,
@@ -77,6 +98,12 @@ impl StoreConfig {
     /// Enables or disables the write-ahead log.
     pub fn with_wal(mut self, wal: bool) -> Self {
         self.wal = wal;
+        self
+    }
+
+    /// Sets the WAL durability level.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -98,6 +125,24 @@ impl StoreConfig {
         self.flush_interval = Some(interval);
         self
     }
+
+    /// The configuration for shard `shard` of `shards`: identical except
+    /// that multi-shard deployments place each shard's files in their own
+    /// `shard-N` subdirectory. A single-shard deployment keeps the base
+    /// directory itself, so existing single-store layouts (and their
+    /// recovery paths) are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    pub fn for_shard(&self, shard: usize, shards: usize) -> StoreConfig {
+        assert!(shard < shards, "shard {shard} out of range for {shards}");
+        let mut config = self.clone();
+        if shards > 1 {
+            config.dir = self.dir.join(format!("shard-{shard}"));
+        }
+        config
+    }
 }
 
 /// Where a [`PageStore::read`] found its bytes.
@@ -114,27 +159,69 @@ pub enum ReadSource {
     Zero,
 }
 
-struct Inner {
-    disk: DiskManager,
-    arena: FrameArena,
-    wal: Option<Wal>,
-    io: IoStats,
-    flush_threshold: usize,
-    flush_batch: usize,
-    /// Page-sized scratch for evictions and flushes.
-    scratch: Vec<u8>,
-    /// Page-id scratch for flush passes.
-    flush_list: Vec<PageId>,
+/// Shared atomic mirror of [`IoStats`]: every hot-path counter bump is one
+/// relaxed `fetch_add`, so accounting never serializes concurrent
+/// operations the way the old store-wide mutex did.
+#[derive(Debug, Default)]
+struct SharedIoStats {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    buffer_hits: AtomicU64,
+    buffer_misses: AtomicU64,
+    disk_reads: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_bytes_read: AtomicU64,
+    disk_bytes_written: AtomicU64,
+    pages_flushed: AtomicU64,
+    eviction_flushes: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    data_syncs: AtomicU64,
+    wal_syncs: AtomicU64,
+    group_commits: AtomicU64,
+}
+
+impl SharedIoStats {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_bytes_read: self.disk_bytes_read.load(Ordering::Relaxed),
+            disk_bytes_written: self.disk_bytes_written.load(Ordering::Relaxed),
+            pages_flushed: self.pages_flushed.load(Ordering::Relaxed),
+            eviction_flushes: self.eviction_flushes.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            data_syncs: self.data_syncs.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The disk-backed page store: buffer frames over a backing file, staged
 /// write-back with optional WAL, forced flush on dirty eviction.
 ///
-/// `Sync` — share it behind an `Arc` between the request path and a
-/// [`crate::Flusher`].
+/// `Sync` with no store-wide lock — share it behind an `Arc` between
+/// request threads and a [`crate::Flusher`]. Callers must serialize
+/// operations on the *same* page (the sharded server does: one worker owns
+/// each page's shard); operations on distinct pages run concurrently.
 pub struct PageStore {
-    inner: Mutex<Inner>,
+    disk: DiskManager,
+    arena: FrameArena,
+    wal: Option<Mutex<Wal>>,
+    io: SharedIoStats,
+    /// Serializes flush passes (inline-threshold and background), so two
+    /// passes never double-write the same dirty set.
+    flush_pass: Mutex<()>,
+    flush_threshold: usize,
+    flush_batch: usize,
     page_size: usize,
+    durability: Durability,
     flush_interval: Option<Duration>,
     recovered_writes: u64,
 }
@@ -143,9 +230,16 @@ impl std::fmt::Debug for PageStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PageStore")
             .field("page_size", &self.page_size)
+            .field("durability", &self.durability)
             .field("recovered_writes", &self.recovered_writes)
             .finish_non_exhaustive()
     }
+}
+
+/// Locks the WAL, surfacing poison as a clean I/O error instead of a
+/// cascading panic.
+fn wal_guard(wal: &Mutex<Wal>) -> io::Result<MutexGuard<'_, Wal>> {
+    checked_lock(wal).map_err(|poisoned| io::Error::from(StoreError::from(poisoned)))
 }
 
 impl PageStore {
@@ -157,10 +251,10 @@ impl PageStore {
     pub fn open(config: StoreConfig) -> io::Result<PageStore> {
         assert!(config.frames > 0, "at least one buffer frame is required");
         std::fs::create_dir_all(&config.dir)?;
-        let mut disk = DiskManager::open(&config.dir.join("store.pages"), config.page_size)?;
+        let disk = DiskManager::open(&config.dir.join("store.pages"), config.page_size)?;
         let mut recovered_writes = 0u64;
         let wal = if config.wal {
-            let (mut wal, records) = Wal::open(&config.dir.join("store.wal"))?;
+            let (mut wal, records) = Wal::open(&config.dir.join("store.wal"), config.durability)?;
             for record in &records {
                 if record.data.len() != config.page_size {
                     return Err(io::Error::new(
@@ -175,22 +269,20 @@ impl PageStore {
                 disk.sync()?;
             }
             wal.truncate()?;
-            Some(wal)
+            Some(Mutex::new(wal))
         } else {
             None
         };
         Ok(PageStore {
-            inner: Mutex::new(Inner {
-                disk,
-                arena: FrameArena::new(config.frames, config.page_size),
-                wal,
-                io: IoStats::new(),
-                flush_threshold: config.flush_threshold,
-                flush_batch: config.flush_batch,
-                scratch: vec![0u8; config.page_size],
-                flush_list: Vec::new(),
-            }),
+            disk,
+            arena: FrameArena::new(config.frames, config.page_size),
+            wal,
+            io: SharedIoStats::default(),
+            flush_pass: Mutex::new(()),
+            flush_threshold: config.flush_threshold,
+            flush_batch: config.flush_batch,
             page_size: config.page_size,
+            durability: config.durability,
             flush_interval: config.flush_interval,
             recovered_writes,
         })
@@ -199,6 +291,11 @@ impl PageStore {
     /// Bytes per page.
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// The WAL durability level the store was opened with.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// The configured background flusher period, if any.
@@ -212,27 +309,30 @@ impl PageStore {
         self.recovered_writes
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("page store lock poisoned")
-    }
-
     /// Reads `page` into `out` (resized to one page): from its buffer frame
     /// if resident, otherwise from the disk tier. See [`ReadSource`] for the
     /// three outcomes; torn frames surface as
     /// [`io::ErrorKind::InvalidData`].
+    ///
+    /// A buffer hit touches one directory stripe and the frame's latch —
+    /// no store-wide or disk-manager lock.
     pub fn read(&self, page: PageId, out: &mut Vec<u8>) -> io::Result<ReadSource> {
-        let mut inner = self.lock();
         out.clear();
         out.resize(self.page_size, 0);
-        inner.io.bytes_read += self.page_size as u64;
-        if inner.arena.copy_out(page, out) {
-            inner.io.buffer_hits += 1;
+        self.io
+            .bytes_read
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        if let Some(frame) = self.arena.read(page) {
+            out.copy_from_slice(&frame);
+            self.io.buffer_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(ReadSource::Buffer);
         }
-        inner.io.buffer_misses += 1;
-        inner.io.disk_reads += 1;
-        inner.io.disk_bytes_read += self.page_size as u64;
-        if inner.disk.read_page(page, out)? {
+        self.io.buffer_misses.fetch_add(1, Ordering::Relaxed);
+        self.io.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.io
+            .disk_bytes_read
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        if self.disk.read_page(page, out)? {
             Ok(ReadSource::Disk)
         } else {
             Ok(ReadSource::Zero)
@@ -243,8 +343,7 @@ impl PageStore {
     /// read from disk that the policy decided to admit). Fails if the arena
     /// is full — the policy must have evicted first.
     pub fn admit(&self, page: PageId, data: &[u8]) -> io::Result<()> {
-        let mut inner = self.lock();
-        if !inner.arena.install(page, data, false) {
+        if !self.arena.install(page, data, false) {
             return Err(io::Error::other(
                 "frame arena full: the policy must evict before admitting",
             ));
@@ -254,35 +353,44 @@ impl PageStore {
 
     /// Stages a write-back write of `data` to `page`: appends a WAL record
     /// (the acknowledgement point — once this returns, the write survives a
-    /// process crash), then installs or overwrites the page's frame dirty.
-    /// When the inline flush threshold is reached, a batch of dirty frames
-    /// is written back before returning.
+    /// process crash, and the [`Durability`] level says when it also
+    /// reaches the device), then installs or overwrites the page's frame
+    /// dirty. When the inline flush threshold is reached, a batch of dirty
+    /// frames is written back before returning.
     ///
     /// Fails if the page is not resident and the arena is full.
     pub fn stage(&self, page: PageId, data: &[u8]) -> io::Result<()> {
         assert_eq!(data.len(), self.page_size, "data must be one page");
-        let mut inner = self.lock();
-        inner.io.bytes_written += self.page_size as u64;
-        if let Some(wal) = inner.wal.as_mut() {
-            let appended = wal.append(page, data)?;
-            inner.io.wal_records += 1;
-            inner.io.wal_bytes += appended;
+        self.io
+            .bytes_written
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        if let Some(wal) = self.wal.as_ref() {
+            let outcome = wal_guard(wal)?.append(page, data)?;
+            self.io.wal_records.fetch_add(1, Ordering::Relaxed);
+            self.io
+                .wal_bytes
+                .fetch_add(outcome.bytes, Ordering::Relaxed);
+            if outcome.synced {
+                self.io.wal_syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            if outcome.group_commit {
+                self.io.group_commits.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        let staged = match inner.arena.write(page) {
+        let staged = match self.arena.write(page) {
             Some(mut frame) => {
                 frame.copy_from_slice(data);
                 true
             }
             None => false,
         };
-        if !staged && !inner.arena.install(page, data, true) {
+        if !staged && !self.arena.install(page, data, true) {
             return Err(io::Error::other(
                 "frame arena full: the policy must evict before staging",
             ));
         }
-        if inner.flush_threshold > 0 && inner.arena.dirty_len() >= inner.flush_threshold {
-            let batch = inner.flush_batch;
-            Self::flush_locked(&mut inner, batch)?;
+        if self.flush_threshold > 0 && self.arena.dirty_len() >= self.flush_threshold {
+            self.flush_some(self.flush_batch)?;
         }
         Ok(())
     }
@@ -292,116 +400,133 @@ impl PageStore {
     /// be resident — a resident page is written through [`PageStore::stage`].
     pub fn write_through(&self, page: PageId, data: &[u8]) -> io::Result<()> {
         assert_eq!(data.len(), self.page_size, "data must be one page");
-        let mut inner = self.lock();
         debug_assert!(
-            !inner.arena.contains(page),
+            !self.arena.contains(page),
             "write_through on a resident page"
         );
-        inner.io.bytes_written += self.page_size as u64;
-        inner.disk.write_page(page, data)?;
-        inner.io.disk_writes += 1;
-        inner.io.disk_bytes_written += self.page_size as u64;
+        self.io
+            .bytes_written
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.disk.write_page(page, data)?;
+        self.io.disk_writes.fetch_add(1, Ordering::Relaxed);
+        self.io
+            .disk_bytes_written
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
         Ok(())
     }
 
     /// Drops `page`'s buffer frame because the policy evicted it. A dirty
-    /// frame is written back first (the forced flush of the paper's
-    /// write-back model); returns whether that happened. A no-op returning
-    /// `Ok(false)` if the page is not resident.
+    /// frame is written back first — straight from the departing frame's
+    /// bytes, no intermediate copy — and that is reported as `Ok(true)`.
+    /// A no-op returning `Ok(false)` if the page is not resident.
     pub fn evict(&self, page: PageId) -> io::Result<bool> {
-        let mut inner = self.lock();
-        let inner = &mut *inner;
-        match inner.arena.evict_into(page, &mut inner.scratch) {
-            Some(true) => {
-                inner.disk.write_page(page, &inner.scratch)?;
-                inner.io.disk_writes += 1;
-                inner.io.disk_bytes_written += self.page_size as u64;
-                inner.io.pages_flushed += 1;
-                inner.io.eviction_flushes += 1;
+        match self.arena.evict(page) {
+            Some(frame) if frame.dirty() => {
+                self.disk.write_page(page, &frame)?;
+                self.io.disk_writes.fetch_add(1, Ordering::Relaxed);
+                self.io
+                    .disk_bytes_written
+                    .fetch_add(self.page_size as u64, Ordering::Relaxed);
+                self.io.pages_flushed.fetch_add(1, Ordering::Relaxed);
+                self.io.eviction_flushes.fetch_add(1, Ordering::Relaxed);
                 Ok(true)
             }
-            Some(false) => Ok(false),
-            None => Ok(false),
+            _ => Ok(false),
         }
-    }
-
-    fn flush_locked(inner: &mut Inner, max: usize) -> io::Result<usize> {
-        inner.flush_list.clear();
-        let Inner {
-            disk,
-            arena,
-            io,
-            scratch,
-            flush_list,
-            ..
-        } = inner;
-        arena.dirty_pages(max, flush_list);
-        for &page in flush_list.iter() {
-            if !arena.copy_out(page, scratch) {
-                continue;
-            }
-            disk.write_page(page, scratch)?;
-            arena.mark_clean(page);
-            io.disk_writes += 1;
-            io.disk_bytes_written += scratch.len() as u64;
-            io.pages_flushed += 1;
-        }
-        Ok(flush_list.len())
     }
 
     /// Writes back up to `max` dirty frames (marking them clean, keeping
     /// them resident). Returns how many were flushed. This is the background
-    /// [`crate::Flusher`]'s entry point.
+    /// [`crate::Flusher`]'s entry point; passes serialize on the flush
+    /// mutex but hold only per-frame read pins while writing.
     pub fn flush_some(&self, max: usize) -> io::Result<usize> {
-        let mut inner = self.lock();
-        Self::flush_locked(&mut inner, max)
+        let _pass = recover_lock(&self.flush_pass);
+        let mut list = Vec::new();
+        self.arena.dirty_pages(max, &mut list);
+        let mut flushed = 0usize;
+        for &page in &list {
+            // The page may have been evicted (and even re-installed clean)
+            // since the listing; a read pin pins down whatever is resident
+            // now, and writing a clean copy back is harmless.
+            let Some(frame) = self.arena.read(page) else {
+                continue;
+            };
+            self.disk.write_page(page, &frame)?;
+            frame.mark_clean();
+            drop(frame);
+            self.io.disk_writes.fetch_add(1, Ordering::Relaxed);
+            self.io
+                .disk_bytes_written
+                .fetch_add(self.page_size as u64, Ordering::Relaxed);
+            self.io.pages_flushed.fetch_add(1, Ordering::Relaxed);
+            flushed += 1;
+        }
+        Ok(flushed)
     }
 
     /// Writes back every dirty frame. Returns how many were flushed.
     pub fn flush_all(&self) -> io::Result<usize> {
-        let mut inner = self.lock();
-        let all = inner.arena.capacity();
-        Self::flush_locked(&mut inner, all)
+        self.flush_some(self.arena.capacity())
     }
 
     /// Clean shutdown / durability point: flushes every dirty frame, syncs
     /// the backing file, and truncates the WAL (its records are now
     /// redundant). Returns how many frames the flush wrote back.
     pub fn checkpoint(&self) -> io::Result<usize> {
-        let mut inner = self.lock();
-        let all = inner.arena.capacity();
-        let flushed = Self::flush_locked(&mut inner, all)?;
-        inner.disk.sync()?;
-        if let Some(wal) = inner.wal.as_mut() {
+        let flushed = self.flush_all()?;
+        self.disk.sync()?;
+        self.io.data_syncs.fetch_add(1, Ordering::Relaxed);
+        if let Some(wal) = self.wal.as_ref() {
+            let mut wal = wal_guard(wal)?;
             wal.truncate()?;
             wal.sync()?;
+            self.io.wal_syncs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(flushed)
     }
 
-    /// A snapshot of the byte-level I/O counters.
+    /// A snapshot of the byte-level I/O counters (activity since open).
     pub fn io_stats(&self) -> IoStats {
-        self.lock().io
+        self.io.snapshot()
     }
 
     /// Number of resident buffer frames.
     pub fn buffered_len(&self) -> usize {
-        self.lock().arena.len()
+        self.arena.len()
     }
 
     /// Number of resident dirty frames.
     pub fn dirty_len(&self) -> usize {
-        self.lock().arena.dirty_len()
+        self.arena.dirty_len()
     }
 
     /// Whether `page` is resident in a buffer frame.
     pub fn contains_buffered(&self, page: PageId) -> bool {
-        self.lock().arena.contains(page)
+        self.arena.contains(page)
     }
 
     /// Number of live pages in the backing file.
     pub fn pages_on_disk(&self) -> usize {
-        self.lock().disk.allocated_pages()
+        self.disk.allocated_pages()
+    }
+
+    /// Bytes of acknowledged WAL (zero when the WAL is off).
+    pub fn wal_len(&self) -> u64 {
+        match self.wal.as_ref() {
+            Some(wal) => recover_lock(wal).len_bytes(),
+            None => 0,
+        }
+    }
+
+    /// Bytes of WAL known flushed to the device — what survives even a
+    /// kernel crash, always a record boundary (zero when the WAL is off).
+    /// The durability-level crash tests truncate the log here to model
+    /// losing OS-buffered bytes.
+    pub fn wal_synced_len(&self) -> u64 {
+        match self.wal.as_ref() {
+            Some(wal) => recover_lock(wal).synced_len(),
+            None => 0,
+        }
     }
 }
 
@@ -445,6 +570,7 @@ mod tests {
         assert_eq!(io.bytes_read, 3 * 64);
         assert_eq!(io.bytes_written, 64);
         assert_eq!(io.wal_records, 1);
+        assert_eq!(io.wal_syncs, 0, "buffered durability never syncs inline");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -534,6 +660,80 @@ mod tests {
             PageStore::open(StoreConfig::new(&dir, 4).with_page_size(32).with_wal(false)).unwrap();
         let mut out = Vec::new();
         assert_eq!(store.read(PageId(1), &mut out).unwrap(), ReadSource::Zero);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_levels_account_their_syncs() {
+        let page = |p: u64| PageId(p);
+        // Strict: one WAL sync per staged write.
+        let dir = temp_dir("strict");
+        let store = PageStore::open(
+            StoreConfig::new(&dir, 8)
+                .with_page_size(32)
+                .with_durability(Durability::Strict),
+        )
+        .unwrap();
+        for p in 0..5u64 {
+            store.stage(page(p), &payload(p as u8, 32)).unwrap();
+        }
+        let strict_io = store.io_stats();
+        assert_eq!(strict_io.wal_syncs, 5);
+        assert_eq!(strict_io.group_commits, 0);
+        assert_eq!(store.wal_synced_len(), store.wal_len());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Group commit: one sync per max_batch appends.
+        let dir = temp_dir("group");
+        let store = PageStore::open(
+            StoreConfig::new(&dir, 8)
+                .with_page_size(32)
+                .with_durability(Durability::GroupCommit {
+                    max_batch: 5,
+                    max_wait: Duration::from_secs(3600),
+                }),
+        )
+        .unwrap();
+        for p in 0..5u64 {
+            store.stage(page(p), &payload(p as u8, 32)).unwrap();
+        }
+        let group_io = store.io_stats();
+        assert_eq!(group_io.wal_syncs, 1, "five appends share one sync");
+        assert_eq!(group_io.group_commits, 1);
+        assert!(group_io.fsyncs() < strict_io.fsyncs());
+        assert_eq!(store.wal_synced_len(), store.wal_len());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_on_disjoint_pages() {
+        let dir = temp_dir("concurrent");
+        let store = std::sync::Arc::new(
+            PageStore::open(StoreConfig::new(&dir, 64).with_page_size(32)).unwrap(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0..8u64 {
+                        let page = PageId(t * 1_000 + i);
+                        let data = payload((t * 8 + i) as u8, 32);
+                        store.stage(page, &data).unwrap();
+                        assert_eq!(store.read(page, &mut out).unwrap(), ReadSource::Buffer);
+                        assert_eq!(out, data);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.buffered_len(), 32);
+        let io = store.io_stats();
+        assert_eq!(io.buffer_hits, 32);
+        assert_eq!(io.wal_records, 32);
+        assert_eq!(store.checkpoint().unwrap(), 32);
+        assert_eq!(store.dirty_len(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

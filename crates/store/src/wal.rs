@@ -1,5 +1,5 @@
 //! [`Wal`]: the optional write-ahead log that makes staged (write-back)
-//! writes crash-consistent.
+//! writes crash-consistent, with selectable [`Durability`] levels.
 //!
 //! # Record format
 //!
@@ -19,7 +19,21 @@
 //! [`Wal::append`] hands the record to the OS with an ordinary buffered
 //! write — at that point the write is *acknowledged*: it survives a process
 //! crash (the failure mode this crate models and the crash-recovery tests
-//! exercise), though not a kernel panic unless [`Wal::sync`] is also called.
+//! exercise). What survives a *kernel* crash is governed by the log's
+//! [`Durability`] level:
+//!
+//! * [`Durability::Buffered`] never syncs on the append path — acknowledged
+//!   writes are only device-durable after an explicit checkpoint;
+//! * [`Durability::Strict`] syncs after every append — one `fsync` per
+//!   acknowledged write, the textbook cost of strict write-ahead logging;
+//! * [`Durability::GroupCommit`] acknowledges immediately but syncs only
+//!   when `max_batch` appends have accumulated or `max_wait` has elapsed
+//!   since the last sync, so one `fsync` covers the whole pending group —
+//!   bounded staleness at a fraction of `Strict`'s sync count.
+//!
+//! [`Wal::synced_len`] reports the prefix known device-durable, which the
+//! durability-level crash tests use as the truncation point that models a
+//! kernel crash losing OS-buffered log bytes.
 //!
 //! # Replay
 //!
@@ -33,6 +47,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use cache_sim::PageId;
 
@@ -45,6 +60,48 @@ const FRAME_LEN: usize = 8;
 /// Bytes of payload header (kind + page id) before the page bytes.
 const PAYLOAD_HEADER: usize = 9;
 
+/// When (relative to an append) the log is flushed to the device. See the
+/// module docs for the exact contract of each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Acknowledge on the OS buffered write; sync only at checkpoints.
+    #[default]
+    Buffered,
+    /// Acknowledge immediately; sync once `max_batch` appends are pending
+    /// or `max_wait` has elapsed since the last sync, whichever comes
+    /// first. One sync covers the whole pending group.
+    GroupCommit {
+        /// Pending appends that force a sync.
+        max_batch: usize,
+        /// Maximum staleness of an acknowledged append before the next
+        /// append forces a sync.
+        max_wait: Duration,
+    },
+    /// Sync after every append.
+    Strict,
+}
+
+impl Durability {
+    /// A group-commit level with the defaults the bench harness sweeps:
+    /// sync every 8 appends or 2 ms, whichever comes first.
+    pub fn group_commit() -> Durability {
+        Durability::GroupCommit {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+
+    /// Short stable name for reports (`buffered`, `group-commit`,
+    /// `strict`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Durability::Buffered => "buffered",
+            Durability::GroupCommit { .. } => "group-commit",
+            Durability::Strict => "strict",
+        }
+    }
+}
+
 /// One recovered log record: a full-page write that had been acknowledged
 /// before the crash.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,21 +112,40 @@ pub struct WalRecord {
     pub data: Vec<u8>,
 }
 
+/// What one [`Wal::append`] did, so the caller can account for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Log bytes appended (framing included).
+    pub bytes: u64,
+    /// Whether this append triggered an `fsync`.
+    pub synced: bool,
+    /// Whether that sync covered more than one pending append (a group
+    /// commit in the narrow sense).
+    pub group_commit: bool,
+}
+
 /// An append-only write-ahead log over one file.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
+    durability: Durability,
     /// Bytes of valid log (append position).
     len: u64,
     records: u64,
+    /// Bytes known flushed to the device.
+    synced_len: u64,
+    /// Appends acknowledged since the last sync.
+    pending: usize,
+    last_sync: Instant,
 }
 
 impl Wal {
-    /// Opens (or creates) the log at `path` and replays it: returns the
-    /// records of the longest valid prefix, oldest first. A torn tail —
-    /// short or CRC-corrupt final record, the signature of a crash
-    /// mid-append — is silently discarded (subsequent appends overwrite it).
-    pub fn open(path: &Path) -> io::Result<(Wal, Vec<WalRecord>)> {
+    /// Opens (or creates) the log at `path` with the given [`Durability`]
+    /// and replays it: returns the records of the longest valid prefix,
+    /// oldest first. A torn tail — short or CRC-corrupt final record, the
+    /// signature of a crash mid-append — is silently discarded (subsequent
+    /// appends overwrite it).
+    pub fn open(path: &Path, durability: Durability) -> io::Result<(Wal, Vec<WalRecord>)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -103,15 +179,20 @@ impl Wal {
         }
         let wal = Wal {
             file,
+            durability,
             len: offset as u64,
             records: records.len() as u64,
+            synced_len: 0,
+            pending: 0,
+            last_sync: Instant::now(),
         };
         Ok((wal, records))
     }
 
-    /// Appends a full-page write record; the write is acknowledged once this
-    /// returns. Returns the number of log bytes appended (framing included).
-    pub fn append(&mut self, page: PageId, data: &[u8]) -> io::Result<u64> {
+    /// Appends a full-page write record; the write is acknowledged once
+    /// this returns, and the log's [`Durability`] level decides whether the
+    /// append also synced (see [`AppendOutcome`]).
+    pub fn append(&mut self, page: PageId, data: &[u8]) -> io::Result<AppendOutcome> {
         let len = PAYLOAD_HEADER + data.len();
         let mut record = Vec::with_capacity(FRAME_LEN + len);
         record.extend_from_slice(&(len as u32).to_le_bytes());
@@ -125,12 +206,47 @@ impl Wal {
         self.file.write_all(&record)?;
         self.len += record.len() as u64;
         self.records += 1;
-        Ok(record.len() as u64)
+        self.pending += 1;
+        let sync_now = match self.durability {
+            Durability::Buffered => false,
+            Durability::Strict => true,
+            Durability::GroupCommit {
+                max_batch,
+                max_wait,
+            } => self.pending >= max_batch || self.last_sync.elapsed() >= max_wait,
+        };
+        let mut outcome = AppendOutcome {
+            bytes: record.len() as u64,
+            synced: false,
+            group_commit: false,
+        };
+        if sync_now {
+            outcome.group_commit = self.pending > 1;
+            self.sync()?;
+            outcome.synced = true;
+        }
+        Ok(outcome)
     }
 
-    /// Flushes the log to the device.
+    /// Flushes the log to the device and resets the pending group.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        self.file.sync_data()?;
+        self.synced_len = self.len;
+        self.pending = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Syncs only if acknowledged appends are not yet device-durable.
+    /// Returns whether a sync was issued — checkpoints and shutdown use
+    /// this to close the group-commit window.
+    pub fn sync_pending(&mut self) -> io::Result<bool> {
+        if self.synced_len < self.len {
+            self.sync()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
     }
 
     /// Empties the log (after a checkpoint has made its records redundant).
@@ -138,6 +254,8 @@ impl Wal {
         self.file.set_len(0)?;
         self.len = 0;
         self.records = 0;
+        self.synced_len = 0;
+        self.pending = 0;
         Ok(())
     }
 
@@ -146,9 +264,21 @@ impl Wal {
         self.len
     }
 
+    /// Bytes of log known flushed to the device — the prefix that survives
+    /// even a kernel crash. Always a record boundary, because syncs happen
+    /// only between appends.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
     /// Records appended since open/truncate plus those recovered at open.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// The log's durability level.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 }
 
@@ -167,13 +297,13 @@ mod tests {
     fn append_then_replay_roundtrip() {
         let path = temp_wal("roundtrip");
         {
-            let (mut wal, recovered) = Wal::open(&path).unwrap();
+            let (mut wal, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
             assert!(recovered.is_empty());
             wal.append(PageId(1), &[0xaa; 32]).unwrap();
             wal.append(PageId(2), &[0xbb; 32]).unwrap();
             assert_eq!(wal.records(), 2);
         } // dropped without sync: buffered writes still reach the OS
-        let (wal, recovered) = Wal::open(&path).unwrap();
+        let (wal, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
         assert_eq!(recovered.len(), 2);
         assert_eq!(recovered[0].page, PageId(1));
         assert_eq!(recovered[0].data, vec![0xaa; 32]);
@@ -186,7 +316,7 @@ mod tests {
     fn torn_tail_is_discarded_and_overwritten() {
         let path = temp_wal("torn");
         {
-            let (mut wal, _) = Wal::open(&path).unwrap();
+            let (mut wal, _) = Wal::open(&path, Durability::Buffered).unwrap();
             wal.append(PageId(1), &[1; 16]).unwrap();
             wal.append(PageId(2), &[2; 16]).unwrap();
         }
@@ -194,13 +324,13 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         let record_len = FRAME_LEN + PAYLOAD_HEADER + 16;
         std::fs::write(&path, &full[..record_len + 5]).unwrap();
-        let (mut wal, recovered) = Wal::open(&path).unwrap();
+        let (mut wal, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
         assert_eq!(recovered.len(), 1, "only the intact record replays");
         assert_eq!(recovered[0].page, PageId(1));
         // New appends overwrite the torn tail.
         wal.append(PageId(3), &[3; 16]).unwrap();
         drop(wal);
-        let (_, recovered) = Wal::open(&path).unwrap();
+        let (_, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
         assert_eq!(recovered.len(), 2);
         assert_eq!(recovered[1].page, PageId(3));
         let _ = std::fs::remove_file(&path);
@@ -210,7 +340,7 @@ mod tests {
     fn corrupt_record_stops_replay() {
         let path = temp_wal("corrupt");
         {
-            let (mut wal, _) = Wal::open(&path).unwrap();
+            let (mut wal, _) = Wal::open(&path, Durability::Buffered).unwrap();
             wal.append(PageId(1), &[1; 16]).unwrap();
             wal.append(PageId(2), &[2; 16]).unwrap();
         }
@@ -218,7 +348,7 @@ mod tests {
         let second_payload = FRAME_LEN + PAYLOAD_HEADER + 16 + FRAME_LEN + 3;
         bytes[second_payload] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
-        let (_, recovered) = Wal::open(&path).unwrap();
+        let (_, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
         assert_eq!(recovered.len(), 1);
         let _ = std::fs::remove_file(&path);
     }
@@ -226,15 +356,79 @@ mod tests {
     #[test]
     fn truncate_empties_the_log() {
         let path = temp_wal("truncate");
-        let (mut wal, _) = Wal::open(&path).unwrap();
+        let (mut wal, _) = Wal::open(&path, Durability::Buffered).unwrap();
         wal.append(PageId(1), &[1; 8]).unwrap();
         assert!(wal.len_bytes() > 0);
         wal.truncate().unwrap();
         assert_eq!(wal.len_bytes(), 0);
         assert_eq!(wal.records(), 0);
         drop(wal);
-        let (_, recovered) = Wal::open(&path).unwrap();
+        let (_, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
         assert!(recovered.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn buffered_appends_never_sync() {
+        let path = temp_wal("buffered");
+        let (mut wal, _) = Wal::open(&path, Durability::Buffered).unwrap();
+        for p in 0..5u64 {
+            let outcome = wal.append(PageId(p), &[p as u8; 8]).unwrap();
+            assert!(!outcome.synced);
+            assert!(!outcome.group_commit);
+        }
+        assert_eq!(wal.synced_len(), 0);
+        assert!(wal.sync_pending().unwrap(), "checkpoint closes the window");
+        assert_eq!(wal.synced_len(), wal.len_bytes());
+        assert!(!wal.sync_pending().unwrap(), "nothing left to sync");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strict_syncs_every_append() {
+        let path = temp_wal("strict");
+        let (mut wal, _) = Wal::open(&path, Durability::Strict).unwrap();
+        for p in 0..3u64 {
+            let outcome = wal.append(PageId(p), &[p as u8; 8]).unwrap();
+            assert!(outcome.synced);
+            assert!(!outcome.group_commit, "a group of one is not a group");
+            assert_eq!(wal.synced_len(), wal.len_bytes());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_coalesces_appends_into_one_sync() {
+        let path = temp_wal("group");
+        let durability = Durability::GroupCommit {
+            max_batch: 4,
+            max_wait: Duration::from_secs(3600), // never trips in this test
+        };
+        let (mut wal, _) = Wal::open(&path, durability).unwrap();
+        for p in 0..3u64 {
+            let outcome = wal.append(PageId(p), &[p as u8; 8]).unwrap();
+            assert!(!outcome.synced, "append {p} rides the pending group");
+        }
+        assert_eq!(wal.synced_len(), 0);
+        let outcome = wal.append(PageId(3), &[3; 8]).unwrap();
+        assert!(outcome.synced, "batch boundary forces the sync");
+        assert!(outcome.group_commit, "the sync covered four appends");
+        assert_eq!(wal.synced_len(), wal.len_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_max_wait_bounds_staleness() {
+        let path = temp_wal("groupwait");
+        let durability = Durability::GroupCommit {
+            max_batch: 1_000_000,
+            max_wait: Duration::ZERO, // every append is already stale
+        };
+        let (mut wal, _) = Wal::open(&path, durability).unwrap();
+        let outcome = wal.append(PageId(1), &[1; 8]).unwrap();
+        assert!(outcome.synced, "elapsed max_wait forces the sync");
+        assert!(!outcome.group_commit);
+        assert_eq!(wal.synced_len(), wal.len_bytes());
         let _ = std::fs::remove_file(&path);
     }
 }

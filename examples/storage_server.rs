@@ -136,27 +136,30 @@ fn main() {
         );
     }
 
-    // run_load shut the server down cleanly, which checkpointed the store:
-    // every written page is on disk and the WAL is empty. Reopen it and
-    // check a page the workload wrote (the harness stages
-    // page_payload(page, ...) for every Put).
-    let store = PageStore::open(store_config).expect("reopen the checkpointed store");
-    assert_eq!(
-        store.recovered_writes(),
-        0,
-        "a clean shutdown leaves nothing to recover"
-    );
+    // run_load shut the server down cleanly, which checkpointed every
+    // shard's store: every written page is on disk and the WALs are empty.
+    // Each shard keeps its own store under a shard-N subdirectory; reopen
+    // the one owning a page the workload wrote (the harness stages
+    // page_payload(page, ...) for every Put) and verify it.
     let written = traces[0]
         .requests
         .iter()
         .find(|r| r.kind == AccessKind::Write)
         .map(|r| r.page)
         .expect("the TPC-C mix writes");
+    let store = PageStore::open(store_config.for_shard(page_partition(written, shards), shards))
+        .expect("reopen the checkpointed shard store");
+    assert_eq!(
+        store.recovered_writes(),
+        0,
+        "a clean shutdown leaves nothing to recover"
+    );
     let mut buf = Vec::new();
     store.read(written, &mut buf).expect("read back");
     assert_eq!(buf, page_payload(written, PAGE_SIZE));
     println!(
-        "\nreopened the store: {} pages on disk, WAL empty, page {} verified byte-for-byte",
+        "\nreopened shard {}'s store: {} pages on disk, WAL empty, page {} verified byte-for-byte",
+        page_partition(written, shards),
         store.pages_on_disk(),
         written.0
     );

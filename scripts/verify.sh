@@ -9,10 +9,14 @@
 #                                      # of load at smoke scale)
 #   scripts/verify.sh --smoke-store    # data-plane smoke: the page store's
 #                                      # write->crash->recover->verify cycle
-#                                      # (~1 s) plus the storage_io bench at
-#                                      # smoke scale; part of the default
-#                                      # full run, this flag adds it to
-#                                      # --quick runs
+#                                      # at every durability level, the
+#                                      # concurrent smoke (client threads
+#                                      # over per-shard stores vs the serial
+#                                      # replay), the clippy lock-hygiene
+#                                      # gate for crates/store, plus the
+#                                      # storage_io bench at smoke scale;
+#                                      # part of the default full run, this
+#                                      # flag adds it to --quick runs
 #   scripts/verify.sh --smoke-bench    # additionally crash-check EVERY bench
 #                                      # binary (via run_all) at smoke scale,
 #                                      # BOTH with --jobs 1 and --jobs 2, and
@@ -122,8 +126,16 @@ if [ "$smoke_bench" -eq 1 ]; then
 fi
 
 if [ "$smoke_store" -eq 1 ]; then
-    echo "== smoke: page store write->crash->recover->verify cycle =="
+    echo "== smoke: page store write->crash->recover->verify cycle (all durability levels) =="
     cargo test --release -q -p clic-store --test crash_recovery
+    echo "== smoke: concurrent clients over per-shard stores vs serial replay =="
+    cargo test --release -q -p clic --test store_concurrency
+    # Lock hygiene: crates/store must go through the poison-tolerant guard
+    # helpers (cache_sim::sync), never bare Mutex::lock / RwLock::read /
+    # RwLock::write (crates/store/clippy.toml lists the banned methods; the
+    # crate turns the lint into an error).
+    echo "== smoke: clippy lock-hygiene gate for crates/store =="
+    cargo clippy -q -p clic-store --all-targets
     if [ "$smoke_bench" -eq 0 ]; then
         # (--smoke-bench subsumes this: run_all already includes
         # storage_io, so don't run it twice.)

@@ -20,9 +20,10 @@
 //!   sharded storage-server cache service with batched request dispatch,
 //!   cross-shard hint-priority merging, and a multi-client load harness,
 //! * [`store`] ([`clic_store`]) — the data plane behind the server: a
-//!   disk-backed page store with buffer frames, dirty tracking, a background
-//!   flusher, and a write-ahead log, so `Put`/`Get` move real bytes and
-//!   acknowledged writes survive a crash.
+//!   disk-backed page store (one per server shard) with latched buffer
+//!   frames, dirty tracking, a background flusher, and a write-ahead log
+//!   with selectable durability (buffered, group commit, or strict), so
+//!   `Put`/`Get` move real bytes and acknowledged writes survive a crash.
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper lives in the `clic-bench` crate (`crates/bench`), with one binary
@@ -102,9 +103,10 @@ pub use cache_sim::CachePolicy;
 pub mod prelude {
     pub use cache_sim::policies::{Arc, Lru, Opt, Tq};
     pub use cache_sim::{
-        compare_policies, simulate, simulate_partitioned, simulate_partitioned_parallel, sweep,
-        sweep_parallel, AccessKind, CachePolicy, CacheStats, ClientId, HintSetId, IoStats, PageId,
-        PartitionedCache, Request, SimulationResult, ThreadPool, Trace, TraceBuilder, WriteHint,
+        compare_policies, page_partition, simulate, simulate_partitioned,
+        simulate_partitioned_parallel, sweep, sweep_parallel, AccessKind, CachePolicy, CacheStats,
+        ClientId, HintSetId, IoStats, PageId, PartitionedCache, Request, SimulationResult,
+        ThreadPool, Trace, TraceBuilder, WriteHint,
     };
     pub use clic_core::{
         analyze_trace, suggested_window, Clic, ClicConfig, HintSetReport, TrackingMode,
@@ -115,8 +117,8 @@ pub mod prelude {
         ShardedClicConfig,
     };
     pub use clic_store::{
-        page_payload, replay_storage, PageStore, StorageReplayReport, StoreConfig,
-        DEFAULT_PAGE_SIZE,
+        page_payload, replay_storage, replay_storage_partitioned, Durability, PageStore,
+        StorageReplayReport, StoreConfig, StoreError, DEFAULT_PAGE_SIZE,
     };
     pub use stream_stats::{FrequencyEstimator, SpaceSaving};
     pub use trace_gen::{

@@ -164,13 +164,24 @@ fn server_crash_recovers_acknowledged_writes() {
     server.submit(&batch);
     drop(server); // crash: no shutdown, no checkpoint
 
-    let store = PageStore::open(store_config).expect("recover");
-    assert_eq!(store.recovered_writes(), pages.len() as u64);
+    // Each shard owns its own store (and WAL) under a shard-N subdirectory;
+    // recovery opens both and every acknowledged write is in exactly one.
+    let shards = 2;
+    let mut recovered = 0;
+    let stores: Vec<PageStore> = (0..shards)
+        .map(|shard| {
+            let store = PageStore::open(store_config.for_shard(shard, shards)).expect("recover");
+            recovered += store.recovered_writes();
+            store
+        })
+        .collect();
+    assert_eq!(recovered, pages.len() as u64);
     let mut buf = Vec::new();
     for &p in &pages {
+        let store = &stores[page_partition(PageId(p), shards)];
         store.read(PageId(p), &mut buf).expect("read back");
         assert_eq!(buf, page_payload(PageId(p), 128), "page {p}");
     }
-    drop(store);
+    drop(stores);
     std::fs::remove_dir_all(&dir).ok();
 }
