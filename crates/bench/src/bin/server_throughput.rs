@@ -86,12 +86,13 @@ fn main() -> std::io::Result<()> {
         format!("{:.2} s", report.elapsed.as_secs_f64()),
     ]);
     table.push_row(vec![
-        "batch latency p50/p95/p99/max".into(),
+        "batch latency p50/p95/p99/p999/max".into(),
         format!(
-            "{}/{}/{}/{} us",
+            "{}/{}/{}/{}/{} us",
             report.latency.p50_us,
             report.latency.p95_us,
             report.latency.p99_us,
+            report.latency.p999_us,
             report.latency.max_us
         ),
     ]);
@@ -124,6 +125,7 @@ fn main() -> std::io::Result<()> {
                     ("p50", JsonValue::num(report.latency.p50_us as f64)),
                     ("p95", JsonValue::num(report.latency.p95_us as f64)),
                     ("p99", JsonValue::num(report.latency.p99_us as f64)),
+                    ("p999", JsonValue::num(report.latency.p999_us as f64)),
                     ("max", JsonValue::num(report.latency.max_us as f64)),
                 ]),
             ),

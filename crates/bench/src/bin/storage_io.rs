@@ -47,8 +47,8 @@ use std::time::Duration;
 use cache_sim::{BoxedPolicy, IoStats};
 use clic_bench::{build_policy, json::JsonValue, window_for_trace, ExperimentContext, ResultTable};
 use clic_store::{
-    replay_storage, replay_storage_partitioned, Durability, PageStore, StorageReplayReport,
-    StoreConfig,
+    replay_storage, replay_storage_partitioned, Durability, PageStore, Recorder,
+    StorageReplayReport, StoreConfig,
 };
 use trace_gen::{interleave, TracePreset};
 
@@ -89,6 +89,11 @@ fn scratch_config(label: &str, cache_pages: usize, durability: Durability) -> St
         // Deterministic write-back: flush inline once a quarter of the
         // frames are dirty instead of from a background thread.
         .with_flush_threshold((cache_pages / 4).max(1))
+        // A fresh enabled recorder per replay so each report's latency
+        // snapshot covers exactly that run. Latency figures are
+        // wall-clock and go to stdout and the JSON report only — the
+        // CSV stays counter-only so it is byte-identical at any --jobs.
+        .with_recorder(Recorder::enabled())
 }
 
 fn replay_with_store(
@@ -140,6 +145,21 @@ fn io_metrics(io: &IoStats, report: &StorageReplayReport) -> JsonValue {
         ("wal_syncs", JsonValue::num(io.wal_syncs as f64)),
         ("group_commits", JsonValue::num(io.group_commits as f64)),
         ("fsyncs", JsonValue::num(io.fsyncs() as f64)),
+        // Per-chunk replay latency (one sample per REPLAY_CHUNK requests),
+        // from the store's `store.replay_chunk_us` histogram. Wall-clock, so
+        // JSON-only: the CSV table is byte-diffed across --jobs values.
+        ("latency_us", latency_metrics(report)),
+    ])
+}
+
+fn latency_metrics(report: &StorageReplayReport) -> JsonValue {
+    JsonValue::object([
+        ("p50", JsonValue::num(report.latency.p50() as f64)),
+        ("p95", JsonValue::num(report.latency.p95() as f64)),
+        ("p99", JsonValue::num(report.latency.p99() as f64)),
+        ("p999", JsonValue::num(report.latency.p999() as f64)),
+        ("max", JsonValue::num(report.latency.max() as f64)),
+        ("chunks", JsonValue::num(report.latency.count() as f64)),
     ])
 }
 
@@ -257,6 +277,16 @@ fn main() -> std::io::Result<()> {
 
     let clic_reads = reports[0].1.io.disk_reads;
     let lru_reads = reports[1].1.io.disk_reads;
+    let clic_latency = &reports[0].1.latency;
+    println!(
+        "CLIC replay chunk latency p50/p95/p99/p999/max: {}/{}/{}/{}/{} us over {} chunks",
+        clic_latency.p50(),
+        clic_latency.p95(),
+        clic_latency.p99(),
+        clic_latency.p999(),
+        clic_latency.max(),
+        clic_latency.count(),
+    );
     println!(
         "CLIC avoided {} disk reads vs LRU ({} vs {})",
         lru_reads as i64 - clic_reads as i64,

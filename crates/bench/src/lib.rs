@@ -63,20 +63,28 @@
 //! per trace for the comparison figures), per-path
 //! `{"baseline_ns_per_req", "slab_ns_per_req", "speedup"}` objects plus a
 //! `geomean_speedup` for `access_hotpath`, and `throughput_rps` plus a
-//! `latency_us` percentile object for `server_throughput`. The `storage_io`
-//! experiment (the disk-backed data plane replayed under CLIC and LRU
-//! admission) reports `page_size`, `cache_pages`, `requests`, one object per
-//! policy with its byte-level counters (`bytes_read`, `bytes_written`,
-//! `buffer_hit_ratio`, `disk_reads`, `disk_writes`, `disk_bytes_read`,
-//! `disk_bytes_written`, `disk_reads_per_request`, `pages_flushed`,
-//! `eviction_flushes`, `wal_records`, `wal_bytes`, `data_syncs`,
-//! `wal_syncs`, `group_commits`, `fsyncs`), a `durability` object with the
-//! same counters for the CLIC replay at each WAL durability level
+//! `latency_us` percentile object
+//! (`{"p50", "p95", "p99", "p999", "max"}`, microseconds, from the load
+//! harness's client-side [`clic_obs::LatencyHistogram`]) for
+//! `server_throughput`. The `storage_io` experiment (the disk-backed data
+//! plane replayed under CLIC and LRU admission) reports `page_size`,
+//! `cache_pages`, `requests`, one object per policy with its byte-level
+//! counters (`bytes_read`, `bytes_written`, `buffer_hit_ratio`,
+//! `disk_reads`, `disk_writes`, `disk_bytes_read`, `disk_bytes_written`,
+//! `disk_reads_per_request`, `pages_flushed`, `eviction_flushes`,
+//! `wal_records`, `wal_bytes`, `data_syncs`, `wal_syncs`, `group_commits`,
+//! `fsyncs`) plus a `latency_us` object
+//! (`{"p50", "p95", "p99", "p999", "max", "chunks"}`) holding percentiles
+//! of the per-[`cache_sim::REPLAY_CHUNK`] replay service time from the
+//! store's `store.replay_chunk_us` histogram, a `durability` object with
+//! the same counters for the CLIC replay at each WAL durability level
 //! (`buffered`, `group-commit`, `strict`), a `shards` object with the
 //! counters for CLIC partitioned across 2 and 4 per-shard stores, and the
 //! headlines `clic_vs_lru_disk_reads_saved` and
-//! `group_commit_vs_strict_fsyncs_saved`. The combined `run_all` file wraps
-//! those fragments:
+//! `group_commit_vs_strict_fsyncs_saved`. Latency objects are wall-clock
+//! measurements and are only ever written to the JSON report and stdout,
+//! never to the `.csv` tables the determinism gate byte-compares across
+//! `--jobs` values. The combined `run_all` file wraps those fragments:
 //!
 //! ```json
 //! {

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use cache_sim::{
     CacheStats, ClientId, HintCatalog, IoStats, Request, SimulationResult, Trace, REPLAY_CHUNK,
 };
+use clic_obs::{HistogramSnapshot, LatencyHistogram};
 use clic_store::page_payload;
 use trace_gen::{PresetScale, TracePreset};
 
@@ -48,12 +49,24 @@ impl LoadConfig {
     }
 }
 
+/// Histogram name under which [`run_load`] publishes client-observed batch
+/// latencies (microseconds per submitted batch) into the server's
+/// [`clic_obs::Recorder`], when one is enabled.
+pub const CLIENT_BATCH_HISTOGRAM: &str = "server.client_batch_us";
+
 /// Batch-latency percentiles over one harness run, in microseconds.
+///
+/// Backed by a [`LatencyHistogram`], so the harness keeps O(1) memory per
+/// client thread no matter how many batches a run submits. Percentiles are
+/// integer nearest-rank (`rank = ceil(count * q)`, computed exactly — the
+/// old floating-point `ceil` could land a rank off by one when `count * q`
+/// rounded across an integer) resolved to the sample's bucket upper bound:
+/// exact below 64 µs, within 1/32 (~3%) above, and `max_us` always exact.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LatencySummary {
     /// Number of batches measured.
     pub batches: u64,
-    /// Mean batch latency.
+    /// Mean batch latency (exact: the histogram keeps an exact sum).
     pub mean_us: f64,
     /// Median (50th percentile) batch latency.
     pub p50_us: u64,
@@ -61,29 +74,38 @@ pub struct LatencySummary {
     pub p95_us: u64,
     /// 99th percentile batch latency.
     pub p99_us: u64,
+    /// 99.9th percentile batch latency.
+    pub p999_us: u64,
     /// Worst observed batch latency.
     pub max_us: u64,
 }
 
 impl LatencySummary {
-    /// Summarizes a set of batch latencies (nearest-rank percentiles).
-    pub fn from_micros(mut samples: Vec<u64>) -> Self {
-        if samples.is_empty() {
+    /// Summarizes a set of batch latencies (nearest-rank percentiles, via a
+    /// [`LatencyHistogram`]). An empty input yields the all-zero default;
+    /// a single sample is every percentile.
+    pub fn from_micros(samples: Vec<u64>) -> Self {
+        let histogram = LatencyHistogram::new();
+        for sample in samples {
+            histogram.record(sample);
+        }
+        LatencySummary::from_histogram(&histogram.snapshot())
+    }
+
+    /// Summarizes a histogram snapshot (see [`HistogramSnapshot`] for the
+    /// percentile rule).
+    pub fn from_histogram(snapshot: &HistogramSnapshot) -> Self {
+        if snapshot.is_empty() {
             return LatencySummary::default();
         }
-        samples.sort_unstable();
-        let count = samples.len();
-        let percentile = |q: f64| {
-            let rank = ((count as f64) * q).ceil() as usize;
-            samples[rank.clamp(1, count) - 1]
-        };
         LatencySummary {
-            batches: count as u64,
-            mean_us: samples.iter().sum::<u64>() as f64 / count as f64,
-            p50_us: percentile(0.50),
-            p95_us: percentile(0.95),
-            p99_us: percentile(0.99),
-            max_us: samples[count - 1],
+            batches: snapshot.count(),
+            mean_us: snapshot.mean(),
+            p50_us: snapshot.p50(),
+            p95_us: snapshot.p95(),
+            p99_us: snapshot.p99(),
+            p999_us: snapshot.p999(),
+            max_us: snapshot.max(),
         }
     }
 }
@@ -227,7 +249,7 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
         .map(|s| s.page_size())
         .unwrap_or_default();
     let started = Instant::now();
-    let per_thread: Vec<(ClientLoad, Vec<u64>)> = std::thread::scope(|scope| {
+    let per_thread: Vec<(ClientLoad, HistogramSnapshot)> = std::thread::scope(|scope| {
         let handles: Vec<_> = traces
             .iter()
             .map(|trace| {
@@ -235,7 +257,11 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
                 scope.spawn(move || {
                     let mut stats = CacheStats::new();
                     let mut clients: Vec<ClientId> = Vec::new();
-                    let mut latencies: Vec<u64> = Vec::new();
+                    // Bounded-memory latency recording: one fixed-size
+                    // histogram per client thread instead of one sample
+                    // per submitted batch.
+                    let latencies = LatencyHistogram::new();
+                    let mut batches = 0u64;
                     for chunk in trace.requests.chunks(batch_size) {
                         let batch: Vec<ServerRequest> = chunk
                             .iter()
@@ -250,7 +276,8 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
                             .collect();
                         let submitted = Instant::now();
                         let responses = server.submit(&batch);
-                        latencies.push(submitted.elapsed().as_micros() as u64);
+                        latencies.record(submitted.elapsed().as_micros() as u64);
+                        batches += 1;
                         for (req, response) in chunk.iter().zip(&responses) {
                             let hit = response.hit().expect("data request gets a data response");
                             if req.is_read() {
@@ -268,9 +295,9 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
                             trace: trace.name.clone(),
                             clients,
                             stats,
-                            batches: latencies.len() as u64,
+                            batches,
                         },
-                        latencies,
+                        latencies.snapshot(),
                     )
                 })
             })
@@ -283,18 +310,24 @@ pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
     let elapsed = started.elapsed();
     let merges = server.cache().merges_completed();
     let io = server.io_stats();
-    let result = server.shutdown();
     let mut clients = Vec::with_capacity(per_thread.len());
-    let mut all_latencies = Vec::new();
+    let mut all_latencies = HistogramSnapshot::default();
     for (client, latencies) in per_thread {
         clients.push(client);
-        all_latencies.extend(latencies);
+        all_latencies.merge(&latencies);
     }
+    // Publish the client-observed view into the server's registry (when a
+    // recorder is enabled) so a Stats snapshot carries it alongside the
+    // worker-side service times.
+    if let Some(histogram) = server.cache().recorder().histogram(CLIENT_BATCH_HISTOGRAM) {
+        histogram.merge_snapshot(&all_latencies);
+    }
+    let result = server.shutdown();
     LoadReport {
         result,
         clients,
         elapsed,
-        latency: LatencySummary::from_micros(all_latencies),
+        latency: LatencySummary::from_histogram(&all_latencies),
         merges,
         io,
     }
@@ -354,7 +387,8 @@ mod tests {
         assert_eq!(report.latency.batches, 2 * 800 * 3 / 32);
         assert!(report.latency.p50_us <= report.latency.p95_us);
         assert!(report.latency.p95_us <= report.latency.p99_us);
-        assert!(report.latency.p99_us <= report.latency.max_us);
+        assert!(report.latency.p99_us <= report.latency.p999_us);
+        assert!(report.latency.p999_us <= report.latency.max_us);
         // Client-observed statistics agree with the server-side per-client
         // breakdown: both classify the same responses.
         for client_load in &report.clients {
@@ -374,16 +408,37 @@ mod tests {
         let empty = LatencySummary::from_micros(Vec::new());
         assert_eq!(empty.batches, 0);
         assert_eq!(empty.max_us, 0);
+        assert_eq!(empty.p999_us, 0);
         let one = LatencySummary::from_micros(vec![7]);
         assert_eq!(one.batches, 1);
         assert_eq!(one.p50_us, 7);
         assert_eq!(one.p99_us, 7);
+        assert_eq!(one.p999_us, 7);
         assert_eq!(one.max_us, 7);
         let spread = LatencySummary::from_micros((1..=100).collect());
         assert_eq!(spread.p50_us, 50);
         assert_eq!(spread.p95_us, 95);
         assert_eq!(spread.p99_us, 99);
+        assert_eq!(spread.p999_us, 100);
         assert_eq!(spread.max_us, 100);
         assert!((spread.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_resolves_exact_rank_landings() {
+        // 10 samples: q·N lands exactly on an index for p50 (rank 5). The
+        // integer nearest-rank rule must pick the 5th smallest, not drift
+        // to rank 6 the way a floating-point ceil of 5.000…1 would.
+        let summary = LatencySummary::from_micros((1..=10).collect());
+        assert_eq!(summary.batches, 10);
+        assert_eq!(summary.p50_us, 5);
+        assert_eq!(summary.p95_us, 10);
+        assert_eq!(summary.max_us, 10);
+        // Percentiles stay monotone even when every sample is identical.
+        let flat = LatencySummary::from_micros(vec![42; 1000]);
+        assert_eq!(flat.p50_us, 42);
+        assert_eq!(flat.p999_us, 42);
+        assert_eq!(flat.max_us, 42);
+        assert!((flat.mean_us - 42.0).abs() < 1e-9);
     }
 }

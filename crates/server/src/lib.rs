@@ -31,6 +31,15 @@
 //!   evictions flush dirty buffer frames, and [`Server::shutdown`]
 //!   checkpoints the store (dropping the server instead models a crash, from
 //!   which the WAL recovers every acknowledged write).
+//! * **Observability**: pass an enabled [`clic_obs::Recorder`]
+//!   ([`ServerConfig::with_recorder`]) and the server reports a queue-depth
+//!   gauge, per-sub-batch service-time and client-observed batch-latency
+//!   histograms, and `ShardBatch`/`PriorityMerge` trace spans — plus, on a
+//!   store-backed server, the store's WAL/flush/latch spans, since the
+//!   recorder is shared with every shard store. A [`ServerRequest::Stats`]
+//!   response carries the merged [`clic_obs::MetricsSnapshot`]
+//!   ([`StatsSnapshot`]) alongside the policy statistics; the `store.*`
+//!   I/O counters in it are always on, recorder or not.
 //!
 //! # Example
 //!
@@ -70,6 +79,7 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(clippy::disallowed_methods)]
 
 pub mod harness;
 pub mod protocol;
@@ -78,12 +88,16 @@ pub mod sharded;
 
 pub use harness::{
     merge_client_traces, preset_client_traces, run_load, ClientLoad, LatencySummary, LoadConfig,
-    LoadReport,
+    LoadReport, CLIENT_BATCH_HISTOGRAM,
 };
-pub use protocol::{ServerRequest, ServerResponse};
-pub use server::{Server, ServerConfig};
+pub use protocol::{ServerRequest, ServerResponse, StatsSnapshot};
+pub use server::{Server, ServerConfig, BATCH_SERVICE_HISTOGRAM, QUEUE_DEPTH_GAUGE};
 pub use sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
 
 // Re-exported so server embedders can configure the data plane without
 // depending on `clic-store` directly.
 pub use clic_store::{Durability, PageStore, StoreConfig, StoreError, DEFAULT_PAGE_SIZE};
+
+// Observability types appearing in this crate's public API
+// ([`ServerConfig::with_recorder`], [`StatsSnapshot::metrics`]).
+pub use clic_obs::{MetricsSnapshot, Recorder, SpanKind, TraceDump};

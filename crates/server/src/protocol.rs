@@ -8,6 +8,22 @@
 //! paper.
 
 use cache_sim::{AccessKind, ClientId, HintSetId, PageId, Request, SimulationResult, WriteHint};
+use clic_obs::MetricsSnapshot;
+
+/// The payload of a [`ServerResponse::Stats`]: the policy-level statistics
+/// snapshot plus the full metrics snapshot of the observability layer —
+/// every `store.*` I/O counter across the shard stores and, when the server
+/// runs with an enabled [`clic_obs::Recorder`], the `server.*` gauges and
+/// latency histograms. `metrics` is empty (not absent) on a server without
+/// a store and without a recorder, so clients can always merge it.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Statistics over every request whose response had been delivered when
+    /// the snapshot was taken, in the shape of a simulation result.
+    pub result: SimulationResult,
+    /// The merged metrics snapshot (server registry + per-shard stores).
+    pub metrics: MetricsSnapshot,
+}
 
 /// One operation inside a batch submitted to a [`crate::Server`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,9 +130,11 @@ pub enum ServerResponse {
         /// `true` if the page was cached when the request was served.
         hit: bool,
     },
-    /// Answer to a [`ServerRequest::Stats`]: statistics over every request
-    /// whose response had been delivered when the snapshot was taken.
-    Stats(Box<SimulationResult>),
+    /// Answer to a [`ServerRequest::Stats`]: policy statistics over every
+    /// request whose response had been delivered when the snapshot was
+    /// taken, plus the server's full metrics snapshot (see
+    /// [`StatsSnapshot`]).
+    Stats(Box<StatsSnapshot>),
 }
 
 impl ServerResponse {
@@ -137,10 +155,20 @@ impl ServerResponse {
         }
     }
 
-    /// The snapshot of a stats response (`None` for data responses).
+    /// The policy-statistics snapshot of a stats response (`None` for data
+    /// responses).
     pub fn stats(&self) -> Option<&SimulationResult> {
         match self {
-            ServerResponse::Stats(result) => Some(result),
+            ServerResponse::Stats(snapshot) => Some(&snapshot.result),
+            _ => None,
+        }
+    }
+
+    /// The metrics snapshot of a stats response (`None` for data
+    /// responses).
+    pub fn metrics(&self) -> Option<&MetricsSnapshot> {
+        match self {
+            ServerResponse::Stats(snapshot) => Some(&snapshot.metrics),
             _ => None,
         }
     }
@@ -183,7 +211,9 @@ mod tests {
         let stats = ServerResponse::Stats(Box::default());
         assert_eq!(stats.hit(), None);
         assert!(stats.stats().is_some());
+        assert!(stats.metrics().is_some());
         assert!(get.stats().is_none());
+        assert!(get.metrics().is_none());
     }
 
     #[test]

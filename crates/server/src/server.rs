@@ -15,10 +15,19 @@ use std::time::Duration;
 
 use cache_sim::{IoStats, Request, SimulationResult, REPLAY_CHUNK};
 use clic_core::ClicConfig;
+use clic_obs::{Gauge, MetricsSnapshot, Recorder, SpanKind};
 use clic_store::{Durability, StoreConfig, StoreError};
 
-use crate::protocol::{ServerRequest, ServerResponse};
+use crate::protocol::{ServerRequest, ServerResponse, StatsSnapshot};
 use crate::sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
+
+/// Gauge name for the number of sub-batches currently queued (or in
+/// flight) across all shard workers; its peak records the deepest backlog.
+pub const QUEUE_DEPTH_GAUGE: &str = "server.queue_depth";
+
+/// Histogram name for per-sub-batch shard-worker service time in
+/// microseconds (dequeue to last reply sent).
+pub const BATCH_SERVICE_HISTOGRAM: &str = "server.batch_service_us";
 
 /// Configuration for a [`Server`].
 #[derive(Debug, Clone)]
@@ -105,6 +114,18 @@ impl ServerConfig {
         self.shutdown_timeout = timeout;
         self
     }
+
+    /// Sets the observability handle: an enabled [`Recorder`] gives the
+    /// server a queue-depth gauge ([`QUEUE_DEPTH_GAUGE`]), a per-batch
+    /// service-time histogram ([`BATCH_SERVICE_HISTOGRAM`]),
+    /// [`clic_obs::SpanKind::ShardBatch`]/[`clic_obs::SpanKind::PriorityMerge`]
+    /// trace spans, and — on a store-backed server — the store-level spans
+    /// too (the recorder is shared with every shard store). The default
+    /// disabled recorder records nothing.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.cache = self.cache.with_recorder(recorder);
+        self
+    }
 }
 
 /// A per-shard unit of work: the requests routed to one shard (with their
@@ -138,6 +159,10 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     batches_served: AtomicU64,
     shutdown_timeout: Duration,
+    /// Cached [`QUEUE_DEPTH_GAUGE`] handle; `None` on a disabled recorder.
+    /// Incremented per sub-batch sent, decremented by the worker after
+    /// serving it, so the value counts queued + in-flight sub-batches.
+    queue_depth: Option<Gauge>,
 }
 
 impl Server {
@@ -148,17 +173,30 @@ impl Server {
             store.durability = durability;
         }
         let cache = Arc::new(ShardedClic::new(cache_config));
+        let recorder = cache.recorder().clone();
+        let queue_depth = recorder.gauge(QUEUE_DEPTH_GAUGE);
+        let service_hist = recorder.histogram(BATCH_SERVICE_HISTOGRAM);
         let mut senders = Vec::with_capacity(cache.shard_count());
         let mut workers = Vec::with_capacity(cache.shard_count());
         for shard in 0..cache.shard_count() {
             let (sender, receiver) = mpsc::sync_channel::<ShardJob>(config.queue_depth.max(1));
             let cache = Arc::clone(&cache);
+            let recorder = recorder.clone();
+            let queue_depth = queue_depth.clone();
+            let service_hist = service_hist.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("clic-shard-{shard}"))
                 .spawn(move || {
                     let mut outcomes = Vec::new();
                     let mut data = Vec::new();
                     for job in receiver {
+                        if let Some(gauge) = &queue_depth {
+                            gauge.dec();
+                        }
+                        // One ShardBatch span (detail: requests served) and
+                        // one service-time sample per dequeued sub-batch.
+                        let mut span = recorder.span(SpanKind::ShardBatch);
+                        span.set_detail(job.requests.len() as u64);
                         // One lock + one batched policy call per replay chunk
                         // instead of one of each per request. Sub-batches are
                         // split at the workspace-wide REPLAY_CHUNK so an
@@ -199,6 +237,11 @@ impl Server {
                                 let _ = job.reply.send((position, outcome.hit, None));
                             }
                         }
+                        if let (Some(hist), Some(start_ns), Some(clock)) =
+                            (service_hist.as_deref(), span.start_ns(), recorder.clock())
+                        {
+                            hist.record(clock.now_nanos().saturating_sub(start_ns) / 1_000);
+                        }
                     }
                 })
                 .expect("failed to spawn shard worker");
@@ -211,6 +254,7 @@ impl Server {
             workers,
             batches_served: AtomicU64::new(0),
             shutdown_timeout: config.shutdown_timeout,
+            queue_depth,
         }
     }
 
@@ -242,13 +286,19 @@ impl Server {
                     outstanding += 1;
                 }
                 None => {
-                    responses[position] = Some(ServerResponse::Stats(Box::new(self.stats())));
+                    responses[position] = Some(ServerResponse::Stats(Box::new(StatsSnapshot {
+                        result: self.stats(),
+                        metrics: self.metrics(),
+                    })));
                 }
             }
         }
         for (shard, (positions, requests, payloads)) in per_shard.into_iter().enumerate() {
             if requests.is_empty() {
                 continue;
+            }
+            if let Some(gauge) = &self.queue_depth {
+                gauge.inc();
             }
             self.senders[shard]
                 .send(ShardJob {
@@ -290,6 +340,12 @@ impl Server {
     /// A point-in-time statistics snapshot (see [`ShardedClic::snapshot`]).
     pub fn stats(&self) -> SimulationResult {
         self.cache.snapshot()
+    }
+
+    /// The full metrics snapshot (see [`ShardedClic::metrics`]): server
+    /// registry plus every shard store's `store.*` counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.cache.metrics()
     }
 
     /// Forces a cross-shard priority merge now (see

@@ -26,6 +26,7 @@ use cache_sim::{
     SimulationResult,
 };
 use clic_core::{Clic, ClicConfig};
+use clic_obs::{MetricsSnapshot, Recorder, SpanKind};
 use clic_store::{page_payload, Flusher, PageStore, ReadSource, StoreConfig, StoreResult};
 
 /// How [`ShardedClic::merge_priorities`] weights each shard's contribution.
@@ -74,6 +75,12 @@ pub struct ShardedClicConfig {
     /// traffic for different shards touches disjoint files, frames, and
     /// WALs.
     pub store: Option<StoreConfig>,
+    /// The observability handle shared by the cache and — when enabled — by
+    /// every attached shard store (overriding the store config's own
+    /// recorder, so one registry and one trace collector cover the whole
+    /// stack). The default [`Recorder::disabled`] records nothing and costs
+    /// one `Option` check per instrumented site.
+    pub recorder: Recorder,
 }
 
 impl ShardedClicConfig {
@@ -88,6 +95,7 @@ impl ShardedClicConfig {
             clic,
             merge_weighting: MergeWeighting::default(),
             store: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -126,6 +134,12 @@ impl ShardedClicConfig {
     /// [`ShardedClicConfig::store`]).
     pub fn with_store(mut self, store: StoreConfig) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Sets the observability handle (see [`ShardedClicConfig::recorder`]).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -172,6 +186,9 @@ pub struct ShardedClic {
     /// (without flushing — a plain drop models a crash,
     /// [`ShardedClic::checkpoint_store`] models a clean shutdown).
     flusher: Option<Flusher>,
+    /// The observability handle ([`ShardedClicConfig::recorder`]); shared
+    /// with every shard store when enabled.
+    recorder: Recorder,
 }
 
 impl ShardedClic {
@@ -220,6 +237,12 @@ impl ShardedClic {
                     .map(|i| {
                         let shard_capacity = base + usize::from(i < remainder);
                         let mut shard_store = store_config.for_shard(i, config.shards);
+                        if config.recorder.is_enabled() {
+                            // One recorder across the cache and every shard
+                            // store: spans land in one trace and metrics in
+                            // one registry.
+                            shard_store.recorder = config.recorder.clone();
+                        }
                         // Each shard store must hold at least one frame per
                         // cache page of its shard, or admissions could
                         // outrun it; a configured frame budget is split
@@ -251,6 +274,7 @@ impl ShardedClic {
             total_capacity: config.capacity,
             stores,
             flusher,
+            recorder: config.recorder,
         }
     }
 
@@ -508,6 +532,28 @@ impl ShardedClic {
         &self.stores
     }
 
+    /// The observability handle this cache (and its shard stores) records
+    /// into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The full metrics snapshot: the server-level registry (queue-depth
+    /// gauge, batch-service and client-latency histograms — empty when the
+    /// recorder is disabled) merged with every shard store's always-on
+    /// `store.*` counters. Mergeable across servers; safe to call on any
+    /// configuration.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snapshot = self.recorder.snapshot();
+        for store in &self.stores {
+            // With an enabled recorder the stores share its registry only
+            // for spans — their counters live in per-store registries
+            // either way, so this merge is never double counting.
+            snapshot.merge(&store.metrics());
+        }
+        snapshot
+    }
+
     /// A snapshot of the data plane's byte-level I/O counters summed across
     /// every shard store, if a data plane is attached.
     pub fn io_stats(&self) -> Option<IoStats> {
@@ -587,6 +633,9 @@ impl ShardedClic {
         if self.shards.len() <= 1 {
             return;
         }
+        // Detail: number of distinct hint sets in the merged snapshot.
+        // Cancelled when the merge turns out to be a no-op.
+        let mut span = self.recorder.span(SpanKind::PriorityMerge);
         let mut total_weight = 0.0f64;
         let mut merged: HashMap<HintSetId, f64> = HashMap::new();
         let mut requests_at_export: Vec<u64> = Vec::with_capacity(self.shards.len());
@@ -609,12 +658,14 @@ impl ShardedClic {
             }
         }
         if total_weight <= 0.0 {
+            span.cancel();
             return;
         }
         for value in merged.values_mut() {
             *value /= total_weight;
         }
         let snapshot: Vec<(HintSetId, f64)> = merged.into_iter().collect();
+        span.set_detail(snapshot.len() as u64);
         for (shard, &requests) in self.shards.iter().zip(&requests_at_export) {
             let mut shard = recover_lock(shard);
             // The marker is pinned to the export-time count, so requests
@@ -759,7 +810,7 @@ mod tests {
             .shards
             .iter()
             .map(|s| {
-                let mut snap = s.lock().unwrap().clic.export_priorities();
+                let mut snap = recover_lock(s).clic.export_priorities();
                 snap.sort_by_key(|(h, _)| h.0);
                 snap
             })
@@ -1028,7 +1079,7 @@ mod tests {
                 sharded.access(req);
             }
             sharded.merge_priorities(); // the merge under test
-            let shard0 = sharded.shards[0].lock().unwrap();
+            let shard0 = recover_lock(&sharded.shards[0]);
             (
                 shard0.clic.priority_of(new_hint),
                 shard0.clic.priority_of(old_hint),

@@ -41,6 +41,7 @@ use std::sync::{Mutex, RwLock};
 
 use cache_sim::sync::{read_lock, recover_lock, write_lock};
 use cache_sim::{page_partition, FastHashMap, PageId};
+use clic_obs::{Recorder, SpanKind};
 
 /// Latch value: one exclusive (write) pin.
 const WRITE_LATCHED: i32 = -1;
@@ -74,6 +75,10 @@ pub struct FrameArena {
     directory: Box<[RwLock<FastHashMap<PageId, u32>>]>,
     free: Mutex<Vec<u32>>,
     dirty_count: AtomicUsize,
+    /// Records contended latch acquisitions as
+    /// [`SpanKind::FrameLatchWait`] spans; uncontended pins never touch it
+    /// beyond one `Option` check, and a disabled recorder costs nothing.
+    recorder: Recorder,
 }
 
 // SAFETY: the `UnsafeCell` buffer is the only reason the type is not
@@ -113,7 +118,16 @@ impl FrameArena {
             // in index order (deterministic, cache-friendly).
             free: Mutex::new((0..frames as u32).rev().collect()),
             dirty_count: AtomicUsize::new(0),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability [`Recorder`]; contended latch
+    /// acquisitions then record [`SpanKind::FrameLatchWait`] spans (detail:
+    /// spin iterations).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Frame capacity.
@@ -168,6 +182,7 @@ impl FrameArena {
     fn pin_read(&self, frame: u32) {
         let latch = &self.frames[frame as usize].latch;
         let mut spins = 0u32;
+        let mut wait_start_ns: Option<u64> = None;
         loop {
             let state = latch.load(Ordering::Acquire);
             if state >= 0
@@ -175,7 +190,13 @@ impl FrameArena {
                     .compare_exchange_weak(state, state + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                self.record_latch_wait(wait_start_ns, spins);
                 return;
+            }
+            if wait_start_ns.is_none() {
+                // Contended: stamp the wait's start (only with an enabled
+                // recorder — `clock()` is `None` otherwise).
+                wait_start_ns = self.recorder.clock().map(|clock| clock.now_nanos());
             }
             backoff(&mut spins);
         }
@@ -186,11 +207,29 @@ impl FrameArena {
     fn pin_write(&self, frame: u32) {
         let latch = &self.frames[frame as usize].latch;
         let mut spins = 0u32;
+        let mut wait_start_ns: Option<u64> = None;
         while latch
             .compare_exchange_weak(0, WRITE_LATCHED, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
+            if wait_start_ns.is_none() {
+                wait_start_ns = self.recorder.clock().map(|clock| clock.now_nanos());
+            }
             backoff(&mut spins);
+        }
+        self.record_latch_wait(wait_start_ns, spins);
+    }
+
+    /// Emits a [`SpanKind::FrameLatchWait`] event for a contended
+    /// acquisition; a no-op for the uncontended fast path (no start stamp).
+    fn record_latch_wait(&self, wait_start_ns: Option<u64>, spins: u32) {
+        if let (Some(start_ns), Some(clock)) = (wait_start_ns, self.recorder.clock()) {
+            self.recorder.event(
+                SpanKind::FrameLatchWait,
+                start_ns,
+                clock.now_nanos(),
+                spins as u64,
+            );
         }
     }
 

@@ -68,6 +68,16 @@
 //!   admission vs an LRU baseline, across durability levels and shard
 //!   counts.
 //!
+//! **Observability:** the store's byte-level counters live in a per-store
+//! [`clic_obs::MetricsRegistry`] under `store.*` names and are always on
+//! (exact values back the I/O assertions in this crate's tests);
+//! [`PageStore::io_stats`] and [`PageStore::metrics`] are two views of the
+//! same atomics. An enabled [`Recorder`] ([`StoreConfig::with_recorder`])
+//! additionally captures trace spans — WAL append/fsync/group-commit
+//! windows, flusher passes, contended frame-latch waits — and the replay's
+//! per-chunk latency histogram ([`REPLAY_CHUNK_HISTOGRAM`]); disabled (the
+//! default) it costs one `Option` check per site.
+//!
 //! The online counterpart lives in `clic-server`: a `ShardedClic` attaches
 //! one store *per shard*, so `Put` carries bytes in and `Get` carries bytes
 //! out of a live server with no cross-shard storage coupling.
@@ -139,6 +149,15 @@ pub use disk::{AllocationBitmap, DiskManager, ShardedBitmap};
 pub use error::{StoreError, StoreResult};
 pub use flusher::Flusher;
 pub use frame::{EvictGuard, FrameArena, PageReadGuard, PageWriteGuard};
-pub use replay::{page_payload, replay_storage, replay_storage_partitioned, StorageReplayReport};
+pub use replay::{
+    page_payload, replay_storage, replay_storage_partitioned, StorageReplayReport,
+    REPLAY_CHUNK_HISTOGRAM,
+};
 pub use store::{PageStore, ReadSource, StoreConfig, DEFAULT_PAGE_SIZE};
 pub use wal::{AppendOutcome, Durability, Wal, WalRecord};
+
+// Observability types that appear in this crate's public API
+// ([`StoreConfig::with_recorder`], [`PageStore::metrics`],
+// [`StorageReplayReport::latency`]), re-exported so store users need not
+// depend on `clic-obs` directly.
+pub use clic_obs::{HistogramSnapshot, MetricsSnapshot, Recorder, SpanKind};

@@ -26,10 +26,16 @@ use std::io;
 
 use cache_sim::{
     record_outcome, CachePolicy, CacheStats, ClientId, FastHashSet, IoStats, PageId, PolicyFactory,
-    Request, SimulationResult, ThreadPool, Trace,
+    Request, SimulationResult, ThreadPool, Trace, REPLAY_CHUNK,
 };
+use clic_obs::HistogramSnapshot;
 
 use crate::store::{PageStore, ReadSource, StoreConfig};
+
+/// Histogram name under which the replay records per-chunk service
+/// latencies (microseconds per [`cache_sim::REPLAY_CHUNK`] requests) into
+/// the store's [`clic_obs::Recorder`], when one is enabled.
+pub const REPLAY_CHUNK_HISTOGRAM: &str = "store.replay_chunk_us";
 
 /// Deterministic page payload: the first 8 bytes are the page id
 /// (little-endian) — the *stamp* the replay verifies on every read of a
@@ -57,6 +63,14 @@ pub struct StorageReplayReport {
     /// The store's byte-level counters at the end of the replay (the store
     /// should be freshly opened, so these cover exactly this replay).
     pub io: IoStats,
+    /// Per-chunk replay latencies (microseconds per
+    /// [`cache_sim::REPLAY_CHUNK`] requests, final partial chunk included),
+    /// recorded when the store was opened with an enabled
+    /// [`clic_obs::Recorder`] ([`crate::StoreConfig::with_recorder`]).
+    /// Empty when the recorder is disabled. The snapshot covers everything
+    /// the recorder's [`REPLAY_CHUNK_HISTOGRAM`] accumulated, so use a
+    /// fresh recorder per replay for per-replay numbers.
+    pub latency: HistogramSnapshot,
 }
 
 impl StorageReplayReport {
@@ -97,6 +111,13 @@ fn replay_requests(
     let mut evicted: Vec<PageId> = Vec::new();
     let mut buf: Vec<u8> = Vec::with_capacity(page_size);
     let mut written: FastHashSet<PageId> = FastHashSet::default();
+    // Per-chunk service latency, recorded at REPLAY_CHUNK granularity so an
+    // enabled recorder costs two clock reads per 256 requests, not per
+    // request. All three handles are `None` when the recorder is disabled.
+    let recorder = store.recorder();
+    let chunk_hist = recorder.histogram(crate::replay::REPLAY_CHUNK_HISTOGRAM);
+    let mut chunk_len = 0usize;
+    let mut chunk_start_ns = recorder.clock().map(|clock| clock.now_nanos());
     for (seq, req) in requests {
         let outcome = policy.access(&req, seq);
         // Free the victims' frames before touching the new page, flushing
@@ -135,6 +156,24 @@ fn replay_requests(
             written.insert(req.page);
         }
         record_outcome(&mut stats, &mut per_client, &req, outcome);
+        chunk_len += 1;
+        if chunk_len == REPLAY_CHUNK {
+            if let (Some(hist), Some(start_ns), Some(clock)) =
+                (chunk_hist.as_deref(), chunk_start_ns, recorder.clock())
+            {
+                let end_ns = clock.now_nanos();
+                hist.record(end_ns.saturating_sub(start_ns) / 1_000);
+                chunk_start_ns = Some(end_ns);
+            }
+            chunk_len = 0;
+        }
+    }
+    if chunk_len > 0 {
+        if let (Some(hist), Some(start_ns), Some(clock)) =
+            (chunk_hist.as_deref(), chunk_start_ns, recorder.clock())
+        {
+            hist.record(clock.now_nanos().saturating_sub(start_ns) / 1_000);
+        }
     }
     Ok((stats, per_client))
 }
@@ -178,7 +217,17 @@ pub fn replay_storage(
             per_client,
         },
         io: store.io_stats(),
+        latency: replay_latency_snapshot(store.recorder()),
     })
+}
+
+/// Reads the [`REPLAY_CHUNK_HISTOGRAM`] snapshot out of `recorder`, or an
+/// empty snapshot when the recorder is disabled.
+fn replay_latency_snapshot(recorder: &clic_obs::Recorder) -> HistogramSnapshot {
+    recorder
+        .histogram(REPLAY_CHUNK_HISTOGRAM)
+        .map(|hist| hist.snapshot())
+        .unwrap_or_default()
 }
 
 /// [`replay_storage`] in the sharded-server shape: the trace is split by
@@ -247,7 +296,14 @@ pub fn replay_storage_partitioned(
         result.merge_from(&partial_result);
         io += partial_io;
     }
-    Ok(StorageReplayReport { result, io })
+    // Every shard store cloned the same recorder handle out of
+    // `store_config`, so one snapshot covers all partitions.
+    let latency = replay_latency_snapshot(&store_config.recorder);
+    Ok(StorageReplayReport {
+        result,
+        io,
+        latency,
+    })
 }
 
 #[cfg(test)]
@@ -319,6 +375,37 @@ mod tests {
         let report = replay_storage(&mut Lru::new(2), &store, &trace).unwrap();
         assert!(report.io.eviction_flushes > 0, "dirty evictions must flush");
         assert!(report.io.wal_records > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_records_chunk_latencies_only_when_recorder_enabled() {
+        let trace = mixed_trace(32, 4); // 128 requests: one partial chunk
+        let (dir, store) = temp_store("latency-off", 8);
+        let report = replay_storage(&mut Lru::new(8), &store, &trace).unwrap();
+        assert!(
+            report.latency.is_empty(),
+            "disabled recorder records nothing"
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let dir = std::env::temp_dir().join(format!(
+            "clic-replay-test-{}-latency-on",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = clic_obs::Recorder::enabled();
+        let config = StoreConfig::new(&dir, 8)
+            .with_page_size(64)
+            .with_recorder(recorder);
+        let store = PageStore::open(config).unwrap();
+        let report = replay_storage(&mut Lru::new(8), &store, &trace).unwrap();
+        assert_eq!(
+            report.latency.count(),
+            1,
+            "128 requests land in one final partial chunk"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

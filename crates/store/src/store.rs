@@ -26,12 +26,12 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use cache_sim::sync::{checked_lock, recover_lock};
 use cache_sim::{IoStats, PageId};
+use clic_obs::{Counter, MetricsRegistry, MetricsSnapshot, Recorder, SpanKind};
 
 use crate::disk::DiskManager;
 use crate::error::StoreError;
@@ -70,6 +70,11 @@ pub struct StoreConfig {
     /// cache) is asked to run one. The store itself does not spawn threads;
     /// see [`crate::Flusher`].
     pub flush_interval: Option<Duration>,
+    /// Observability handle: trace spans (WAL append/fsync, group commit,
+    /// flush passes, frame-latch waits) and latency histograms record here
+    /// when enabled. Disabled by default, which costs nothing — the
+    /// always-on [`IoStats`] counters do not depend on it.
+    pub recorder: Recorder,
 }
 
 impl StoreConfig {
@@ -86,6 +91,7 @@ impl StoreConfig {
             flush_threshold: 0,
             flush_batch: 64,
             flush_interval: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -126,6 +132,15 @@ impl StoreConfig {
         self
     }
 
+    /// Attaches an observability [`Recorder`]. Shards created through
+    /// [`StoreConfig::for_shard`] share it (a `Recorder` clone shares the
+    /// underlying registry and trace rings), so one recorder sees the whole
+    /// deployment.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The configuration for shard `shard` of `shards`: identical except
     /// that multi-shard deployments place each shard's files in their own
     /// `shard-N` subdirectory. A single-shard deployment keeps the base
@@ -159,46 +174,69 @@ pub enum ReadSource {
     Zero,
 }
 
-/// Shared atomic mirror of [`IoStats`]: every hot-path counter bump is one
-/// relaxed `fetch_add`, so accounting never serializes concurrent
-/// operations the way the old store-wide mutex did.
-#[derive(Debug, Default)]
-struct SharedIoStats {
-    bytes_read: AtomicU64,
-    bytes_written: AtomicU64,
-    buffer_hits: AtomicU64,
-    buffer_misses: AtomicU64,
-    disk_reads: AtomicU64,
-    disk_writes: AtomicU64,
-    disk_bytes_read: AtomicU64,
-    disk_bytes_written: AtomicU64,
-    pages_flushed: AtomicU64,
-    eviction_flushes: AtomicU64,
-    wal_records: AtomicU64,
-    wal_bytes: AtomicU64,
-    data_syncs: AtomicU64,
-    wal_syncs: AtomicU64,
-    group_commits: AtomicU64,
+/// Registry-backed mirror of [`IoStats`]: the handles live in the store's
+/// own [`MetricsRegistry`] under `store.*` names, cached here at open so
+/// every hot-path bump is still one relaxed `fetch_add` — accounting never
+/// serializes concurrent operations, and the same cells feed both
+/// [`PageStore::io_stats`] (exact, always on) and
+/// [`PageStore::metrics`] snapshots.
+#[derive(Debug)]
+struct IoCounters {
+    bytes_read: Counter,
+    bytes_written: Counter,
+    buffer_hits: Counter,
+    buffer_misses: Counter,
+    disk_reads: Counter,
+    disk_writes: Counter,
+    disk_bytes_read: Counter,
+    disk_bytes_written: Counter,
+    pages_flushed: Counter,
+    eviction_flushes: Counter,
+    wal_records: Counter,
+    wal_bytes: Counter,
+    data_syncs: Counter,
+    wal_syncs: Counter,
+    group_commits: Counter,
 }
 
-impl SharedIoStats {
+impl IoCounters {
+    fn new(registry: &MetricsRegistry) -> IoCounters {
+        IoCounters {
+            bytes_read: registry.counter("store.bytes_read"),
+            bytes_written: registry.counter("store.bytes_written"),
+            buffer_hits: registry.counter("store.buffer_hits"),
+            buffer_misses: registry.counter("store.buffer_misses"),
+            disk_reads: registry.counter("store.disk_reads"),
+            disk_writes: registry.counter("store.disk_writes"),
+            disk_bytes_read: registry.counter("store.disk_bytes_read"),
+            disk_bytes_written: registry.counter("store.disk_bytes_written"),
+            pages_flushed: registry.counter("store.pages_flushed"),
+            eviction_flushes: registry.counter("store.eviction_flushes"),
+            wal_records: registry.counter("store.wal_records"),
+            wal_bytes: registry.counter("store.wal_bytes"),
+            data_syncs: registry.counter("store.data_syncs"),
+            wal_syncs: registry.counter("store.wal_syncs"),
+            group_commits: registry.counter("store.group_commits"),
+        }
+    }
+
     fn snapshot(&self) -> IoStats {
         IoStats {
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
-            buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
-            disk_reads: self.disk_reads.load(Ordering::Relaxed),
-            disk_writes: self.disk_writes.load(Ordering::Relaxed),
-            disk_bytes_read: self.disk_bytes_read.load(Ordering::Relaxed),
-            disk_bytes_written: self.disk_bytes_written.load(Ordering::Relaxed),
-            pages_flushed: self.pages_flushed.load(Ordering::Relaxed),
-            eviction_flushes: self.eviction_flushes.load(Ordering::Relaxed),
-            wal_records: self.wal_records.load(Ordering::Relaxed),
-            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
-            data_syncs: self.data_syncs.load(Ordering::Relaxed),
-            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
-            group_commits: self.group_commits.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            buffer_hits: self.buffer_hits.get(),
+            buffer_misses: self.buffer_misses.get(),
+            disk_reads: self.disk_reads.get(),
+            disk_writes: self.disk_writes.get(),
+            disk_bytes_read: self.disk_bytes_read.get(),
+            disk_bytes_written: self.disk_bytes_written.get(),
+            pages_flushed: self.pages_flushed.get(),
+            eviction_flushes: self.eviction_flushes.get(),
+            wal_records: self.wal_records.get(),
+            wal_bytes: self.wal_bytes.get(),
+            data_syncs: self.data_syncs.get(),
+            wal_syncs: self.wal_syncs.get(),
+            group_commits: self.group_commits.get(),
         }
     }
 }
@@ -214,7 +252,12 @@ pub struct PageStore {
     disk: DiskManager,
     arena: FrameArena,
     wal: Option<Mutex<Wal>>,
-    io: SharedIoStats,
+    /// The store's own metrics registry — always on, backing
+    /// [`PageStore::io_stats`] / [`PageStore::metrics`].
+    registry: MetricsRegistry,
+    io: IoCounters,
+    /// Trace spans and histograms; zero-cost when disabled.
+    recorder: Recorder,
     /// Serializes flush passes (inline-threshold and background), so two
     /// passes never double-write the same dirty set.
     flush_pass: Mutex<()>,
@@ -273,11 +316,16 @@ impl PageStore {
         } else {
             None
         };
+        let registry = MetricsRegistry::new();
+        let io = IoCounters::new(&registry);
         Ok(PageStore {
             disk,
-            arena: FrameArena::new(config.frames, config.page_size),
+            arena: FrameArena::new(config.frames, config.page_size)
+                .with_recorder(config.recorder.clone()),
             wal,
-            io: SharedIoStats::default(),
+            registry,
+            io,
+            recorder: config.recorder,
             flush_pass: Mutex::new(()),
             flush_threshold: config.flush_threshold,
             flush_batch: config.flush_batch,
@@ -319,19 +367,15 @@ impl PageStore {
     pub fn read(&self, page: PageId, out: &mut Vec<u8>) -> io::Result<ReadSource> {
         out.clear();
         out.resize(self.page_size, 0);
-        self.io
-            .bytes_read
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.io.bytes_read.add(self.page_size as u64);
         if let Some(frame) = self.arena.read(page) {
             out.copy_from_slice(&frame);
-            self.io.buffer_hits.fetch_add(1, Ordering::Relaxed);
+            self.io.buffer_hits.inc();
             return Ok(ReadSource::Buffer);
         }
-        self.io.buffer_misses.fetch_add(1, Ordering::Relaxed);
-        self.io.disk_reads.fetch_add(1, Ordering::Relaxed);
-        self.io
-            .disk_bytes_read
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.io.buffer_misses.inc();
+        self.io.disk_reads.inc();
+        self.io.disk_bytes_read.add(self.page_size as u64);
         if self.disk.read_page(page, out)? {
             Ok(ReadSource::Disk)
         } else {
@@ -361,20 +405,34 @@ impl PageStore {
     /// Fails if the page is not resident and the arena is full.
     pub fn stage(&self, page: PageId, data: &[u8]) -> io::Result<()> {
         assert_eq!(data.len(), self.page_size, "data must be one page");
-        self.io
-            .bytes_written
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.io.bytes_written.add(self.page_size as u64);
         if let Some(wal) = self.wal.as_ref() {
+            let start_ns = self.recorder.clock().map(|clock| clock.now_nanos());
             let outcome = wal_guard(wal)?.append(page, data)?;
-            self.io.wal_records.fetch_add(1, Ordering::Relaxed);
-            self.io
-                .wal_bytes
-                .fetch_add(outcome.bytes, Ordering::Relaxed);
+            self.io.wal_records.inc();
+            self.io.wal_bytes.add(outcome.bytes);
             if outcome.synced {
-                self.io.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                self.io.wal_syncs.inc();
             }
             if outcome.group_commit {
-                self.io.group_commits.fetch_add(1, Ordering::Relaxed);
+                self.io.group_commits.inc();
+            }
+            if let (Some(start_ns), Some(clock)) = (start_ns, self.recorder.clock()) {
+                // One timed window covers append + (when it happened) the
+                // sync: the fsync dominates, so the same interval is
+                // reported under both kinds rather than re-latching the WAL
+                // to time them separately.
+                let end_ns = clock.now_nanos();
+                self.recorder
+                    .event(SpanKind::WalAppend, start_ns, end_ns, outcome.bytes);
+                if outcome.synced {
+                    self.recorder
+                        .event(SpanKind::WalFsync, start_ns, end_ns, outcome.batch);
+                }
+                if outcome.group_commit {
+                    self.recorder
+                        .event(SpanKind::GroupCommit, start_ns, end_ns, outcome.batch);
+                }
             }
         }
         let staged = match self.arena.write(page) {
@@ -404,14 +462,10 @@ impl PageStore {
             !self.arena.contains(page),
             "write_through on a resident page"
         );
-        self.io
-            .bytes_written
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.io.bytes_written.add(self.page_size as u64);
         self.disk.write_page(page, data)?;
-        self.io.disk_writes.fetch_add(1, Ordering::Relaxed);
-        self.io
-            .disk_bytes_written
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.io.disk_writes.inc();
+        self.io.disk_bytes_written.add(self.page_size as u64);
         Ok(())
     }
 
@@ -423,12 +477,10 @@ impl PageStore {
         match self.arena.evict(page) {
             Some(frame) if frame.dirty() => {
                 self.disk.write_page(page, &frame)?;
-                self.io.disk_writes.fetch_add(1, Ordering::Relaxed);
-                self.io
-                    .disk_bytes_written
-                    .fetch_add(self.page_size as u64, Ordering::Relaxed);
-                self.io.pages_flushed.fetch_add(1, Ordering::Relaxed);
-                self.io.eviction_flushes.fetch_add(1, Ordering::Relaxed);
+                self.io.disk_writes.inc();
+                self.io.disk_bytes_written.add(self.page_size as u64);
+                self.io.pages_flushed.inc();
+                self.io.eviction_flushes.inc();
                 Ok(true)
             }
             _ => Ok(false),
@@ -441,6 +493,7 @@ impl PageStore {
     /// mutex but hold only per-frame read pins while writing.
     pub fn flush_some(&self, max: usize) -> io::Result<usize> {
         let _pass = recover_lock(&self.flush_pass);
+        let mut span = self.recorder.span(SpanKind::FlushPass);
         let mut list = Vec::new();
         self.arena.dirty_pages(max, &mut list);
         let mut flushed = 0usize;
@@ -454,12 +507,16 @@ impl PageStore {
             self.disk.write_page(page, &frame)?;
             frame.mark_clean();
             drop(frame);
-            self.io.disk_writes.fetch_add(1, Ordering::Relaxed);
-            self.io
-                .disk_bytes_written
-                .fetch_add(self.page_size as u64, Ordering::Relaxed);
-            self.io.pages_flushed.fetch_add(1, Ordering::Relaxed);
+            self.io.disk_writes.inc();
+            self.io.disk_bytes_written.add(self.page_size as u64);
+            self.io.pages_flushed.inc();
             flushed += 1;
+        }
+        if flushed == 0 {
+            // Idle flusher wake-ups would otherwise flood the trace ring.
+            span.cancel();
+        } else {
+            span.set_detail(flushed as u64);
         }
         Ok(flushed)
     }
@@ -475,12 +532,12 @@ impl PageStore {
     pub fn checkpoint(&self) -> io::Result<usize> {
         let flushed = self.flush_all()?;
         self.disk.sync()?;
-        self.io.data_syncs.fetch_add(1, Ordering::Relaxed);
+        self.io.data_syncs.inc();
         if let Some(wal) = self.wal.as_ref() {
             let mut wal = wal_guard(wal)?;
             wal.truncate()?;
             wal.sync()?;
-            self.io.wal_syncs.fetch_add(1, Ordering::Relaxed);
+            self.io.wal_syncs.inc();
         }
         Ok(flushed)
     }
@@ -488,6 +545,21 @@ impl PageStore {
     /// A snapshot of the byte-level I/O counters (activity since open).
     pub fn io_stats(&self) -> IoStats {
         self.io.snapshot()
+    }
+
+    /// A named snapshot of the store's own metrics registry (the `store.*`
+    /// counters behind [`PageStore::io_stats`]). Always available —
+    /// counters do not depend on a [`Recorder`] being attached — and
+    /// mergeable across shard stores via
+    /// [`MetricsSnapshot::merge`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The observability recorder the store was opened with (disabled by
+    /// default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Number of resident buffer frames.

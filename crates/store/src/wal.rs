@@ -122,6 +122,10 @@ pub struct AppendOutcome {
     /// Whether that sync covered more than one pending append (a group
     /// commit in the narrow sense).
     pub group_commit: bool,
+    /// Appends covered by the sync (this one included); 0 when the append
+    /// did not sync. This is the group-commit batch size the trace spans
+    /// report.
+    pub batch: u64,
 }
 
 /// An append-only write-ahead log over one file.
@@ -219,9 +223,11 @@ impl Wal {
             bytes: record.len() as u64,
             synced: false,
             group_commit: false,
+            batch: 0,
         };
         if sync_now {
             outcome.group_commit = self.pending > 1;
+            outcome.batch = self.pending as u64;
             self.sync()?;
             outcome.synced = true;
         }

@@ -17,6 +17,15 @@
 #                                      # storage_io bench at smoke scale;
 #                                      # part of the default full run, this
 #                                      # flag adds it to --quick runs
+#   scripts/verify.sh --smoke-obs      # observability smoke: the obs_smoke
+#                                      # gate (recorder-enabled load; asserts
+#                                      # deterministic counters identical at
+#                                      # pool sizes 1 and 2, trace rings
+#                                      # drain to valid JSON, mock-clock
+#                                      # dumps reproducible) plus the clippy
+#                                      # lock-hygiene gate for crates/server;
+#                                      # part of the default full run, this
+#                                      # flag adds it to --quick runs
 #   scripts/verify.sh --smoke-bench    # additionally crash-check EVERY bench
 #                                      # binary (via run_all) at smoke scale,
 #                                      # BOTH with --jobs 1 and --jobs 2, and
@@ -42,20 +51,24 @@ quick=0
 smoke_server=0
 smoke_bench=0
 smoke_store=0
+smoke_obs=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --smoke-server) smoke_server=1 ;;
         --smoke-bench) smoke_bench=1 ;;
         --smoke-store) smoke_store=1 ;;
-        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench] [--smoke-store]" >&2; exit 2 ;;
+        --smoke-obs) smoke_obs=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench] [--smoke-store] [--smoke-obs]" >&2; exit 2 ;;
     esac
 done
 
-# The data-plane smoke is part of the default full run; --smoke-store only
-# needs to be spelled out to add it to a --quick run.
+# The data-plane and observability smokes are part of the default full run;
+# --smoke-store / --smoke-obs only need to be spelled out to add them to a
+# --quick run.
 if [ "$quick" -eq 0 ]; then
     smoke_store=1
+    smoke_obs=1
 fi
 
 echo "== tier-1: cargo build --release =="
@@ -143,6 +156,21 @@ if [ "$smoke_store" -eq 1 ]; then
         cargo run --release -q -p clic-bench --bin storage_io -- \
             --quick --out-dir target/smoke-results
     fi
+fi
+
+if [ "$smoke_obs" -eq 1 ]; then
+    # The gate's assertions live inside the binary: deterministic counters
+    # bit-identical between 1- and 2-worker pools, recorder-enabled server
+    # load leaves shard_batch spans, trace rings and metrics snapshots drain
+    # to JSON that the strict validator accepts, and mock-clock trace dumps
+    # are byte-identical run to run.
+    echo "== smoke: observability gate (obs_smoke, smoke scale) =="
+    cargo run --release -q -p clic-bench --bin obs_smoke -- \
+        --quick --out-dir target/smoke-results
+    # Lock hygiene now also covers crates/server (same banned methods as
+    # crates/store; see crates/server/clippy.toml).
+    echo "== smoke: clippy lock-hygiene gate for crates/server =="
+    cargo clippy -q -p clic-server --all-targets
 fi
 
 if [ "$quick" -eq 1 ]; then

@@ -23,7 +23,11 @@
 //!   disk-backed page store (one per server shard) with latched buffer
 //!   frames, dirty tracking, a background flusher, and a write-ahead log
 //!   with selectable durability (buffered, group commit, or strict), so
-//!   `Put`/`Get` move real bytes and acknowledged writes survive a crash.
+//!   `Put`/`Get` move real bytes and acknowledged writes survive a crash,
+//! * [`obs`] ([`clic_obs`]) — the observability layer threaded through the
+//!   store and server: an atomic metrics registry, log-scaled latency
+//!   histograms, and per-thread event tracing, all behind a
+//!   zero-when-disabled [`prelude::Recorder`].
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper lives in the `clic-bench` crate (`crates/bench`), with one binary
@@ -92,6 +96,7 @@
 
 pub use cache_sim as sim;
 pub use clic_core as core;
+pub use clic_obs as obs;
 pub use clic_server as server;
 pub use clic_store as store;
 pub use stream_stats as stats;
@@ -111,10 +116,11 @@ pub mod prelude {
     pub use clic_core::{
         analyze_trace, suggested_window, Clic, ClicConfig, HintSetReport, TrackingMode,
     };
+    pub use clic_obs::{Clock, HistogramSnapshot, MetricsSnapshot, Recorder, SpanKind};
     pub use clic_server::{
         merge_client_traces, preset_client_traces, run_load, LoadConfig, LoadReport,
         MergeWeighting, Server, ServerConfig, ServerRequest, ServerResponse, ShardedClic,
-        ShardedClicConfig,
+        ShardedClicConfig, StatsSnapshot,
     };
     pub use clic_store::{
         page_payload, replay_storage, replay_storage_partitioned, Durability, PageStore,
