@@ -1,0 +1,104 @@
+//! Network front-end smoke gate (`scripts/verify.sh --smoke-net`).
+//!
+//! Boots the event-driven TCP front-end around a store-backed server,
+//! offers ~1 second of seeded open-loop Poisson load over localhost, and
+//! asserts the invariants the wire path must never lose — failures panic,
+//! so a nonzero exit is the gate tripping:
+//!
+//! * every scheduled request is sent, served, and answered (no drops, no
+//!   wedged event loop),
+//! * the latency histogram is non-empty and ordered (p50 ≤ p99 ≤ max),
+//! * a stats probe over the wire agrees with the number of requests
+//!   served, and the metrics snapshot rode along,
+//! * deletes round-trip over the wire,
+//! * shutdown is clean (the final statistics come back out).
+
+use clic_bench::ExperimentContext;
+use clic_server::{
+    run_open_loop, BlockingClient, NetOptions, NetServer, OpenLoopConfig, Server, ServerConfig,
+    ServerRequest, StoreConfig, DEFAULT_PAGE_SIZE,
+};
+use trace_gen::PresetScale;
+
+fn main() -> std::io::Result<()> {
+    let ctx = ExperimentContext::from_args();
+    println!("Network front-end smoke, scale = {}\n", ctx.scale_label());
+    let (rate, seconds) = match ctx.scale {
+        PresetScale::Smoke => (5_000.0, 0.4),
+        _ => (10_000.0, 1.0),
+    };
+
+    let dir = std::env::temp_dir().join(format!("clic-net-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let config = ServerConfig::new(2_048)
+        .with_shards(2)
+        .with_store(StoreConfig::new(&dir, 2_048));
+    let net = NetServer::start(Server::start(config), NetOptions::default())?;
+    let addr = net.tcp_addr().expect("tcp front-end enabled");
+    println!("front-end on {addr}, offering {rate:.0} req/s for {seconds} s");
+
+    let open_loop = OpenLoopConfig {
+        rate,
+        requests: (rate * seconds) as u64,
+        pages: 8_192,
+        payload: Some(DEFAULT_PAGE_SIZE),
+        ..OpenLoopConfig::default()
+    };
+    let report = run_open_loop(addr, &open_loop)?;
+    println!(
+        "sent {} / completed {} in {:.2} s ({:.0} req/s achieved)",
+        report.sent,
+        report.completed,
+        report.elapsed.as_secs_f64(),
+        report.achieved_rps
+    );
+    assert_eq!(
+        report.sent, open_loop.requests,
+        "not every request was sent"
+    );
+    assert_eq!(
+        report.completed, open_loop.requests,
+        "not every request was answered"
+    );
+    let latency = &report.latency;
+    println!(
+        "latency p50/p95/p99/p999/max: {}/{}/{}/{}/{} us",
+        latency.p50_us, latency.p95_us, latency.p99_us, latency.p999_us, latency.max_us
+    );
+    assert_eq!(latency.batches, open_loop.requests, "empty percentiles");
+    assert!(
+        latency.p50_us > 0,
+        "zero p50 is not a plausible measurement"
+    );
+    assert!(latency.p50_us <= latency.p99_us && latency.p99_us <= latency.max_us);
+
+    // Stats and deletes over the wire.
+    let mut client = BlockingClient::connect_tcp(addr)?;
+    let snapshot = client.stats()?;
+    assert_eq!(
+        snapshot.result.stats.requests(),
+        open_loop.requests,
+        "the server's account of served requests disagrees with the generator"
+    );
+    assert!(
+        snapshot.metrics.counter("store.bytes_written") > 0,
+        "the metrics snapshot did not ride along the wire"
+    );
+    let page = cache_sim::PageId(3);
+    let existed = client
+        .call(&ServerRequest::Delete { page })?
+        .existed()
+        .expect("a delete response");
+    println!("delete over the wire: existed = {existed}");
+
+    drop(client);
+    let result = net.shutdown()?;
+    assert_eq!(
+        result.stats.requests(),
+        open_loop.requests,
+        "shutdown statistics lost requests"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nnet smoke: all assertions passed");
+    Ok(())
+}

@@ -7,9 +7,11 @@
 //! internally — each concurrent child runs its own grid with `--jobs 1` so
 //! the machine is not oversubscribed, and since every grid is deterministic
 //! the results are bit-identical to a serial run. The timing-sensitive
-//! microbenches (`server_throughput`, `access_hotpath`) always run
-//! exclusively at the end, one at a time, with the full `--jobs` count
-//! forwarded.
+//! microbenches (`server_throughput`, `server_latency`, `access_hotpath`)
+//! always run exclusively at the end, one at a time, with the full
+//! `--jobs` count forwarded; their CSVs are excluded from the verification
+//! gate's determinism diff (`scripts/verify.sh`), since what they measure
+//! is wall-clock behavior, not a deterministic grid.
 //!
 //! `--json PATH` additionally collects every child's machine-readable report
 //! (each child writes a fragment next to `PATH`) into one combined file —
@@ -46,7 +48,7 @@ const PARALLEL_EXPERIMENTS: [&str; 12] = [
 
 /// Timing-sensitive microbenches: always run exclusively, after everything
 /// else, so concurrent siblings cannot pollute their measurements.
-const EXCLUSIVE_EXPERIMENTS: [&str; 2] = ["server_throughput", "access_hotpath"];
+const EXCLUSIVE_EXPERIMENTS: [&str; 3] = ["server_throughput", "server_latency", "access_hotpath"];
 
 struct ExperimentRun {
     name: &'static str,

@@ -30,9 +30,49 @@
 //! `run_all` accepts the same flags; there `--jobs N` runs whole experiment
 //! *binaries* concurrently (each child grid then runs with `--jobs 1` to
 //! avoid oversubscription) while the timing-sensitive microbenches
-//! (`access_hotpath`, `server_throughput`) always run exclusively at the
-//! end, and `--json PATH` assembles every child's report into one combined
-//! file (conventionally `BENCH_results.json`).
+//! (`access_hotpath`, `server_throughput`, `server_latency`) always run
+//! exclusively at the end, and `--json PATH` assembles every child's report
+//! into one combined file (conventionally `BENCH_results.json`).
+//!
+//! # The open-loop latency experiment
+//!
+//! `server_latency` is the one experiment that talks to the server over
+//! real sockets: it boots the event-driven TCP front-end
+//! ([`clic_server::NetServer`]) around a store-backed server and offers
+//! load with the seeded open-loop Poisson generator
+//! ([`clic_server::run_open_loop`]) at several fixed arrival rates, under
+//! both buffered and group-commit durability. The generator fixes every
+//! request's *scheduled* send time before the run and measures latency
+//! from that instant, so the reported percentiles are free of coordinated
+//! omission. It takes only the shared flags above; the workload knobs
+//! (rates, run length per rate) are derived from `--scale`. Its `metrics`
+//! fragment carries the full curve:
+//!
+//! ```json
+//! {
+//!   "shards": 4,
+//!   "cache_pages": 4096,
+//!   "page_universe": 32768,
+//!   "write_fraction": 0.25,
+//!   "latency_vs_load": [
+//!     {
+//!       "durability": "buffered",
+//!       "offered_rps": 5000, "achieved_rps": 4980,
+//!       "sent": 5000, "completed": 5000, "elapsed_s": 1.01,
+//!       "mean_us": 310.2,
+//!       "p50_us": 290, "p95_us": 610, "p99_us": 940,
+//!       "p999_us": 1820, "max_us": 2410
+//!     },
+//!     { "durability": "group-commit", "offered_rps": 5000, ... }
+//!   ]
+//! }
+//! ```
+//!
+//! One point per (durability, offered load) pair, in sweep order;
+//! `achieved_rps` falling below `offered_rps` marks the saturation knee.
+//! Because the experiment measures wall-clock behavior, its CSV is
+//! excluded from the determinism diff of `scripts/verify.sh` and `run_all`
+//! schedules it exclusively.
 //!
 //! # Thread-count environment variable
 //!

@@ -21,7 +21,7 @@ use crate::stats::CacheStats;
 use crate::trace::Trace;
 
 /// The result of running one policy over one trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimulationResult {
     /// Name of the policy that was simulated.
     pub policy: String,

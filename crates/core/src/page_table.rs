@@ -401,6 +401,29 @@ impl PageTable {
         self.outq_link_back(idx);
     }
 
+    /// Forgets `page` entirely: a cached page leaves its hint list (updating
+    /// the victim memo), an outqueue page leaves the FIFO, and the slot is
+    /// freed in either case. Unlike [`PageTable::evict_to_outqueue`] the page
+    /// is *not* remembered — this is the invalidation path (deletes), not an
+    /// eviction, so no ghost entry survives to influence future admissions.
+    ///
+    /// Returns whether the page was cached (`Some(true)`), merely remembered
+    /// in the outqueue (`Some(false)`), or unknown (`None`).
+    pub fn remove(&mut self, page: PageId) -> Option<bool> {
+        let (slot, _, cached) = self.find(page)?;
+        let idx = slot.0;
+        if cached {
+            let list = self.slots[idx as usize].list;
+            self.hint_unlink(list, idx);
+            self.cached_len -= 1;
+            self.note_if_emptied(list);
+        } else {
+            self.outq_unlink(idx);
+        }
+        self.release(idx);
+        Some(cached)
+    }
+
     /// Remembers `record` for the uncached `page` in the outqueue (the bypass
     /// path). Refreshing an existing entry updates its record and moves it to
     /// the young end; inserting into a full FIFO drops the oldest entry

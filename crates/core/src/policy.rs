@@ -232,6 +232,15 @@ impl Clic {
         self.table.composition()
     }
 
+    /// Invalidates `page`: drops it from the cache (or the outqueue) without
+    /// remembering it, returning whether it was cached. A delete is not an
+    /// access — statistics, windows, and the hint tracker are untouched, and
+    /// no ghost entry survives to bias a future re-admission of the same
+    /// page id.
+    pub fn invalidate(&mut self, page: PageId) -> bool {
+        self.table.remove(page) == Some(true)
+    }
+
     /// Rebuilds the per-hint priority keys (and the victim minimum) after
     /// priorities change at a window boundary or snapshot import.
     fn rebuild_victim_index(&mut self) {

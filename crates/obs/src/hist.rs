@@ -138,6 +138,17 @@ impl LatencyHistogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Records one completed operation against its **scheduled** start time
+    /// rather than its actual send time: the coordinated-omission-safe
+    /// measurement for open-loop load generation. If the generator fell
+    /// behind schedule, the queueing delay it induced is charged to the
+    /// request (`completed - scheduled`) instead of being silently dropped
+    /// the way closed-loop "measure from actual send" timing drops it.
+    /// Saturates at zero if `completed` somehow precedes `scheduled`.
+    pub fn record_scheduled(&self, scheduled: u64, completed: u64) {
+        self.record(completed.saturating_sub(scheduled));
+    }
+
     /// Folds an owned snapshot's counts into this live histogram (exact,
     /// like [`LatencyHistogram::merge_from`]) — how thread-local
     /// measurements get published into a shared registry histogram.
@@ -164,6 +175,30 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Reassembles a snapshot from parts previously observed via
+    /// [`HistogramSnapshot::buckets`]/`count`/`sum`/`max` — the decode half
+    /// of a wire codec. `buckets` may be shorter than [`BUCKET_COUNT`]
+    /// (trailing zeros elided, as a sparse encoding produces); anything
+    /// longer is truncated to [`BUCKET_COUNT`].
+    pub fn from_parts(buckets: Vec<u64>, count: u64, sum: u64, max: u64) -> HistogramSnapshot {
+        let mut buckets = buckets;
+        buckets.truncate(BUCKET_COUNT);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
+    /// The raw per-bucket counts (index → samples in that bucket), for
+    /// encoding; may be empty for a default snapshot. Bucket boundaries are
+    /// an implementation detail — pair this only with
+    /// [`HistogramSnapshot::from_parts`] on the other side.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count

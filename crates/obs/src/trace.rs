@@ -47,11 +47,15 @@ pub enum SpanKind {
     ShardBatch,
     /// One cross-shard priority merge (detail: shards merged).
     PriorityMerge,
+    /// One wire frame decoded from or encoded onto a network connection by
+    /// the event-driven front-end (detail: frame bytes). With this kind a
+    /// timeline spans client → wire → shard batch → WAL fsync.
+    NetFrame,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::WalAppend,
         SpanKind::WalFsync,
         SpanKind::GroupCommit,
@@ -59,6 +63,7 @@ impl SpanKind {
         SpanKind::FrameLatchWait,
         SpanKind::ShardBatch,
         SpanKind::PriorityMerge,
+        SpanKind::NetFrame,
     ];
 
     /// Stable snake_case label used in JSON and timelines.
@@ -71,6 +76,7 @@ impl SpanKind {
             SpanKind::FrameLatchWait => "frame_latch_wait",
             SpanKind::ShardBatch => "shard_batch",
             SpanKind::PriorityMerge => "priority_merge",
+            SpanKind::NetFrame => "net_frame",
         }
     }
 }

@@ -174,7 +174,7 @@ impl LoadReport {
 
 /// Rewrites independently built traces onto one shared catalog so their
 /// client ids and hint sets are globally distinct (the same re-registration
-/// [`trace_gen::interleave`] performs, but keeping the traces separate so
+/// [`trace_gen::interleave()`] performs, but keeping the traces separate so
 /// each can be driven by its own client thread).
 pub fn merge_client_traces(traces: &[Trace]) -> Vec<Trace> {
     let mut catalog = HintCatalog::new();
@@ -207,7 +207,7 @@ pub fn merge_client_traces(traces: &[Trace]) -> Vec<Trace> {
 /// Builds one client trace per preset over disjoint page ranges (offset by
 /// 100 M pages each, like the Figure 11 setup), truncates every trace to the
 /// shortest so no client is over-represented (the same rule
-/// [`trace_gen::interleave`] applies, so an offline reference over the
+/// [`trace_gen::interleave()`] applies, so an offline reference over the
 /// interleave of these traces serves exactly the same requests), and merges
 /// them onto a shared catalog, ready to be driven concurrently by
 /// [`run_load`].

@@ -31,6 +31,14 @@
 //!   evictions flush dirty buffer frames, and [`Server::shutdown`]
 //!   checkpoints the store (dropping the server instead models a crash, from
 //!   which the WAL recovers every acknowledged write).
+//! * A **network front-end** ([`NetServer`]): one event-loop thread puts
+//!   the server behind real TCP and (on Unix) Unix-domain sockets speaking
+//!   the length-prefixed binary protocol of [`wire`], multiplexed with the
+//!   readiness poller of [`sys`] — no thread per connection, per-connection
+//!   in-flight windows for back-pressure, and per-shard coalescing into
+//!   the same batched worker path `submit` uses. [`openloop`] is the
+//!   matching open-loop Poisson load generator whose latency percentiles
+//!   are free of coordinated omission.
 //! * **Observability**: pass an enabled [`clic_obs::Recorder`]
 //!   ([`ServerConfig::with_recorder`]) and the server reports a queue-depth
 //!   gauge, per-sub-batch service-time and client-observed batch-latency
@@ -76,23 +84,55 @@
 //! // Every pass after the first hits: the working set fits the cache.
 //! assert!(result.read_hit_ratio() > 0.7);
 //! ```
+//!
+//! # Wire protocol
+//!
+//! Every message on a connection is one frame (all integers
+//! little-endian; see [`wire`] for the codec and per-message bodies):
+//!
+//! | offset | size | field | meaning |
+//! |-------:|-----:|-------|---------|
+//! | 0 | 4 | `len: u32` | bytes after this prefix (opcode + seq + body), at most [`wire::MAX_FRAME_LEN`] |
+//! | 4 | 1 | `opcode: u8` | `0x01` Get, `0x02` Put, `0x03` Delete, `0x04` Stats; responses are the same values with the high bit set (`0x81`–`0x84`) |
+//! | 5 | 8 | `seq: u64` | client-chosen correlation id, echoed verbatim on the response (responses may arrive out of order across shards) |
+//! | 13 | `len - 9` | body | per-opcode payload |
+//!
+//! Request bodies: `Get` is `client: u16, page: u64, hint: u32,
+//! flags: u8` (bit 0 = prefetch); `Put` is `client: u16, page: u64,
+//! hint: u32, write_hint: u8` (0 none / 1 replacement / 2 recovery /
+//! 3 synchronous) `, has_data: u8` then, if 1, `data_len: u32` + bytes;
+//! `Delete` is `page: u64`; `Stats` is empty. Response bodies: `Get` is
+//! `flags: u8` (bit 0 = hit, bit 1 = data present) then, if present,
+//! `data_len: u32` + bytes; `Put` is `hit: u8`; `Delete` is
+//! `existed: u8`; `Stats` carries the full [`StatsSnapshot`] — policy
+//! result, counters, gauges, and sparse `(index, count)` histogram
+//! buckets. Decoding is strict: unknown opcodes, truncated fields,
+//! out-of-range enums, and trailing bytes are all rejected
+//! ([`wire::WireError`]) and close the offending connection.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 #![deny(clippy::disallowed_methods)]
 
 pub mod harness;
+pub mod net;
+pub mod openloop;
 pub mod protocol;
 pub mod server;
 pub mod sharded;
+pub mod sys;
+pub mod wire;
 
 pub use harness::{
     merge_client_traces, preset_client_traces, run_load, ClientLoad, LatencySummary, LoadConfig,
     LoadReport, CLIENT_BATCH_HISTOGRAM,
 };
+pub use net::{BlockingClient, NetOptions, NetServer};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
 pub use protocol::{ServerRequest, ServerResponse, StatsSnapshot};
 pub use server::{Server, ServerConfig, BATCH_SERVICE_HISTOGRAM, QUEUE_DEPTH_GAUGE};
 pub use sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
+pub use wire::WireError;
 
 // Re-exported so server embedders can configure the data plane without
 // depending on `clic-store` directly.

@@ -1,0 +1,819 @@
+//! The event-driven network front-end: CLIC on the wire.
+//!
+//! [`NetServer`] puts a running [`Server`] behind real sockets — TCP and,
+//! on Unix, a Unix-domain listener — speaking the length-prefixed binary
+//! protocol of [`crate::wire`]. One event-loop thread owns every
+//! connection and multiplexes them over the readiness poller of
+//! [`crate::sys`]; *no thread ever blocks on a socket*, and no thread is
+//! spawned per connection:
+//!
+//! * Readable connections are drained into per-connection buffers and
+//!   decoded frame by frame. Decoded operations are *coalesced per shard*
+//!   — up to [`cache_sim::REPLAY_CHUNK`] operations per submission — and
+//!   handed to the existing shard workers through
+//!   [`Server::submit_shard_tagged`], so a flood of small client frames
+//!   still reaches the policy through the batched access fast path.
+//! * Completions stream back over a channel tagged with slab indices; the
+//!   loop matches them to connections (a generation counter guards against
+//!   slot reuse after disconnects), encodes responses — correlated by the
+//!   client's `seq`, hence safely out of order across shards — and writes
+//!   as far as the socket allows, buffering the rest behind `EPOLLOUT`
+//!   interest.
+//! * Each connection has a bounded *in-flight window*
+//!   ([`NetOptions::in_flight_window`]). A connection at its window stops
+//!   being read (its `EPOLLIN` interest is dropped) until completions
+//!   drain: per-connection back-pressure that bounds server-side memory no
+//!   matter how fast an open-loop client pushes.
+//! * [`ServerRequest::Stats`] is answered inline by the loop itself, same
+//!   as [`Server::submit`] does, without consuming a window slot.
+//!
+//! With an enabled [`clic_obs::Recorder`], every frame decode and encode
+//! is recorded as a [`SpanKind::NetFrame`] trace span whose detail is the
+//! frame's size in bytes.
+//!
+//! A malformed frame — oversized length prefix, unknown opcode, truncated
+//! body — closes that connection immediately; framing is unrecoverable
+//! once a stream desynchronizes, and a bad peer must not be able to make
+//! the server buffer garbage.
+//!
+//! [`BlockingClient`] is the matching minimal client: a blocking,
+//! pipelining codec wrapper used by the tests, the verification smoke
+//! gate, and as the transport under the open-loop generator's reader.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+
+use cache_sim::{SimulationResult, REPLAY_CHUNK};
+use clic_obs::{Recorder, SpanKind};
+
+use crate::protocol::{ServerRequest, ServerResponse, StatsSnapshot};
+use crate::server::{Server, ShardReply};
+use crate::sys::{raw_fd, Event, Poller, READABLE, WRITABLE};
+use crate::wire;
+
+/// Poller token of the TCP listener.
+const TOKEN_TCP: u64 = 0;
+/// Poller token of the Unix-domain listener.
+const TOKEN_UDS: u64 = 1;
+/// First poller token used for connections (token = base + slot index).
+const TOKEN_BASE: u64 = 2;
+
+/// Read chunk size for draining a readable socket.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// How the front-end listens and how much it buffers per connection.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// TCP listen address (e.g. `"127.0.0.1:0"` for an ephemeral port), or
+    /// `None` for no TCP listener.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path, or `None` for no UDS listener. Rejected at
+    /// start on non-Unix platforms; the file is removed on shutdown.
+    pub uds: Option<PathBuf>,
+    /// Maximum decoded-but-unanswered operations per connection before the
+    /// loop stops reading from it (back-pressure).
+    pub in_flight_window: usize,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            tcp: Some("127.0.0.1:0".to_string()),
+            uds: None,
+            in_flight_window: 64,
+        }
+    }
+}
+
+/// A [`Server`] exposed over real sockets by a background event-loop
+/// thread. Dropping it stops the loop and shuts the server down; call
+/// [`NetServer::shutdown`] to also collect the final statistics.
+#[derive(Debug)]
+pub struct NetServer {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<io::Result<Server>>>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl NetServer {
+    /// Binds the listeners and spawns the event loop around `server`.
+    pub fn start(server: Server, options: NetOptions) -> io::Result<NetServer> {
+        let tcp = match &options.tcp {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                listener.set_nonblocking(true)?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let tcp_addr = tcp.as_ref().map(|l| l.local_addr()).transpose()?;
+        #[cfg(unix)]
+        let uds = match &options.uds {
+            Some(path) => {
+                // A previous unclean shutdown may have left the socket
+                // file behind; binding over it needs the unlink.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Some(listener)
+            }
+            None => None,
+        };
+        #[cfg(not(unix))]
+        if options.uds.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain listeners require a Unix platform",
+            ));
+        }
+        let uds_path = options.uds.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let event_loop = EventLoop::new(
+            server,
+            tcp,
+            #[cfg(unix)]
+            uds,
+            options.in_flight_window.max(1),
+            Arc::clone(&stop),
+        )?;
+        let thread = thread::Builder::new()
+            .name("clic-net".to_string())
+            .spawn(move || event_loop.run())
+            .expect("spawning the network event loop failed");
+        Ok(NetServer {
+            stop,
+            thread: Some(thread),
+            tcp_addr,
+            uds_path,
+        })
+    }
+
+    /// The bound TCP address (`None` if TCP was disabled).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-domain socket path (`None` if UDS was disabled).
+    pub fn uds_path(&self) -> Option<&PathBuf> {
+        self.uds_path.as_ref()
+    }
+
+    fn stop_loop(&mut self) -> Option<io::Result<Server>> {
+        self.stop.store(true, Ordering::SeqCst);
+        let result = self
+            .thread
+            .take()
+            .map(|t| t.join().expect("the network event loop panicked"));
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+
+    /// Stops accepting, closes every connection, shuts the inner server
+    /// down, and returns its final statistics.
+    pub fn shutdown(mut self) -> io::Result<SimulationResult> {
+        match self.stop_loop() {
+            Some(Ok(server)) => Ok(server.shutdown()),
+            Some(Err(err)) => Err(err),
+            None => Err(io::Error::other("event loop already stopped")),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            let _ = self.stop_loop();
+        }
+    }
+}
+
+/// A connected byte stream, TCP or Unix-domain.
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn fd(&self) -> i32 {
+        match self {
+            Stream::Tcp(s) => raw_fd(s),
+            #[cfg(unix)]
+            Stream::Unix(s) => raw_fd(s),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Per-connection state owned by the event loop.
+#[derive(Debug)]
+struct Conn {
+    stream: Stream,
+    /// Guards completions against slot reuse: a completion whose pending
+    /// entry carries an older generation belongs to a previous connection
+    /// in this slot and is dropped.
+    gen: u32,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Bytes of `write_buf` already written to the socket.
+    write_at: usize,
+    /// Decoded-but-unanswered operations.
+    in_flight: usize,
+    /// The peer half-closed (or errored); no more reads, flush and close.
+    read_closed: bool,
+    /// The interest mask currently armed in the poller.
+    interest: u32,
+    /// Set when the connection must be torn down (I/O or protocol error).
+    dead: bool,
+}
+
+impl Conn {
+    fn pending_write(&self) -> bool {
+        self.write_at < self.write_buf.len()
+    }
+}
+
+/// One submitted-to-a-shard operation awaiting completion.
+struct Pending {
+    conn: usize,
+    gen: u32,
+    seq: u64,
+    kind: PendingKind,
+}
+
+/// Which response variant a completion maps to.
+enum PendingKind {
+    Get,
+    Put,
+    Delete,
+}
+
+struct EventLoop {
+    server: Server,
+    recorder: Recorder,
+    poller: Poller,
+    tcp: Option<TcpListener>,
+    #[cfg(unix)]
+    uds: Option<UnixListener>,
+    conns: Vec<Option<Conn>>,
+    free_conns: Vec<usize>,
+    /// Per slot, the generation the *next* tenant carries (bumped by
+    /// [`EventLoop::close_conn`] so stale completions are recognizable).
+    slot_next_gen: Vec<u32>,
+    slab: Vec<Option<Pending>>,
+    free_slab: Vec<usize>,
+    reply_tx: mpsc::Sender<ShardReply>,
+    reply_rx: mpsc::Receiver<ShardReply>,
+    /// Per-shard coalescing buffers, flushed at [`REPLAY_CHUNK`] or at the
+    /// end of each cycle.
+    pending_shard: Vec<Vec<(usize, ServerRequest)>>,
+    window: usize,
+    in_flight_total: usize,
+    stop: Arc<AtomicBool>,
+}
+
+impl EventLoop {
+    fn new(
+        server: Server,
+        tcp: Option<TcpListener>,
+        #[cfg(unix)] uds: Option<UnixListener>,
+        window: usize,
+        stop: Arc<AtomicBool>,
+    ) -> io::Result<EventLoop> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let shard_count = server.cache().shard_count();
+        let recorder = server.cache().recorder().clone();
+        Ok(EventLoop {
+            server,
+            recorder,
+            poller: Poller::new()?,
+            tcp,
+            #[cfg(unix)]
+            uds,
+            conns: Vec::new(),
+            free_conns: Vec::new(),
+            slot_next_gen: Vec::new(),
+            slab: Vec::new(),
+            free_slab: Vec::new(),
+            reply_tx,
+            reply_rx,
+            pending_shard: (0..shard_count).map(|_| Vec::new()).collect(),
+            window,
+            in_flight_total: 0,
+            stop,
+        })
+    }
+
+    fn run(mut self) -> io::Result<Server> {
+        if let Some(listener) = &self.tcp {
+            self.poller
+                .register(raw_fd(listener), TOKEN_TCP, READABLE)?;
+        }
+        #[cfg(unix)]
+        if let Some(listener) = &self.uds {
+            self.poller
+                .register(raw_fd(listener), TOKEN_UDS, READABLE)?;
+        }
+        let mut events: Vec<Event> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            // Completions arrive on an mpsc channel, which cannot wake the
+            // poller — poll briefly while work is in flight, longer when
+            // the loop is idle.
+            let timeout = if self.in_flight_total > 0 {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_millis(25)
+            };
+            self.poller.wait(&mut events, timeout)?;
+            for &event in &events {
+                match event.token {
+                    TOKEN_TCP => self.accept_tcp(),
+                    #[cfg(unix)]
+                    TOKEN_UDS => self.accept_uds(),
+                    token => {
+                        let Some(idx) = token.checked_sub(TOKEN_BASE).map(|t| t as usize) else {
+                            continue;
+                        };
+                        if event.readable() {
+                            self.fill_read_buf(idx);
+                        }
+                        if event.writable() {
+                            self.flush_write_buf(idx);
+                        }
+                    }
+                }
+            }
+            // Decode everything buffered on connections with window room;
+            // a connection may have buffered frames left over from when
+            // its window was full, so this cannot key off events alone.
+            for idx in 0..self.conns.len() {
+                self.decode_conn(idx);
+            }
+            self.submit_pending();
+            self.drain_completions();
+            self.settle_conns();
+        }
+        Ok(self.server)
+    }
+
+    fn accept_tcp(&mut self) {
+        loop {
+            let accepted = match &self.tcp {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.add_conn(Stream::Tcp(stream));
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    fn accept_uds(&mut self) {
+        loop {
+            let accepted = match &self.uds {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.add_conn(Stream::Unix(stream));
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn add_conn(&mut self, stream: Stream) {
+        let fd = stream.fd();
+        let idx = match self.free_conns.pop() {
+            Some(idx) => {
+                debug_assert!(self.conns[idx].is_none());
+                idx
+            }
+            None => {
+                self.conns.push(None);
+                self.slot_next_gen.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let gen = self.slot_next_gen[idx];
+        let token = TOKEN_BASE + idx as u64;
+        if self.poller.register(fd, token, READABLE).is_err() {
+            self.free_conns.push(idx);
+            return;
+        }
+        self.conns[idx] = Some(Conn {
+            stream,
+            gen,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_at: 0,
+            in_flight: 0,
+            read_closed: false,
+            interest: READABLE,
+            dead: false,
+        });
+    }
+
+    /// Reads as much as the socket offers into the connection's buffer.
+    fn fill_read_buf(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        if conn.read_closed || conn.dead {
+            return;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return;
+                }
+                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes frames from the connection's read buffer while it has
+    /// window room, routing data operations into the per-shard coalescing
+    /// buffers and answering stats inline.
+    fn decode_conn(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+                return;
+            };
+            if conn.dead || conn.in_flight >= self.window || conn.read_buf.is_empty() {
+                return;
+            }
+            let span = self.recorder.span(SpanKind::NetFrame);
+            let (consumed, decoded) = match wire::take_frame(&conn.read_buf) {
+                Ok(None) => {
+                    span.cancel();
+                    return;
+                }
+                Ok(Some((consumed, payload))) => (consumed, wire::decode_request(payload)),
+                Err(_) => {
+                    span.cancel();
+                    conn.dead = true;
+                    return;
+                }
+            };
+            let (seq, op) = match decoded {
+                Ok(frame) => frame,
+                Err(_) => {
+                    span.cancel();
+                    conn.dead = true;
+                    return;
+                }
+            };
+            conn.read_buf.drain(..consumed);
+            span.finish(consumed as u64);
+            match op {
+                ServerRequest::Stats => {
+                    // Answered inline, mirroring `Server::submit`; stats
+                    // take no window slot.
+                    let snapshot = StatsSnapshot {
+                        result: self.server.stats(),
+                        metrics: self.server.metrics(),
+                    };
+                    self.respond(idx, seq, &ServerResponse::Stats(Box::new(snapshot)));
+                }
+                op => {
+                    let kind = match &op {
+                        ServerRequest::Get { .. } => PendingKind::Get,
+                        ServerRequest::Put { .. } => PendingKind::Put,
+                        ServerRequest::Delete { .. } => PendingKind::Delete,
+                        ServerRequest::Stats => unreachable!("matched above"),
+                    };
+                    let page = op.page().expect("data operations carry a page");
+                    let shard = self.server.cache().shard_of(page);
+                    let conn = self.conns[idx].as_mut().expect("checked above");
+                    conn.in_flight += 1;
+                    let gen = conn.gen;
+                    let tag = self.alloc_pending(Pending {
+                        conn: idx,
+                        gen,
+                        seq,
+                        kind,
+                    });
+                    self.pending_shard[shard].push((tag, op));
+                    if self.pending_shard[shard].len() >= REPLAY_CHUNK {
+                        self.flush_shard(shard);
+                    }
+                }
+            }
+        }
+    }
+
+    fn alloc_pending(&mut self, pending: Pending) -> usize {
+        match self.free_slab.pop() {
+            Some(tag) => {
+                debug_assert!(self.slab[tag].is_none());
+                self.slab[tag] = Some(pending);
+                tag
+            }
+            None => {
+                self.slab.push(Some(pending));
+                self.slab.len() - 1
+            }
+        }
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        if self.pending_shard[shard].is_empty() {
+            return;
+        }
+        let ops = std::mem::take(&mut self.pending_shard[shard]);
+        // Blocks only while the shard's bounded queue is full: worker
+        // back-pressure propagating to the event loop, by design.
+        self.in_flight_total += self.server.submit_shard_tagged(shard, ops, &self.reply_tx);
+    }
+
+    fn submit_pending(&mut self) {
+        for shard in 0..self.pending_shard.len() {
+            self.flush_shard(shard);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok((tag, outcome, data)) = self.reply_rx.try_recv() {
+            self.in_flight_total = self.in_flight_total.saturating_sub(1);
+            let pending = self
+                .slab
+                .get_mut(tag)
+                .and_then(|slot| slot.take())
+                .expect("completion for an unallocated slab slot");
+            self.free_slab.push(tag);
+            let alive = self
+                .conns
+                .get(pending.conn)
+                .and_then(|c| c.as_ref())
+                .is_some_and(|conn| conn.gen == pending.gen);
+            if !alive {
+                continue;
+            }
+            if let Some(conn) = self.conns[pending.conn].as_mut() {
+                conn.in_flight -= 1;
+            }
+            let response = match pending.kind {
+                PendingKind::Get => ServerResponse::Get { hit: outcome, data },
+                PendingKind::Put => ServerResponse::Put { hit: outcome },
+                PendingKind::Delete => ServerResponse::Delete { existed: outcome },
+            };
+            self.respond(pending.conn, pending.seq, &response);
+        }
+    }
+
+    /// Encodes a response onto the connection's write buffer (recording
+    /// the encode as a [`SpanKind::NetFrame`] span).
+    fn respond(&mut self, idx: usize, seq: u64, response: &ServerResponse) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        let span = self.recorder.span(SpanKind::NetFrame);
+        let before = conn.write_buf.len();
+        wire::encode_response(seq, response, &mut conn.write_buf);
+        span.finish((conn.write_buf.len() - before) as u64);
+    }
+
+    /// Writes as much buffered output as the socket accepts.
+    fn flush_write_buf(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        while conn.write_at < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_at..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => conn.write_at += n,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        if conn.write_at == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_at = 0;
+        } else if conn.write_at > READ_CHUNK {
+            // Compact a long-lived partially written buffer so it cannot
+            // grow without bound across cycles.
+            conn.write_buf.drain(..conn.write_at);
+            conn.write_at = 0;
+        }
+    }
+
+    /// End-of-cycle per-connection pass: opportunistic writes, interest
+    /// re-arming, and teardown of finished or errored connections.
+    fn settle_conns(&mut self) {
+        for idx in 0..self.conns.len() {
+            if self
+                .conns
+                .get(idx)
+                .and_then(|c| c.as_ref())
+                .is_some_and(|conn| conn.pending_write() && !conn.dead)
+            {
+                self.flush_write_buf(idx);
+            }
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            let finished = conn.read_closed
+                && conn.in_flight == 0
+                && !conn.pending_write()
+                && conn.read_buf.len() < 4; // a buffered partial frame dies with the peer
+            if conn.dead || finished {
+                self.close_conn(idx);
+                continue;
+            }
+            let mut interest = 0u32;
+            if !conn.read_closed && conn.in_flight < self.window {
+                interest |= READABLE;
+            }
+            if conn.pending_write() {
+                interest |= WRITABLE;
+            }
+            if interest != conn.interest {
+                let fd = conn.stream.fd();
+                let token = TOKEN_BASE + idx as u64;
+                conn.interest = interest;
+                let _ = self.poller.rearm(fd, token, interest);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|slot| slot.take()) else {
+            return;
+        };
+        self.poller
+            .deregister(conn.stream.fd(), TOKEN_BASE + idx as u64);
+        // Outstanding completions for this connection are dropped on
+        // arrival: the next tenant of the slot carries gen + 1.
+        self.slot_next_gen[idx] = conn.gen.wrapping_add(1);
+        self.free_conns.push(idx);
+    }
+}
+
+/// A minimal blocking client for the wire protocol: encodes requests,
+/// pipelines a whole batch onto the socket, and reassembles the responses
+/// in batch order via the echoed `seq`.
+///
+/// This is deliberately the simplest correct counterpart of the server —
+/// the loopback equivalence test drives a [`Server`] through it and
+/// asserts bit-identical statistics with the in-process path, and the
+/// verification smoke gate uses it for its final stats probe. The
+/// open-loop generator in [`crate::openloop`] does *not* use it (pacing
+/// needs decoupled writer/reader halves).
+#[derive(Debug)]
+pub struct BlockingClient {
+    stream: Stream,
+    buf: Vec<u8>,
+}
+
+impl BlockingClient {
+    /// Connects over TCP (Nagle disabled — the protocol is latency-bound
+    /// request/response).
+    pub fn connect_tcp(addr: SocketAddr) -> io::Result<BlockingClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(BlockingClient {
+            stream: Stream::Tcp(stream),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: &std::path::Path) -> io::Result<BlockingClient> {
+        Ok(BlockingClient {
+            stream: Stream::Unix(UnixStream::connect(path)?),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Submits one batch and blocks until every response arrived,
+    /// returning them in batch order (the server may answer out of order
+    /// across shards; `seq` correlation restores the order).
+    pub fn call_batch(&mut self, batch: &[ServerRequest]) -> io::Result<Vec<ServerResponse>> {
+        let mut frames = Vec::new();
+        for (i, op) in batch.iter().enumerate() {
+            wire::encode_request(i as u64, op, &mut frames);
+        }
+        self.stream.write_all(&frames)?;
+        let mut responses: Vec<Option<ServerResponse>> = batch.iter().map(|_| None).collect();
+        let mut received = 0usize;
+        let mut chunk = [0u8; READ_CHUNK];
+        while received < batch.len() {
+            while let Some((consumed, payload)) = wire::take_frame(&self.buf)? {
+                let (seq, response) = wire::decode_response(payload)?;
+                self.buf.drain(..consumed);
+                let slot = responses.get_mut(seq as usize).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "response seq out of range")
+                })?;
+                if slot.replace(response).is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "duplicate response seq",
+                    ));
+                }
+                received += 1;
+            }
+            if received == batch.len() {
+                break;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-batch",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        Ok(responses
+            .into_iter()
+            .map(|response| response.expect("all seqs received"))
+            .collect())
+    }
+
+    /// Submits a single operation and blocks for its response.
+    pub fn call(&mut self, op: &ServerRequest) -> io::Result<ServerResponse> {
+        let mut responses = self.call_batch(std::slice::from_ref(op))?;
+        Ok(responses.pop().expect("one response per operation"))
+    }
+
+    /// Fetches a statistics snapshot.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.call(&ServerRequest::Stats)? {
+            ServerResponse::Stats(snapshot) => Ok(*snapshot),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a stats response, got {other:?}"),
+            )),
+        }
+    }
+}

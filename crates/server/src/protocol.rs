@@ -56,6 +56,15 @@ pub enum ServerRequest {
         /// entirely.
         data: Option<Vec<u8>>,
     },
+    /// Drop `page` everywhere: the shard cache forgets it (without leaving
+    /// an outqueue ghost) and a store-backed server frees the page's bytes
+    /// — discarded frame, WAL delete record, freed disk slot. A delete is
+    /// not an access: it does not touch hit/miss statistics or hint
+    /// learning.
+    Delete {
+        /// The page being invalidated.
+        page: PageId,
+    },
     /// Ask for a point-in-time statistics snapshot of the whole server.
     Stats,
 }
@@ -90,7 +99,8 @@ impl ServerRequest {
     }
 
     /// The simulator [`Request`] this operation corresponds to, or `None`
-    /// for [`ServerRequest::Stats`], which does not touch any page.
+    /// for [`ServerRequest::Delete`] and [`ServerRequest::Stats`], which are
+    /// not cache accesses.
     pub fn to_request(&self) -> Option<Request> {
         match *self {
             ServerRequest::Get {
@@ -109,6 +119,17 @@ impl ServerRequest {
                 write_hint,
                 ..
             } => Some(Request::write(client, page, write_hint, hint)),
+            ServerRequest::Delete { .. } | ServerRequest::Stats => None,
+        }
+    }
+
+    /// The page this operation touches (`None` for
+    /// [`ServerRequest::Stats`]), which decides the shard it routes to.
+    pub fn page(&self) -> Option<PageId> {
+        match *self {
+            ServerRequest::Get { page, .. }
+            | ServerRequest::Put { page, .. }
+            | ServerRequest::Delete { page } => Some(page),
             ServerRequest::Stats => None,
         }
     }
@@ -130,6 +151,12 @@ pub enum ServerResponse {
         /// `true` if the page was cached when the request was served.
         hit: bool,
     },
+    /// Answer to a [`ServerRequest::Delete`].
+    Delete {
+        /// `true` if the server held the page anywhere (cache or disk) when
+        /// the delete was served.
+        existed: bool,
+    },
     /// Answer to a [`ServerRequest::Stats`]: policy statistics over every
     /// request whose response had been delivered when the snapshot was
     /// taken, plus the server's full metrics snapshot (see
@@ -138,11 +165,22 @@ pub enum ServerResponse {
 }
 
 impl ServerResponse {
-    /// The hit flag of a data response (`None` for [`ServerResponse::Stats`]).
+    /// The hit flag of a data response (`None` for
+    /// [`ServerResponse::Delete`] and [`ServerResponse::Stats`], which are
+    /// not cache accesses).
     pub fn hit(&self) -> Option<bool> {
         match self {
             ServerResponse::Get { hit, .. } | ServerResponse::Put { hit } => Some(*hit),
-            ServerResponse::Stats(_) => None,
+            ServerResponse::Delete { .. } | ServerResponse::Stats(_) => None,
+        }
+    }
+
+    /// The existed flag of a [`ServerResponse::Delete`] (`None` for every
+    /// other response).
+    pub fn existed(&self) -> Option<bool> {
+        match self {
+            ServerResponse::Delete { existed } => Some(*existed),
+            _ => None,
         }
     }
 

@@ -128,23 +128,39 @@ impl ServerConfig {
     }
 }
 
-/// A per-shard unit of work: the requests routed to one shard (with their
-/// positions in the submitted batch, index-aligned), plus the channel the
-/// worker answers on. Requests and positions are kept in separate vectors so
-/// the worker can hand the whole request slice to the cache's batched access
-/// path.
-struct ShardJob {
-    positions: Vec<usize>,
-    requests: Vec<Request>,
-    /// Index-aligned with `requests`: the `Put` payloads (always `None` for
-    /// `Get`s, and ignored entirely on a server without a store).
-    payloads: Vec<Option<Vec<u8>>>,
-    reply: mpsc::Sender<(usize, bool, Option<Vec<u8>>)>,
+/// One reply from a shard worker: the submitter's tag for the operation
+/// (its batch position in [`Server::submit`], a slab index in the
+/// event-driven front-end), the boolean outcome (cache hit for `Get`/`Put`,
+/// existence for `Delete`), and the page bytes of a store-backed `Get`.
+pub type ShardReply = (usize, bool, Option<Vec<u8>>);
+
+/// One operation inside a [`ShardJob`], in submission order.
+enum ShardOp {
+    /// A cache access (`Get`/`Put`), batched through the policy fast path.
+    Data {
+        request: Request,
+        /// The `Put` payload (`None` for `Get`s, and ignored entirely on a
+        /// server without a store).
+        payload: Option<Vec<u8>>,
+    },
+    /// A page invalidation, applied between the surrounding access batches
+    /// so intra-shard submission order is preserved.
+    Delete { page: cache_sim::PageId },
 }
 
-/// The batch routing accumulator of [`Server::submit`]: per shard, the batch
-/// positions, the decoded requests, and the index-aligned `Put` payloads.
-type RoutedBatch = Vec<(Vec<usize>, Vec<Request>, Vec<Option<Vec<u8>>>)>;
+/// A per-shard unit of work: the operations routed to one shard (with the
+/// submitter's tags, index-aligned), plus the channel the worker answers
+/// on. Tags and operations are kept in separate vectors so the worker can
+/// hand contiguous access runs to the cache's batched access path.
+struct ShardJob {
+    tags: Vec<usize>,
+    ops: Vec<ShardOp>,
+    reply: mpsc::Sender<ShardReply>,
+}
+
+/// The batch routing accumulator of [`Server::submit`]: per shard, the
+/// submitter tags and the decoded operations.
+type RoutedBatch = Vec<(Vec<usize>, Vec<ShardOp>)>;
 
 /// A running storage-server cache service.
 ///
@@ -189,52 +205,76 @@ impl Server {
                 .spawn(move || {
                     let mut outcomes = Vec::new();
                     let mut data = Vec::new();
-                    for job in receiver {
+                    let mut run_reqs: Vec<Request> = Vec::new();
+                    let mut run_payloads: Vec<Option<Vec<u8>>> = Vec::new();
+                    for mut job in receiver {
                         if let Some(gauge) = &queue_depth {
                             gauge.dec();
                         }
-                        // One ShardBatch span (detail: requests served) and
+                        // One ShardBatch span (detail: operations served) and
                         // one service-time sample per dequeued sub-batch.
                         let mut span = recorder.span(SpanKind::ShardBatch);
-                        span.set_detail(job.requests.len() as u64);
-                        // One lock + one batched policy call per replay chunk
-                        // instead of one of each per request. Sub-batches are
-                        // split at the workspace-wide REPLAY_CHUNK so an
-                        // oversized client batch cannot monopolize the shard
-                        // lock, and so the worker replays at the same
-                        // granularity as the offline simulate() driver.
-                        outcomes.clear();
-                        data.clear();
-                        if cache.has_store() {
-                            for (chunk, payloads) in job
-                                .requests
-                                .chunks(REPLAY_CHUNK)
-                                .zip(job.payloads.chunks(REPLAY_CHUNK))
-                            {
-                                cache
-                                    .access_shard_batch_data(
-                                        shard,
-                                        chunk,
-                                        payloads,
-                                        &mut outcomes,
-                                        &mut data,
-                                    )
+                        span.set_detail(job.ops.len() as u64);
+                        // Operations are applied in submission order: deletes
+                        // split the job into contiguous access runs, and each
+                        // run goes through one lock + one batched policy call
+                        // per replay chunk instead of one of each per
+                        // request. Runs are split at the workspace-wide
+                        // REPLAY_CHUNK so an oversized client batch cannot
+                        // monopolize the shard lock, and so the worker
+                        // replays at the same granularity as the offline
+                        // simulate() driver.
+                        let mut i = 0;
+                        while i < job.ops.len() {
+                            if let ShardOp::Delete { page } = job.ops[i] {
+                                let existed = cache
+                                    .delete(page)
                                     .expect("page store I/O failed in a shard worker");
-                            }
-                            for ((&position, outcome), bytes) in
-                                job.positions.iter().zip(&outcomes).zip(data.drain(..))
-                            {
-                                let _ = job.reply.send((position, outcome.hit, bytes));
-                            }
-                        } else {
-                            for chunk in job.requests.chunks(REPLAY_CHUNK) {
-                                cache.access_shard_batch(shard, chunk, &mut outcomes);
-                            }
-                            for (&position, outcome) in job.positions.iter().zip(&outcomes) {
                                 // A client that gave up on its batch only
                                 // loses the reply; the cache still observes
-                                // every dispatched request.
-                                let _ = job.reply.send((position, outcome.hit, None));
+                                // every dispatched operation.
+                                let _ = job.reply.send((job.tags[i], existed, None));
+                                i += 1;
+                                continue;
+                            }
+                            let start = i;
+                            run_reqs.clear();
+                            run_payloads.clear();
+                            while let Some(ShardOp::Data { request, payload }) = job.ops.get_mut(i)
+                            {
+                                run_reqs.push(*request);
+                                run_payloads.push(payload.take());
+                                i += 1;
+                            }
+                            outcomes.clear();
+                            data.clear();
+                            if cache.has_store() {
+                                for (chunk, payloads) in run_reqs
+                                    .chunks(REPLAY_CHUNK)
+                                    .zip(run_payloads.chunks(REPLAY_CHUNK))
+                                {
+                                    cache
+                                        .access_shard_batch_data(
+                                            shard,
+                                            chunk,
+                                            payloads,
+                                            &mut outcomes,
+                                            &mut data,
+                                        )
+                                        .expect("page store I/O failed in a shard worker");
+                                }
+                                for ((&tag, outcome), bytes) in
+                                    job.tags[start..i].iter().zip(&outcomes).zip(data.drain(..))
+                                {
+                                    let _ = job.reply.send((tag, outcome.hit, bytes));
+                                }
+                            } else {
+                                for chunk in run_reqs.chunks(REPLAY_CHUNK) {
+                                    cache.access_shard_batch(shard, chunk, &mut outcomes);
+                                }
+                                for (&tag, outcome) in job.tags[start..i].iter().zip(&outcomes) {
+                                    let _ = job.reply.send((tag, outcome.hit, None));
+                                }
                             }
                         }
                         if let (Some(hist), Some(start_ns), Some(clock)) =
@@ -258,31 +298,47 @@ impl Server {
         }
     }
 
+    /// Decodes a protocol operation into the worker representation, or
+    /// `None` for [`ServerRequest::Stats`] (answered by the front-end).
+    fn shard_op(operation: ServerRequest) -> Option<ShardOp> {
+        let request = operation.to_request();
+        match operation {
+            ServerRequest::Stats => None,
+            ServerRequest::Delete { page } => Some(ShardOp::Delete { page }),
+            ServerRequest::Put { data, .. } => Some(ShardOp::Data {
+                request: request.expect("a Put is a cache access"),
+                payload: data,
+            }),
+            ServerRequest::Get { .. } => Some(ShardOp::Data {
+                request: request.expect("a Get is a cache access"),
+                payload: None,
+            }),
+        }
+    }
+
     /// Submits one batch and blocks until every response is available.
     /// Responses are returned in batch order.
     ///
-    /// `Get`/`Put` operations are routed to their page's shard worker;
-    /// requests for the same shard are served in batch order, requests for
-    /// different shards concurrently. A [`ServerRequest::Stats`] operation is
-    /// answered by the front-end with a snapshot taken *before* the batch's
-    /// own data requests are dispatched.
+    /// `Get`/`Put`/`Delete` operations are routed to their page's shard
+    /// worker; operations for the same shard are served in batch order,
+    /// operations for different shards concurrently. A
+    /// [`ServerRequest::Stats`] operation is answered by the front-end with
+    /// a snapshot taken *before* the batch's own data requests are
+    /// dispatched.
     pub fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerResponse> {
         let shard_count = self.cache.shard_count();
         let (reply_sender, reply_receiver) = mpsc::channel();
-        let mut per_shard: RoutedBatch = vec![(Vec::new(), Vec::new(), Vec::new()); shard_count];
+        let mut per_shard: RoutedBatch =
+            (0..shard_count).map(|_| (Vec::new(), Vec::new())).collect();
         let mut responses: Vec<Option<ServerResponse>> = batch.iter().map(|_| None).collect();
         let mut outstanding = 0usize;
         for (position, operation) in batch.iter().enumerate() {
-            match operation.to_request() {
-                Some(request) => {
-                    let (positions, requests, payloads) =
-                        &mut per_shard[self.cache.shard_of(request.page)];
-                    positions.push(position);
-                    requests.push(request);
-                    payloads.push(match operation {
-                        ServerRequest::Put { data, .. } => data.clone(),
-                        _ => None,
-                    });
+            match Self::shard_op(operation.clone()) {
+                Some(op) => {
+                    let page = operation.page().expect("every shard op has a page");
+                    let (tags, ops) = &mut per_shard[self.cache.shard_of(page)];
+                    tags.push(position);
+                    ops.push(op);
                     outstanding += 1;
                 }
                 None => {
@@ -293,8 +349,8 @@ impl Server {
                 }
             }
         }
-        for (shard, (positions, requests, payloads)) in per_shard.into_iter().enumerate() {
-            if requests.is_empty() {
+        for (shard, (tags, ops)) in per_shard.into_iter().enumerate() {
+            if ops.is_empty() {
                 continue;
             }
             if let Some(gauge) = &self.queue_depth {
@@ -302,9 +358,8 @@ impl Server {
             }
             self.senders[shard]
                 .send(ShardJob {
-                    positions,
-                    requests,
-                    payloads,
+                    tags,
+                    ops,
                     reply: reply_sender.clone(),
                 })
                 .expect("shard worker exited while the server was running");
@@ -317,6 +372,7 @@ impl Server {
             responses[position] = Some(match &batch[position] {
                 ServerRequest::Get { .. } => ServerResponse::Get { hit, data },
                 ServerRequest::Put { .. } => ServerResponse::Put { hit },
+                ServerRequest::Delete { .. } => ServerResponse::Delete { existed: hit },
                 ServerRequest::Stats => unreachable!("stats operations are answered inline"),
             });
         }
@@ -325,6 +381,58 @@ impl Server {
             .into_iter()
             .map(|response| response.expect("every batch slot is answered"))
             .collect()
+    }
+
+    /// Submits operations to one shard's worker *without* waiting for the
+    /// replies: each `(tag, operation)` pair is answered on `reply` as a
+    /// [`ShardReply`] `(tag, outcome, data)`, where `outcome` is the cache
+    /// hit flag for `Get`/`Put` and the existence flag for `Delete`.
+    /// Returns how many replies to expect (operations submitted).
+    ///
+    /// This is the submission seam of the event-driven network front-end:
+    /// the event loop coalesces decoded requests per shard, submits them
+    /// here tagged with slab indices, and matches completions back to
+    /// connections as they drain — no thread blocks per request. The call
+    /// itself blocks only while the shard's bounded queue is full, which is
+    /// the worker back-pressure propagating to the submitter.
+    ///
+    /// Every operation must route to `shard` (debug-asserted) and must not
+    /// be [`ServerRequest::Stats`] — stats carry no page, so the caller
+    /// answers them inline with [`Server::stats`]/[`Server::metrics`].
+    pub fn submit_shard_tagged(
+        &self,
+        shard: usize,
+        ops: Vec<(usize, ServerRequest)>,
+        reply: &mpsc::Sender<ShardReply>,
+    ) -> usize {
+        let mut tags = Vec::with_capacity(ops.len());
+        let mut shard_ops = Vec::with_capacity(ops.len());
+        for (tag, operation) in ops {
+            debug_assert_eq!(
+                operation.page().map(|page| self.cache.shard_of(page)),
+                Some(shard),
+                "operation routed to the wrong shard"
+            );
+            let op =
+                Self::shard_op(operation).expect("stats operations cannot be submitted to a shard");
+            tags.push(tag);
+            shard_ops.push(op);
+        }
+        let submitted = shard_ops.len();
+        if submitted == 0 {
+            return 0;
+        }
+        if let Some(gauge) = &self.queue_depth {
+            gauge.inc();
+        }
+        self.senders[shard]
+            .send(ShardJob {
+                tags,
+                ops: shard_ops,
+                reply: reply.clone(),
+            })
+            .expect("shard worker exited while the server was running");
+        submitted
     }
 
     /// The sharded cache behind the server.

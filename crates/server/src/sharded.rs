@@ -515,6 +515,30 @@ impl ShardedClic {
         Ok(())
     }
 
+    /// Deletes `page`: the owning shard's policy forgets it entirely (no
+    /// outqueue ghost survives to bias a future re-admission) and, with a
+    /// data plane attached, the shard store drops the page's bytes — frame
+    /// discarded without write-back, WAL delete record, disk slot freed.
+    /// Returns whether the server held the page anywhere (cache or disk).
+    ///
+    /// A delete is not an access: no sequence number is drawn, statistics
+    /// and hint learning are untouched, and it never triggers a priority
+    /// merge. Ordering against accesses of the same page is the shard
+    /// lock's: deletes interleave atomically with (batched) accesses.
+    pub fn delete(&self, page: PageId) -> io::Result<bool> {
+        let shard_idx = self.shard_of(page);
+        let mut shard = recover_lock(&self.shards[shard_idx]);
+        let cached = shard.clic.invalidate(page);
+        let on_disk = match self.stores.get(shard_idx) {
+            // The store delete runs under the shard lock like every other
+            // per-page store operation, satisfying PageStore's caller
+            // contract that same-page operations are serialized.
+            Some(store) => store.delete(page)?,
+            None => false,
+        };
+        Ok(cached || on_disk)
+    }
+
     /// Whether a data plane is attached.
     pub fn has_store(&self) -> bool {
         !self.stores.is_empty()

@@ -154,7 +154,7 @@ pub use replay::{
     REPLAY_CHUNK_HISTOGRAM,
 };
 pub use store::{PageStore, ReadSource, StoreConfig, DEFAULT_PAGE_SIZE};
-pub use wal::{AppendOutcome, Durability, Wal, WalRecord};
+pub use wal::{AppendOutcome, Durability, Wal, WalOp, WalRecord};
 
 // Observability types that appear in this crate's public API
 // ([`StoreConfig::with_recorder`], [`PageStore::metrics`],

@@ -197,6 +197,9 @@ struct IoCounters {
     data_syncs: Counter,
     wal_syncs: Counter,
     group_commits: Counter,
+    /// Registry-only (not part of [`IoStats`]): pages deleted via
+    /// [`PageStore::delete`], surfaced through [`PageStore::metrics`].
+    page_deletes: Counter,
 }
 
 impl IoCounters {
@@ -217,6 +220,7 @@ impl IoCounters {
             data_syncs: registry.counter("store.data_syncs"),
             wal_syncs: registry.counter("store.wal_syncs"),
             group_commits: registry.counter("store.group_commits"),
+            page_deletes: registry.counter("store.page_deletes"),
         }
     }
 
@@ -299,13 +303,20 @@ impl PageStore {
         let wal = if config.wal {
             let (mut wal, records) = Wal::open(&config.dir.join("store.wal"), config.durability)?;
             for record in &records {
-                if record.data.len() != config.page_size {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "WAL record page size disagrees with the store page size",
-                    ));
+                match &record.op {
+                    crate::wal::WalOp::Write(data) => {
+                        if data.len() != config.page_size {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "WAL record page size disagrees with the store page size",
+                            ));
+                        }
+                        disk.write_page(record.page, data)?;
+                    }
+                    crate::wal::WalOp::Delete => {
+                        disk.free_page(record.page)?;
+                    }
                 }
-                disk.write_page(record.page, &record.data)?;
                 recovered_writes += 1;
             }
             if recovered_writes > 0 {
@@ -485,6 +496,34 @@ impl PageStore {
             }
             _ => Ok(false),
         }
+    }
+
+    /// Deletes `page` from the store: any resident frame is discarded
+    /// *without* write-back (deleted bytes must not resurrect via a flush),
+    /// a WAL delete record is appended when the log is on (so crash
+    /// recovery replays the delete instead of resurrecting the page from an
+    /// earlier staged write), and the page is freed in the backing file.
+    /// Returns whether the backing file held the page.
+    ///
+    /// Same caller contract as every other per-page operation: operations
+    /// on the same page must be serialized by the caller.
+    pub fn delete(&self, page: PageId) -> io::Result<bool> {
+        // Evict first: the guard drains pins, so no concurrent flush pass
+        // can still be holding the frame to write it back after the free.
+        let _ = self.arena.evict(page);
+        if let Some(wal) = self.wal.as_ref() {
+            let outcome = wal_guard(wal)?.append_delete(page)?;
+            self.io.wal_records.inc();
+            self.io.wal_bytes.add(outcome.bytes);
+            if outcome.synced {
+                self.io.wal_syncs.inc();
+            }
+            if outcome.group_commit {
+                self.io.group_commits.inc();
+            }
+        }
+        self.io.page_deletes.inc();
+        self.disk.free_page(page)
     }
 
     /// Writes back up to `max` dirty frames (marking them clean, keeping
@@ -716,6 +755,37 @@ mod tests {
         assert_eq!(out, payload(9, 32), "last acknowledged write wins");
         assert_eq!(store.read(PageId(2), &mut out).unwrap(), ReadSource::Disk);
         assert_eq!(out, payload(2, 32));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_discards_frame_disk_copy_and_survives_a_crash() {
+        let dir = temp_dir("delete");
+        {
+            let store = PageStore::open(StoreConfig::new(&dir, 4).with_page_size(32)).unwrap();
+            // Flushed page: delete must free the disk copy.
+            store.stage(PageId(1), &payload(1, 32)).unwrap();
+            store.flush_all().unwrap();
+            assert_eq!(store.pages_on_disk(), 1);
+            assert!(store.delete(PageId(1)).unwrap());
+            assert_eq!(store.pages_on_disk(), 0);
+            assert!(!store.contains_buffered(PageId(1)));
+            let mut out = Vec::new();
+            assert_eq!(store.read(PageId(1), &mut out).unwrap(), ReadSource::Zero);
+            assert_eq!(store.metrics().counter("store.page_deletes"), 1);
+            // Dirty, never-flushed page: the WAL holds an acknowledged
+            // write, so the delete record must win at replay.
+            store.stage(PageId(2), &payload(2, 32)).unwrap();
+            assert!(!store.delete(PageId(2)).unwrap(), "never reached disk");
+        } // crash: no checkpoint, WAL replays on reopen
+        let store = PageStore::open(StoreConfig::new(&dir, 4).with_page_size(32)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            store.read(PageId(2), &mut out).unwrap(),
+            ReadSource::Zero,
+            "replayed delete must not resurrect the staged write"
+        );
+        assert_eq!(store.read(PageId(1), &mut out).unwrap(), ReadSource::Zero);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

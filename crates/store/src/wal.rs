@@ -55,6 +55,8 @@ use crate::crc::crc32;
 
 /// Record kind: a full-page write.
 const KIND_PAGE_WRITE: u8 = 1;
+/// Record kind: a page delete (the page is freed in the backing file).
+const KIND_PAGE_DELETE: u8 = 2;
 /// Bytes of record framing (length + CRC) before the payload.
 const FRAME_LEN: usize = 8;
 /// Bytes of payload header (kind + page id) before the page bytes.
@@ -102,14 +104,25 @@ impl Durability {
     }
 }
 
-/// One recovered log record: a full-page write that had been acknowledged
-/// before the crash.
+/// One recovered log record: an acknowledged operation that may not have
+/// reached the backing file before the crash.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalRecord {
-    /// The page the record writes.
+    /// The page the record operates on.
     pub page: PageId,
-    /// The page bytes.
-    pub data: Vec<u8>,
+    /// What the record does to that page on replay.
+    pub op: WalOp,
+}
+
+/// The operation a recovered [`WalRecord`] replays, in log order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A full-page write of these bytes.
+    Write(Vec<u8>),
+    /// A page delete: the page is freed in the backing file, so a deleted
+    /// page cannot be resurrected by a crash between the acknowledged
+    /// delete and the next checkpoint.
+    Delete,
 }
 
 /// What one [`Wal::append`] did, so the caller can account for it.
@@ -172,12 +185,17 @@ impl Wal {
             if crc32(payload) != crc {
                 break; // corrupt record: torn tail
             }
-            if payload[0] == KIND_PAGE_WRITE {
-                let page = PageId(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
-                records.push(WalRecord {
+            let page = PageId(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
+            match payload[0] {
+                KIND_PAGE_WRITE => records.push(WalRecord {
                     page,
-                    data: payload[PAYLOAD_HEADER..].to_vec(),
-                });
+                    op: WalOp::Write(payload[PAYLOAD_HEADER..].to_vec()),
+                }),
+                KIND_PAGE_DELETE => records.push(WalRecord {
+                    page,
+                    op: WalOp::Delete,
+                }),
+                _ => {} // unknown kind: skip, stay backward-readable
             }
             offset = payload_start + len;
         }
@@ -197,11 +215,22 @@ impl Wal {
     /// this returns, and the log's [`Durability`] level decides whether the
     /// append also synced (see [`AppendOutcome`]).
     pub fn append(&mut self, page: PageId, data: &[u8]) -> io::Result<AppendOutcome> {
+        self.append_record(KIND_PAGE_WRITE, page, data)
+    }
+
+    /// Appends a page-delete record; same acknowledgement and durability
+    /// contract as [`Wal::append`]. On replay the page is freed in the
+    /// backing file instead of written.
+    pub fn append_delete(&mut self, page: PageId) -> io::Result<AppendOutcome> {
+        self.append_record(KIND_PAGE_DELETE, page, &[])
+    }
+
+    fn append_record(&mut self, kind: u8, page: PageId, data: &[u8]) -> io::Result<AppendOutcome> {
         let len = PAYLOAD_HEADER + data.len();
         let mut record = Vec::with_capacity(FRAME_LEN + len);
         record.extend_from_slice(&(len as u32).to_le_bytes());
         record.extend_from_slice(&[0u8; 4]); // CRC patched below
-        record.push(KIND_PAGE_WRITE);
+        record.push(kind);
         record.extend_from_slice(&page.0.to_le_bytes());
         record.extend_from_slice(data);
         let crc = crc32(&record[FRAME_LEN..]);
@@ -312,9 +341,29 @@ mod tests {
         let (wal, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
         assert_eq!(recovered.len(), 2);
         assert_eq!(recovered[0].page, PageId(1));
-        assert_eq!(recovered[0].data, vec![0xaa; 32]);
+        assert_eq!(recovered[0].op, WalOp::Write(vec![0xaa; 32]));
         assert_eq!(recovered[1].page, PageId(2));
         assert_eq!(wal.records(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn delete_records_replay_in_log_order() {
+        let path = temp_wal("delete");
+        {
+            let (mut wal, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
+            assert!(recovered.is_empty());
+            wal.append(PageId(7), &[0xcc; 16]).unwrap();
+            wal.append_delete(PageId(7)).unwrap();
+            wal.append(PageId(8), &[0xdd; 16]).unwrap();
+            assert_eq!(wal.records(), 3);
+        }
+        let (_, recovered) = Wal::open(&path, Durability::Buffered).unwrap();
+        assert_eq!(recovered.len(), 3);
+        assert_eq!(recovered[0].op, WalOp::Write(vec![0xcc; 16]));
+        assert_eq!(recovered[1].page, PageId(7));
+        assert_eq!(recovered[1].op, WalOp::Delete);
+        assert_eq!(recovered[2].page, PageId(8));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -26,6 +26,18 @@
 #                                      # lock-hygiene gate for crates/server;
 #                                      # part of the default full run, this
 #                                      # flag adds it to --quick runs
+#   scripts/verify.sh --smoke-net      # network front-end smoke: the
+#                                      # net_smoke gate (spawns the event-
+#                                      # driven TCP front-end, offers ~1 s of
+#                                      # open-loop Poisson load over
+#                                      # localhost; asserts every request is
+#                                      # answered, percentiles are non-empty
+#                                      # and ordered, stats agree over the
+#                                      # wire, and shutdown is clean) plus
+#                                      # the wire-protocol and loopback
+#                                      # integration tests; part of the
+#                                      # default full run, this flag adds it
+#                                      # to --quick runs
 #   scripts/verify.sh --smoke-bench    # additionally crash-check EVERY bench
 #                                      # binary (via run_all) at smoke scale,
 #                                      # BOTH with --jobs 1 and --jobs 2, and
@@ -52,6 +64,7 @@ smoke_server=0
 smoke_bench=0
 smoke_store=0
 smoke_obs=0
+smoke_net=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
@@ -59,16 +72,18 @@ for arg in "$@"; do
         --smoke-bench) smoke_bench=1 ;;
         --smoke-store) smoke_store=1 ;;
         --smoke-obs) smoke_obs=1 ;;
-        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench] [--smoke-store] [--smoke-obs]" >&2; exit 2 ;;
+        --smoke-net) smoke_net=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench] [--smoke-store] [--smoke-obs] [--smoke-net]" >&2; exit 2 ;;
     esac
 done
 
-# The data-plane and observability smokes are part of the default full run;
-# --smoke-store / --smoke-obs only need to be spelled out to add them to a
-# --quick run.
+# The data-plane, observability, and network smokes are part of the default
+# full run; --smoke-store / --smoke-obs / --smoke-net only need to be
+# spelled out to add them to a --quick run.
 if [ "$quick" -eq 0 ]; then
     smoke_store=1
     smoke_obs=1
+    smoke_net=1
 fi
 
 echo "== tier-1: cargo build --release =="
@@ -104,7 +119,7 @@ if [ "$smoke_bench" -eq 1 ]; then
         base="$(basename "$f")"
         case "$base" in
             # Timing-dependent outputs legitimately differ between runs.
-            access_hotpath.csv|server_throughput.csv) continue ;;
+            access_hotpath.csv|server_throughput.csv|server_latency.csv) continue ;;
         esac
         if ! cmp -s "$f" "target/smoke-results-j2/$base"; then
             echo "DIVERGENCE: $base differs between --jobs 1 and --jobs 2" >&2
@@ -168,9 +183,25 @@ if [ "$smoke_obs" -eq 1 ]; then
     cargo run --release -q -p clic-bench --bin obs_smoke -- \
         --quick --out-dir target/smoke-results
     # Lock hygiene now also covers crates/server (same banned methods as
-    # crates/store; see crates/server/clippy.toml).
-    echo "== smoke: clippy lock-hygiene gate for crates/server =="
+    # crates/store; see crates/server/clippy.toml). The deny is crate-wide,
+    # so the network front-end modules (net, sys, wire, openloop) are under
+    # the same gate.
+    echo "== smoke: clippy lock-hygiene gate for crates/server (incl. net modules) =="
     cargo clippy -q -p clic-server --all-targets
+fi
+
+if [ "$smoke_net" -eq 1 ]; then
+    # The gate's assertions live inside the binary: the TCP front-end comes
+    # up on localhost, ~1 s of seeded open-loop Poisson load all completes,
+    # latency percentiles are non-empty and ordered, a stats probe over the
+    # wire matches the generator's count, and shutdown returns the final
+    # statistics cleanly.
+    echo "== smoke: network front-end gate (net_smoke, open-loop load over localhost) =="
+    cargo run --release -q -p clic-bench --bin net_smoke -- \
+        --quick --out-dir target/smoke-results
+    echo "== smoke: wire-protocol properties + loopback bit-identity tests =="
+    cargo test --release -q -p clic-server --test wire_properties
+    cargo test --release -q -p clic --test net_front_end
 fi
 
 if [ "$quick" -eq 1 ]; then

@@ -18,7 +18,10 @@
 //!   of the paper's Figure 5, noise injection, and trace interleaving,
 //! * [`server`] ([`clic_server`]) — the *online* deployment: a concurrent,
 //!   sharded storage-server cache service with batched request dispatch,
-//!   cross-shard hint-priority merging, and a multi-client load harness,
+//!   cross-shard hint-priority merging, a multi-client load harness, an
+//!   event-driven TCP/Unix-socket front-end speaking a length-prefixed
+//!   binary protocol, and an open-loop Poisson load generator with
+//!   coordinated-omission-safe latency measurement,
 //! * [`store`] ([`clic_store`]) — the data plane behind the server: a
 //!   disk-backed page store (one per server shard) with latched buffer
 //!   frames, dirty tracking, a background flusher, and a write-ahead log
@@ -118,8 +121,9 @@ pub mod prelude {
     };
     pub use clic_obs::{Clock, HistogramSnapshot, MetricsSnapshot, Recorder, SpanKind};
     pub use clic_server::{
-        merge_client_traces, preset_client_traces, run_load, LoadConfig, LoadReport,
-        MergeWeighting, Server, ServerConfig, ServerRequest, ServerResponse, ShardedClic,
+        merge_client_traces, preset_client_traces, run_load, run_open_loop, BlockingClient,
+        LoadConfig, LoadReport, MergeWeighting, NetOptions, NetServer, OpenLoopConfig,
+        OpenLoopReport, Server, ServerConfig, ServerRequest, ServerResponse, ShardedClic,
         ShardedClicConfig, StatsSnapshot,
     };
     pub use clic_store::{

@@ -164,6 +164,8 @@ pub mod strategy {
     impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
     impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
     impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 }
 
 /// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
