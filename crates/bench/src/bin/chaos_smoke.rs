@@ -1,0 +1,531 @@
+//! Chaos gate (`scripts/verify.sh --smoke-chaos`, part of the default
+//! full run).
+//!
+//! Everything else in the verification suite checks that CLIC works when
+//! the world cooperates; this gate checks that it *degrades* when the
+//! world does not. A seeded [`FaultInjector`] tears WAL appends, fails
+//! fsyncs, drops accepted connections, resets readable ones, and cuts
+//! socket writes short — and the gate asserts the contract that survives:
+//!
+//! * **Phase A (durability under fire, run twice):** a `Strict` store
+//!   absorbs a write storm while the injector fails ~10% of WAL appends
+//!   and fsyncs. After a simulated kernel crash (the WAL truncated to its
+//!   synced prefix) a fault-free reopen must recover *bit-identical*
+//!   contents for every write the model says survived — in particular
+//!   nothing acknowledged is ever lost. The phase runs twice with the
+//!   same seed and must produce identical acknowledgement sequences,
+//!   injector counts, synced prefixes, and recovered bytes: a chaos
+//!   failure is replayable from its seed alone. A pure replay of the
+//!   decision stream reconciles the injector's own counts and proves the
+//!   schedule contained at least one torn write and one failed fsync.
+//! * **Phase B (degradation under store faults):** the TCP front-end runs
+//!   with load shedding on over a store whose WAL appends occasionally
+//!   fail — the network itself is clean, so *every* scheduled request
+//!   must be answered: mostly successes, at least one typed `Io` error
+//!   (the store fault surfacing end-to-end as an `OP_ERR` frame), and a
+//!   bounded error fraction. A 256-op pipelined burst through the 64-slot
+//!   window must come back with explicit `Busy` errors rather than
+//!   stalling, and the server's `server.shed_busy` counter must account
+//!   for them. Shutdown stays clean.
+//! * **Phase C (a hostile network):** a second front-end runs with
+//!   network faults armed — accepts dropped, readable connections reset,
+//!   socket writes torn or failed. A retrying client ([`RetryPolicy`])
+//!   must ride out every injected failure, and the gate requires at
+//!   least one accept drop, one connection reset, and one send fault
+//!   demonstrably fired before shutdown, which again stays clean.
+//!
+//! Failures panic, so a nonzero exit is the gate tripping.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::Duration;
+
+use cache_sim::PageId;
+use clic_bench::json::JsonValue;
+use clic_bench::{ExperimentContext, ResultTable};
+use clic_server::{
+    run_open_loop, BlockingClient, Durability, ErrorCode, FaultInjector, FaultPoint, NetOptions,
+    NetServer, OpenLoopConfig, RetryPolicy, Server, ServerConfig, ServerRequest, StoreConfig,
+};
+use clic_store::{page_payload, InjectedFault, PageStore, ReadSource};
+use trace_gen::PresetScale;
+
+const PAGE_SIZE: usize = 64;
+const CHAOS_SEED: u64 = 0xC0FFEE;
+
+/// Counts in this gate fit `f64` exactly; the JSON writer wants one.
+fn num(value: u64) -> JsonValue {
+    JsonValue::num(value as f64)
+}
+
+/// One Phase A run: what the driver observed and what recovery produced.
+#[derive(Debug, PartialEq, Eq)]
+struct StormOutcome {
+    /// Per-write acknowledgement (`stage` returned `Ok`).
+    acked: Vec<bool>,
+    /// The injector's (point, ops, injected) triples.
+    counts: Vec<(FaultPoint, u64, u64)>,
+    /// Records that reached the WAL (appended, even if their sync failed).
+    appended: Vec<(u64, u8)>,
+    /// WAL bytes known durable at crash time.
+    synced_len: u64,
+    /// Bytes recovered per page after the kernel-crash cut, fault-free.
+    recovered: BTreeMap<u64, Vec<u8>>,
+}
+
+/// Deterministic write storm: `ops` tagged writes against a `Strict`
+/// store while WAL appends and fsyncs fail at ~10% each, then a kernel
+/// crash (WAL truncated to the synced prefix) and a fault-free recovery.
+fn durability_storm(dir: &Path, ops: &[(u64, u8)]) -> io::Result<StormOutcome> {
+    std::fs::remove_dir_all(dir).ok();
+    let fault = FaultInjector::seeded(CHAOS_SEED)
+        .with_rate(FaultPoint::WalAppend, 0.10)
+        .with_rate(FaultPoint::WalSync, 0.10);
+    // Frames cover the page universe: no evictions, so recovery is
+    // exactly WAL replay.
+    let config = StoreConfig::new(dir, 64)
+        .with_page_size(PAGE_SIZE)
+        .with_durability(Durability::Strict)
+        .with_fault_injector(fault.clone());
+    let mut acked = Vec::with_capacity(ops.len());
+    let mut appended = Vec::new();
+    let (synced_len, total_len) = {
+        let store = PageStore::open(config)?;
+        for &(page, tag) in ops {
+            match store.stage(PageId(page), &[tag; PAGE_SIZE]) {
+                Ok(()) => {
+                    acked.push(true);
+                    appended.push((page, tag));
+                }
+                Err(err) => {
+                    acked.push(false);
+                    let msg = err.to_string();
+                    assert!(
+                        msg.contains(clic_store::INJECTED_FAULT),
+                        "only injected faults may fail the storm: {msg}"
+                    );
+                    // A failed fsync still appended its record; a torn or
+                    // failed append never advanced the WAL.
+                    if msg.contains(FaultPoint::WalSync.label()) {
+                        appended.push((page, tag));
+                    }
+                }
+            }
+        }
+        (store.wal_synced_len(), store.wal_len())
+        // Dropped without checkpoint: the process crash.
+    };
+    assert!(!appended.is_empty(), "the storm must append something");
+    let record_len = total_len / appended.len() as u64;
+    assert_eq!(
+        total_len,
+        record_len * appended.len() as u64,
+        "appended-record accounting must explain the WAL length exactly"
+    );
+    let synced_records = (synced_len / record_len) as usize;
+
+    // Replay the decision stream on a fresh injector: decisions depend
+    // only on (seed, point, index), so the replayed counts must reconcile
+    // with the live run's — and the replay exposes the fault *flavors*,
+    // which the gate requires to include real torn writes and fsync
+    // failures (otherwise the schedule tested nothing).
+    let replay = FaultInjector::seeded(CHAOS_SEED)
+        .with_rate(FaultPoint::WalAppend, 0.10)
+        .with_rate(FaultPoint::WalSync, 0.10);
+    let (mut torn, mut append_failed, mut sync_failed) = (0u64, 0u64, 0u64);
+    for _ in 0..ops.len() {
+        match replay.decide(FaultPoint::WalAppend, record_len as usize) {
+            InjectedFault::None => {}
+            InjectedFault::Torn(_) => torn += 1,
+            _ => append_failed += 1,
+        }
+    }
+    for _ in 0..appended.len() {
+        if replay.decide(FaultPoint::WalSync, 0) != InjectedFault::None {
+            sync_failed += 1;
+        }
+    }
+    assert_eq!(
+        replay.injected_at(FaultPoint::WalAppend),
+        fault.injected_at(FaultPoint::WalAppend),
+        "replayed append schedule diverged from the live run"
+    );
+    assert_eq!(
+        replay.injected_at(FaultPoint::WalSync),
+        fault.injected_at(FaultPoint::WalSync),
+        "replayed sync schedule diverged from the live run"
+    );
+    assert!(torn >= 1, "the schedule must tear at least one WAL append");
+    assert!(
+        sync_failed >= 1,
+        "the schedule must fail at least one fsync"
+    );
+    println!(
+        "  storm: {} writes, {} acked, {} torn appends, {} failed appends, {} failed fsyncs",
+        ops.len(),
+        acked.iter().filter(|&&a| a).count(),
+        torn,
+        append_failed,
+        sync_failed
+    );
+
+    // Kernel crash: everything past the synced prefix never hit the
+    // device. Recovery runs fault-free (it models a fresh boot).
+    {
+        use std::fs::OpenOptions;
+        let wal = dir.join("store.wal");
+        let file = OpenOptions::new().write(true).open(&wal)?;
+        file.set_len(synced_len)?;
+    }
+    let store = PageStore::open(
+        StoreConfig::new(dir, 64)
+            .with_page_size(PAGE_SIZE)
+            .with_durability(Durability::Strict),
+    )?;
+    assert_eq!(
+        store.recovered_writes(),
+        synced_records as u64,
+        "recovery must replay exactly the synced prefix"
+    );
+
+    // The model: last record inside the synced prefix wins per page. In
+    // Strict mode every *acknowledged* write synced inline, so nothing
+    // acked can be missing — only sync-failed tails may be dropped.
+    let mut expected: BTreeMap<u64, u8> = BTreeMap::new();
+    for &(page, tag) in &appended[..synced_records] {
+        expected.insert(page, tag);
+    }
+    let mut recovered = BTreeMap::new();
+    let mut buf = Vec::new();
+    for page in 0u64..32 {
+        let source = store.read(PageId(page), &mut buf)?;
+        match expected.get(&page) {
+            Some(&tag) => {
+                assert_eq!(
+                    buf,
+                    vec![tag; PAGE_SIZE],
+                    "page {page} must recover bit-identical to the model"
+                );
+                recovered.insert(page, buf.clone());
+            }
+            None => assert_eq!(source, ReadSource::Zero, "page {page} was never durable"),
+        }
+    }
+    drop(store);
+    Ok(StormOutcome {
+        acked,
+        counts: fault.counts(),
+        appended,
+        synced_len,
+        recovered,
+    })
+}
+
+/// Dials the front-end, tolerating injected accept drops (the TCP connect
+/// itself succeeds even when the server drops the accepted stream — the
+/// drop surfaces on first use, which the callers handle).
+fn connect(addr: SocketAddr) -> BlockingClient {
+    for _ in 0..1_000 {
+        if let Ok(client) = BlockingClient::connect_tcp(addr) {
+            return client;
+        }
+    }
+    panic!("could not connect to the chaos front-end after 1000 attempts");
+}
+
+fn main() -> io::Result<()> {
+    let ctx = ExperimentContext::from_args();
+    println!("Chaos smoke, scale = {}\n", ctx.scale_label());
+    let (rate, seconds) = match ctx.scale {
+        PresetScale::Smoke => (4_000.0, 0.4),
+        _ => (8_000.0, 1.0),
+    };
+
+    // ---- Phase A: durability under injected WAL faults, twice. --------
+    println!("phase A: strict durability under a seeded WAL fault storm");
+    let ops: Vec<(u64, u8)> = (0..400u64)
+        .map(|i| (i.wrapping_mul(0x9e3779b9) % 32, (i % 251) as u8))
+        .collect();
+    let dir_a = std::env::temp_dir().join(format!("clic-chaos-a-{}", std::process::id()));
+    let first = durability_storm(&dir_a, &ops)?;
+    let second = durability_storm(&dir_a, &ops)?;
+    assert_eq!(
+        first, second,
+        "same seed, same storm: acks, counts, synced prefix, and recovered \
+         bytes must all replay identically"
+    );
+    std::fs::remove_dir_all(&dir_a).ok();
+    println!(
+        "  deterministic: both runs acked {}/{} writes, synced prefix {} bytes, \
+         {} pages recovered bit-identical\n",
+        first.acked.iter().filter(|&&a| a).count(),
+        ops.len(),
+        first.synced_len,
+        first.recovered.len()
+    );
+
+    // ---- Phase B: degradation under store faults, network clean. ------
+    println!("phase B: open-loop load over a faulted store, load shedding armed");
+    let store_fault = FaultInjector::seeded(CHAOS_SEED ^ 1).with_rate(FaultPoint::WalAppend, 0.02);
+    let dir_b = std::env::temp_dir().join(format!("clic-chaos-b-{}", std::process::id()));
+    std::fs::create_dir_all(&dir_b)?;
+    let config = ServerConfig::new(2_048)
+        .with_shards(2)
+        .with_recorder(clic_obs::Recorder::enabled())
+        .with_store(
+            StoreConfig::new(&dir_b, 2_048)
+                .with_page_size(PAGE_SIZE)
+                .with_fault_injector(store_fault),
+        );
+    let net = NetServer::start(
+        Server::start(config),
+        NetOptions {
+            shed_busy: true,
+            ..NetOptions::default()
+        },
+    )?;
+    let addr = net.tcp_addr().expect("tcp front-end enabled");
+    println!("  front-end on {addr}, offering {rate:.0} req/s for {seconds} s");
+
+    let open_loop = OpenLoopConfig {
+        rate,
+        requests: (rate * seconds) as u64,
+        pages: 4_096,
+        payload: Some(PAGE_SIZE),
+        ..OpenLoopConfig::default()
+    };
+    let report = run_open_loop(addr, &open_loop)?;
+    let received = report.completed + report.errored + report.shed;
+    println!(
+        "  sent {} / completed {} / errored {} / shed {} in {:.2} s",
+        report.sent,
+        report.completed,
+        report.errored,
+        report.shed,
+        report.elapsed.as_secs_f64()
+    );
+    // The pipe is clean, so the whole schedule must be sent and every
+    // request answered — degradation shows up as typed errors, never as
+    // silence.
+    assert_eq!(report.sent, open_loop.requests, "the pipe is fault-free");
+    assert_eq!(
+        received, report.sent,
+        "every request must be answered: success, error, or shed"
+    );
+    assert!(report.completed > 0, "nothing completed under chaos");
+    assert!(
+        report.errored >= 1,
+        "a ~2% WAL-append fault rate over the write mix must surface at \
+         least one OP_ERR end-to-end"
+    );
+    // Bounded degradation: writes are ~25% of the mix and ~2% of those
+    // fault, so errors must stay a small minority.
+    assert!(
+        report.errored + report.shed <= received / 4 + 8,
+        "error rate under light chaos must stay bounded: {} errored + {} shed of {}",
+        report.errored,
+        report.shed,
+        received
+    );
+
+    // Explicit `Busy` shedding: pipeline a burst through a window-1
+    // connection. The loop decodes the whole burst in one pass, submits
+    // one operation, and must shed the rest with typed errors instead of
+    // stalling the stream (re-arm a fresh window-1 server would be
+    // overkill: the default window is 64, so drive 256 ≫ 64 at once).
+    let mut burst_client = connect(addr);
+    burst_client.set_timeouts(Some(Duration::from_secs(10)))?;
+    let burst: Vec<ServerRequest> = (0..256u64)
+        .map(|i| ServerRequest::Put {
+            client: cache_sim::ClientId(0),
+            page: PageId(i % 512),
+            hint: cache_sim::HintSetId(0),
+            write_hint: None,
+            data: Some(page_payload(PageId(i % 512), PAGE_SIZE)),
+        })
+        .collect();
+    let responses = burst_client
+        .call_batch(&burst)
+        .expect("the pipe is fault-free; the burst must be fully answered");
+    let burst_shed = responses
+        .iter()
+        .filter(|r| r.error_code() == Some(ErrorCode::Busy))
+        .count();
+    println!("  burst: {} of {} answered Busy", burst_shed, burst.len());
+    assert!(
+        burst_shed > 0,
+        "a 256-op burst through a 64-slot window must shed something"
+    );
+    drop(burst_client);
+
+    // The server-side ledger saw the shedding: the recorder is enabled,
+    // so every Busy answer above landed in `server.shed_busy`.
+    let mut stats_client = connect(addr);
+    stats_client.set_timeouts(Some(Duration::from_secs(10)))?;
+    let snapshot = stats_client.stats()?;
+    let shed_counter = snapshot.metrics.counter("server.shed_busy");
+    println!("  server counters: shed_busy = {shed_counter}");
+    assert!(
+        shed_counter >= (burst_shed as u64) + report.shed,
+        "the shed counter must cover every Busy response"
+    );
+    drop(stats_client);
+
+    // Clean shutdown despite the degraded run.
+    let result = net.shutdown()?;
+    assert!(
+        result.stats.requests() > 0,
+        "shutdown statistics lost the run"
+    );
+    std::fs::remove_dir_all(&dir_b).ok();
+
+    // ---- Phase C: a hostile network. -----------------------------------
+    println!("\nphase C: a retrying client against an armed network front-end");
+    let net_fault = FaultInjector::seeded(CHAOS_SEED)
+        .with_rate(FaultPoint::NetSend, 0.02)
+        .with_rate(FaultPoint::NetRecv, 0.004)
+        .with_rate(FaultPoint::NetAccept, 0.10);
+    // Policy-only (no store): phase C is about the wire, not the disk.
+    let chaos_config = ServerConfig::new(4_096)
+        .with_shards(2)
+        .with_recorder(clic_obs::Recorder::enabled());
+    let chaos_net = NetServer::start(
+        Server::start(chaos_config),
+        NetOptions {
+            fault: net_fault.clone(),
+            ..NetOptions::default()
+        },
+    )?;
+    let chaos_addr = chaos_net.tcp_addr().expect("tcp front-end enabled");
+
+    // Force the accept-drop fault to demonstrably fire: every fresh dial
+    // draws one accept decision (rate 0.10), so a handful suffice. A
+    // dropped accept looks like a connection dying on first use — the
+    // stats call synchronizes with the event loop either way.
+    let mut dials = 0u32;
+    while net_fault.injected_at(FaultPoint::NetAccept) < 1 && dials < 1_000 {
+        let mut c = connect(chaos_addr);
+        let _ = c.set_timeouts(Some(Duration::from_secs(2)));
+        let _ = c.call(&ServerRequest::Stats);
+        dials += 1;
+    }
+    println!("  {dials} dials to land an accept drop");
+
+    // A retrying client rides out whatever the injector throws: keep
+    // probing until the schedule has demonstrably reset at least one
+    // connection and injured at least one send.
+    let policy = RetryPolicy {
+        max_retries: 8,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(20),
+        seed: CHAOS_SEED,
+    };
+    let mut probe = connect(chaos_addr);
+    probe.set_timeouts(Some(Duration::from_secs(10)))?;
+    let mut probes = 0u64;
+    while (net_fault.injected_at(FaultPoint::NetRecv) < 1
+        || net_fault.injected_at(FaultPoint::NetSend) < 1)
+        && probes < 10_000
+    {
+        let response = probe
+            .call_with_retry(
+                &ServerRequest::Get {
+                    client: cache_sim::ClientId(0),
+                    page: PageId(probes % 4_096),
+                    hint: cache_sim::HintSetId(0),
+                    prefetch: false,
+                },
+                &policy,
+            )
+            .expect("a retrying client must survive injected resets");
+        assert!(
+            response.hit().is_some() || response.error_code().is_some(),
+            "a get must answer hit/miss or a typed error"
+        );
+        probes += 1;
+    }
+    assert!(
+        net_fault.injected_at(FaultPoint::NetRecv) >= 1,
+        "the schedule must reset at least one connection"
+    );
+    assert!(
+        net_fault.injected_at(FaultPoint::NetAccept) >= 1,
+        "the schedule must drop at least one accept"
+    );
+    assert!(
+        net_fault.injected_at(FaultPoint::NetSend) >= 1,
+        "the schedule must tear or fail at least one send"
+    );
+    println!(
+        "  {} retry probes, all survived; injected: {} accept drops, {} resets, {} send faults",
+        probes,
+        net_fault.injected_at(FaultPoint::NetAccept),
+        net_fault.injected_at(FaultPoint::NetRecv),
+        net_fault.injected_at(FaultPoint::NetSend),
+    );
+
+    // Clean shutdown despite the armed injector.
+    let chaos_result = chaos_net.shutdown()?;
+    assert!(
+        chaos_result.stats.requests() > 0,
+        "shutdown statistics lost the probes"
+    );
+
+    let mut table = ResultTable::new(
+        "chaos smoke (timing-dependent; excluded from determinism diffs)",
+        &["metric", "value"],
+    );
+    table.push_row(vec!["open_loop_sent".into(), report.sent.to_string()]);
+    table.push_row(vec![
+        "open_loop_completed".into(),
+        report.completed.to_string(),
+    ]);
+    table.push_row(vec!["open_loop_errored".into(), report.errored.to_string()]);
+    table.push_row(vec!["open_loop_shed".into(), report.shed.to_string()]);
+    table.push_row(vec!["burst_shed".into(), burst_shed.to_string()]);
+    table.push_row(vec![
+        "accept_drops".into(),
+        net_fault.injected_at(FaultPoint::NetAccept).to_string(),
+    ]);
+    table.push_row(vec![
+        "conn_resets".into(),
+        net_fault.injected_at(FaultPoint::NetRecv).to_string(),
+    ]);
+    table.push_row(vec![
+        "send_faults".into(),
+        net_fault.injected_at(FaultPoint::NetSend).to_string(),
+    ]);
+    table.emit(&ctx.out_dir, "chaos_smoke")?;
+    ctx.emit_json(
+        "chaos_smoke",
+        JsonValue::object([
+            (
+                "storm_acked",
+                num(first.acked.iter().filter(|&&a| a).count() as u64),
+            ),
+            ("storm_writes", num(ops.len() as u64)),
+            ("open_loop_sent", num(report.sent)),
+            ("open_loop_completed", num(report.completed)),
+            ("open_loop_errored", num(report.errored)),
+            ("open_loop_shed", num(report.shed)),
+            ("burst_shed", num(burst_shed as u64)),
+            (
+                "accept_drops",
+                num(net_fault.injected_at(FaultPoint::NetAccept)),
+            ),
+            (
+                "conn_resets",
+                num(net_fault.injected_at(FaultPoint::NetRecv)),
+            ),
+            (
+                "send_faults",
+                num(net_fault.injected_at(FaultPoint::NetSend)),
+            ),
+        ]),
+    )?;
+
+    println!("\nchaos smoke: all assertions passed");
+    Ok(())
+}

@@ -48,7 +48,15 @@ const PARALLEL_EXPERIMENTS: [&str; 12] = [
 
 /// Timing-sensitive microbenches: always run exclusively, after everything
 /// else, so concurrent siblings cannot pollute their measurements.
-const EXCLUSIVE_EXPERIMENTS: [&str; 3] = ["server_throughput", "server_latency", "access_hotpath"];
+/// `chaos_smoke` rides along because its open-loop phase asserts a bounded
+/// error fraction under offered load — a noisy neighbour could push
+/// scheduling jitter into the latency path it measures.
+const EXCLUSIVE_EXPERIMENTS: [&str; 4] = [
+    "server_throughput",
+    "server_latency",
+    "access_hotpath",
+    "chaos_smoke",
+];
 
 struct ExperimentRun {
     name: &'static str,

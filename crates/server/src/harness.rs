@@ -233,7 +233,13 @@ pub fn preset_client_traces(presets: &[TracePreset], scale: PresetScale) -> Vec<
 ///
 /// # Panics
 ///
-/// Panics if `traces` is empty or a client thread panics.
+/// Panics if `traces` is empty, a client thread panics, or the server's
+/// data plane fails (the harness runs against a healthy store — a fault
+/// schedule belongs in the chaos gate, which tolerates errors).
+// invariant: the two `expect`s below restate the documented panics —
+// without fault injection every data request gets a data response, and a
+// client-thread panic is a harness bug worth propagating.
+#[cfg_attr(not(test), allow(clippy::expect_used))]
 pub fn run_load(config: &LoadConfig, traces: &[Trace]) -> LoadReport {
     assert!(!traces.is_empty(), "at least one client trace is required");
     let server = Server::start(config.server.clone());

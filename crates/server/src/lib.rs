@@ -93,7 +93,7 @@
 //! | offset | size | field | meaning |
 //! |-------:|-----:|-------|---------|
 //! | 0 | 4 | `len: u32` | bytes after this prefix (opcode + seq + body), at most [`wire::MAX_FRAME_LEN`] |
-//! | 4 | 1 | `opcode: u8` | `0x01` Get, `0x02` Put, `0x03` Delete, `0x04` Stats; responses are the same values with the high bit set (`0x81`–`0x84`) |
+//! | 4 | 1 | `opcode: u8` | `0x01` Get, `0x02` Put, `0x03` Delete, `0x04` Stats; responses are the same values with the high bit set (`0x81`–`0x84`), plus `0x85` Error |
 //! | 5 | 8 | `seq: u64` | client-chosen correlation id, echoed verbatim on the response (responses may arrive out of order across shards) |
 //! | 13 | `len - 9` | body | per-opcode payload |
 //!
@@ -109,10 +109,48 @@
 //! buckets. Decoding is strict: unknown opcodes, truncated fields,
 //! out-of-range enums, and trailing bytes are all rejected
 //! ([`wire::WireError`]) and close the offending connection.
+//!
+//! An `Error` response (`0x85`, [`wire::OP_ERR`]) may answer *any* request
+//! in place of its normal response when the server cannot complete it. Its
+//! body is a single `code: u8`:
+//!
+//! | code | [`ErrorCode`] | meaning | retryable |
+//! |-----:|---------------|---------|-----------|
+//! | 1 | `Io` | the data plane failed an I/O operation (read, write, or fsync) | no |
+//! | 2 | `Corrupt` | a page failed its CRC on read | no |
+//! | 3 | `Busy` | load shed: the connection's in-flight window or a shard queue is full | yes |
+//! | 4 | `Shutdown` | the server is shutting down | no |
+//! | 5 | `Internal` | unexpected server-side failure | no |
+//!
+//! Only `Busy` is worth retrying ([`ErrorCode::is_retryable`]); the client's
+//! [`RetryPolicy`] backs off exponentially with jitter before resending.
+//!
+//! # Robustness
+//!
+//! The server is built to degrade, not die, under a hostile environment:
+//!
+//! * **Fault injection** ([`clic_store::FaultInjector`], re-exported here):
+//!   a seeded, deterministic schedule of injectable faults covering the
+//!   disk/WAL surface (failed or short reads/writes, failed fsyncs, torn
+//!   writes, CRC corruption) via [`StoreConfig::with_fault_injector`] and
+//!   the network surface (accept failures, connection resets, partial
+//!   socket writes) via [`NetOptions`]. Disabled injectors are a single
+//!   branch on the hot path — the same zero-cost-when-off contract as the
+//!   [`Recorder`].
+//! * **Error propagation**: store errors flow from the shard workers
+//!   through the completion path into `Error` frames instead of panicking
+//!   the worker; the event loop sheds load with `Busy` when back-pressure
+//!   saturates (opt-in via [`NetOptions`], since a well-provisioned
+//!   deployment prefers blocking back-pressure).
+//! * **Graceful degradation**: [`BlockingClient`] supports connect/read/write
+//!   timeouts, reconnection, and bounded seeded-jitter retries
+//!   ([`RetryPolicy`]); the open-loop generator counts errored and shed
+//!   responses separately from completions instead of aborting the run.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 #![deny(clippy::disallowed_methods)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod harness;
 pub mod net;
@@ -127,16 +165,18 @@ pub use harness::{
     merge_client_traces, preset_client_traces, run_load, ClientLoad, LatencySummary, LoadConfig,
     LoadReport, CLIENT_BATCH_HISTOGRAM,
 };
-pub use net::{BlockingClient, NetOptions, NetServer};
+pub use net::{BlockingClient, NetOptions, NetServer, RetryPolicy};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
-pub use protocol::{ServerRequest, ServerResponse, StatsSnapshot};
-pub use server::{Server, ServerConfig, BATCH_SERVICE_HISTOGRAM, QUEUE_DEPTH_GAUGE};
+pub use protocol::{ErrorCode, ServerRequest, ServerResponse, StatsSnapshot};
+pub use server::{Server, ServerConfig, ShardOutcome, BATCH_SERVICE_HISTOGRAM, QUEUE_DEPTH_GAUGE};
 pub use sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
 pub use wire::WireError;
 
 // Re-exported so server embedders can configure the data plane without
 // depending on `clic-store` directly.
-pub use clic_store::{Durability, PageStore, StoreConfig, StoreError, DEFAULT_PAGE_SIZE};
+pub use clic_store::{
+    Durability, FaultInjector, FaultPoint, PageStore, StoreConfig, StoreError, DEFAULT_PAGE_SIZE,
+};
 
 // Observability types appearing in this crate's public API
 // ([`ServerConfig::with_recorder`], [`StatsSnapshot::metrics`]).

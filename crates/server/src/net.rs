@@ -38,7 +38,25 @@
 //!
 //! [`BlockingClient`] is the matching minimal client: a blocking,
 //! pipelining codec wrapper used by the tests, the verification smoke
-//! gate, and as the transport under the open-loop generator's reader.
+//! gate, and as the transport under the open-loop generator's reader. For
+//! hostile networks it optionally layers connect/read/write timeouts,
+//! reconnection, and a bounded, seeded-jitter retry loop
+//! ([`RetryPolicy`], [`BlockingClient::call_with_retry`]) on top of the
+//! bare codec.
+//!
+//! # Fault injection and load shedding
+//!
+//! [`NetOptions::fault`] arms a [`FaultInjector`] on the network surface:
+//! accepted connections may be dropped on arrival (`NetAccept`), readable
+//! connections may be reset before the read (`NetRecv`), and socket writes
+//! may be cut short mid-buffer or fail outright (`NetSend`). The schedule
+//! is seeded and deterministic, and a disabled injector costs one branch.
+//!
+//! [`NetOptions::shed_busy`] turns blocking back-pressure into explicit
+//! load shedding: when a connection's in-flight window or a shard's
+//! bounded queue is full, the loop answers the affected operations with
+//! [`ServerResponse::Error`] (`Busy`) instead of stalling. Shed counts are
+//! published to the `server.shed_busy` counter of an enabled recorder.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -52,10 +70,13 @@ use std::time::Duration;
 use std::os::unix::net::{UnixListener, UnixStream};
 
 use cache_sim::{SimulationResult, REPLAY_CHUNK};
-use clic_obs::{Recorder, SpanKind};
+use clic_obs::{Counter, Recorder, SpanKind};
+use clic_store::{FaultInjector, FaultPoint, InjectedFault};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use crate::protocol::{ServerRequest, ServerResponse, StatsSnapshot};
-use crate::server::{Server, ShardReply};
+use crate::protocol::{ErrorCode, ServerRequest, ServerResponse, StatsSnapshot};
+use crate::server::{Server, ShardOutcome, ShardReply};
 use crate::sys::{raw_fd, Event, Poller, READABLE, WRITABLE};
 use crate::wire;
 
@@ -81,6 +102,18 @@ pub struct NetOptions {
     /// Maximum decoded-but-unanswered operations per connection before the
     /// loop stops reading from it (back-pressure).
     pub in_flight_window: usize,
+    /// When `true`, saturation answers with [`ServerResponse::Error`]
+    /// (`Busy`) instead of blocking: a connection at its in-flight window
+    /// still has its frames decoded (and shed), and a full shard queue
+    /// sheds the whole coalesced sub-batch. When `false` (the default) the
+    /// loop applies blocking back-pressure, which preserves exact
+    /// completion counts for well-behaved closed-loop clients.
+    pub shed_busy: bool,
+    /// Deterministic fault schedule armed on the network surface
+    /// (`NetAccept`/`NetRecv`/`NetSend` points). The default
+    /// [`FaultInjector::disabled`] injects nothing and costs one branch
+    /// per I/O operation.
+    pub fault: FaultInjector,
 }
 
 impl Default for NetOptions {
@@ -89,6 +122,8 @@ impl Default for NetOptions {
             tcp: Some("127.0.0.1:0".to_string()),
             uds: None,
             in_flight_window: 64,
+            shed_busy: false,
+            fault: FaultInjector::disabled(),
         }
     }
 }
@@ -142,13 +177,12 @@ impl NetServer {
             tcp,
             #[cfg(unix)]
             uds,
-            options.in_flight_window.max(1),
+            &options,
             Arc::clone(&stop),
         )?;
         let thread = thread::Builder::new()
             .name("clic-net".to_string())
-            .spawn(move || event_loop.run())
-            .expect("spawning the network event loop failed");
+            .spawn(move || event_loop.run())?;
         Ok(NetServer {
             stop,
             thread: Some(thread),
@@ -169,10 +203,10 @@ impl NetServer {
 
     fn stop_loop(&mut self) -> Option<io::Result<Server>> {
         self.stop.store(true, Ordering::SeqCst);
-        let result = self
-            .thread
-            .take()
-            .map(|t| t.join().expect("the network event loop panicked"));
+        let result = self.thread.take().map(|t| match t.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("the network event loop panicked")),
+        });
         if let Some(path) = &self.uds_path {
             let _ = std::fs::remove_file(path);
         }
@@ -308,6 +342,14 @@ struct EventLoop {
     pending_shard: Vec<Vec<(usize, ServerRequest)>>,
     window: usize,
     in_flight_total: usize,
+    /// Shed saturated operations with `Busy` instead of blocking
+    /// ([`NetOptions::shed_busy`]).
+    shed_busy: bool,
+    /// Network-surface fault schedule ([`NetOptions::fault`]).
+    fault: FaultInjector,
+    /// Operations answered `Busy` (`server.shed_busy`; `None` with a
+    /// disabled recorder).
+    shed_counter: Option<Counter>,
     stop: Arc<AtomicBool>,
 }
 
@@ -316,12 +358,16 @@ impl EventLoop {
         server: Server,
         tcp: Option<TcpListener>,
         #[cfg(unix)] uds: Option<UnixListener>,
-        window: usize,
+        options: &NetOptions,
         stop: Arc<AtomicBool>,
     ) -> io::Result<EventLoop> {
         let (reply_tx, reply_rx) = mpsc::channel();
         let shard_count = server.cache().shard_count();
         let recorder = server.cache().recorder().clone();
+        let shed_counter = recorder.counter("server.shed_busy");
+        if let Some(counter) = recorder.counter("server.net_injected_faults") {
+            options.fault.attach_counter(counter);
+        }
         Ok(EventLoop {
             server,
             recorder,
@@ -337,8 +383,11 @@ impl EventLoop {
             reply_tx,
             reply_rx,
             pending_shard: (0..shard_count).map(|_| Vec::new()).collect(),
-            window,
+            window: options.in_flight_window.max(1),
             in_flight_total: 0,
+            shed_busy: options.shed_busy,
+            fault: options.fault.clone(),
+            shed_counter,
             stop,
         })
     }
@@ -403,6 +452,11 @@ impl EventLoop {
             };
             match accepted {
                 Ok((stream, _peer)) => {
+                    // An injected accept failure drops the connection on
+                    // the floor — the peer sees an immediate reset.
+                    if self.fault.decide(FaultPoint::NetAccept, 0) != InjectedFault::None {
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -424,6 +478,9 @@ impl EventLoop {
             };
             match accepted {
                 Ok((stream, _peer)) => {
+                    if self.fault.decide(FaultPoint::NetAccept, 0) != InjectedFault::None {
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -475,6 +532,12 @@ impl EventLoop {
         if conn.read_closed || conn.dead {
             return;
         }
+        // An injected receive failure resets the connection before the
+        // read, as if the peer's RST raced the readable event.
+        if self.fault.decide(FaultPoint::NetRecv, 0) != InjectedFault::None {
+            conn.dead = true;
+            return;
+        }
         let mut chunk = [0u8; READ_CHUNK];
         loop {
             match conn.stream.read(&mut chunk) {
@@ -495,13 +558,23 @@ impl EventLoop {
 
     /// Decodes frames from the connection's read buffer while it has
     /// window room, routing data operations into the per-shard coalescing
-    /// buffers and answering stats inline.
+    /// buffers and answering stats inline. With [`NetOptions::shed_busy`],
+    /// a connection at its window keeps decoding and answers each data
+    /// operation with `Busy` instead of stalling the stream.
+    // invariant: the two `expect`s below hold by construction — every
+    // non-Stats request variant carries a page, and the connection slot
+    // was checked non-empty at the top of the iteration.
+    #[cfg_attr(not(test), allow(clippy::expect_used))]
     fn decode_conn(&mut self, idx: usize) {
         loop {
             let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
                 return;
             };
-            if conn.dead || conn.in_flight >= self.window || conn.read_buf.is_empty() {
+            if conn.dead || conn.read_buf.is_empty() {
+                return;
+            }
+            let window_full = conn.in_flight >= self.window;
+            if window_full && !self.shed_busy {
                 return;
             }
             let span = self.recorder.span(SpanKind::NetFrame);
@@ -536,6 +609,22 @@ impl EventLoop {
                         metrics: self.server.metrics(),
                     };
                     self.respond(idx, seq, &ServerResponse::Stats(Box::new(snapshot)));
+                }
+                op if window_full => {
+                    // Load shed: the window has no room, so this decoded
+                    // operation is answered `Busy` without ever reaching a
+                    // shard. The client is expected to back off and retry.
+                    let _ = op;
+                    if let Some(counter) = &self.shed_counter {
+                        counter.inc();
+                    }
+                    self.respond(
+                        idx,
+                        seq,
+                        &ServerResponse::Error {
+                            code: ErrorCode::Busy,
+                        },
+                    );
                 }
                 op => {
                     let kind = match &op {
@@ -583,9 +672,53 @@ impl EventLoop {
             return;
         }
         let ops = std::mem::take(&mut self.pending_shard[shard]);
-        // Blocks only while the shard's bounded queue is full: worker
-        // back-pressure propagating to the event loop, by design.
-        self.in_flight_total += self.server.submit_shard_tagged(shard, ops, &self.reply_tx);
+        if self.shed_busy {
+            // Shedding mode: a full shard queue answers the whole
+            // coalesced sub-batch with `Busy` (or `Shutdown`) instead of
+            // blocking the event loop.
+            match self
+                .server
+                .try_submit_shard_tagged(shard, ops, &self.reply_tx)
+            {
+                Ok(submitted) => self.in_flight_total += submitted,
+                Err((tags, code)) => {
+                    for tag in tags {
+                        self.fail_pending(tag, code);
+                    }
+                }
+            }
+        } else {
+            // Blocks only while the shard's bounded queue is full: worker
+            // back-pressure propagating to the event loop, by design.
+            self.in_flight_total += self.server.submit_shard_tagged(shard, ops, &self.reply_tx);
+        }
+    }
+
+    /// Answers a still-pending operation with an error without it ever
+    /// having reached a shard: frees the slab slot, releases the window
+    /// slot, and encodes an [`ServerResponse::Error`] response.
+    fn fail_pending(&mut self, tag: usize, code: ErrorCode) {
+        let Some(pending) = self.slab.get_mut(tag).and_then(|slot| slot.take()) else {
+            return;
+        };
+        self.free_slab.push(tag);
+        let alive = self
+            .conns
+            .get(pending.conn)
+            .and_then(|c| c.as_ref())
+            .is_some_and(|conn| conn.gen == pending.gen);
+        if !alive {
+            return;
+        }
+        if let Some(conn) = self.conns[pending.conn].as_mut() {
+            conn.in_flight -= 1;
+        }
+        if code == ErrorCode::Busy {
+            if let Some(counter) = &self.shed_counter {
+                counter.inc();
+            }
+        }
+        self.respond(pending.conn, pending.seq, &ServerResponse::Error { code });
     }
 
     fn submit_pending(&mut self) {
@@ -594,8 +727,12 @@ impl EventLoop {
         }
     }
 
+    // invariant: every tag on the reply channel was allocated by
+    // `alloc_pending` and is taken exactly once — a double take or an
+    // out-of-range tag is a slab-accounting bug, not a runtime condition.
+    #[cfg_attr(not(test), allow(clippy::expect_used))]
     fn drain_completions(&mut self) {
-        while let Ok((tag, outcome, data)) = self.reply_rx.try_recv() {
+        while let Ok((tag, result)) = self.reply_rx.try_recv() {
             self.in_flight_total = self.in_flight_total.saturating_sub(1);
             let pending = self
                 .slab
@@ -614,10 +751,16 @@ impl EventLoop {
             if let Some(conn) = self.conns[pending.conn].as_mut() {
                 conn.in_flight -= 1;
             }
-            let response = match pending.kind {
-                PendingKind::Get => ServerResponse::Get { hit: outcome, data },
-                PendingKind::Put => ServerResponse::Put { hit: outcome },
-                PendingKind::Delete => ServerResponse::Delete { existed: outcome },
+            let response = match result {
+                // A failed operation answers with a typed error frame
+                // instead of a fabricated miss: the client can tell "the
+                // page is not cached" from "the data plane failed".
+                Err(code) => ServerResponse::Error { code },
+                Ok(ShardOutcome { hit, data }) => match pending.kind {
+                    PendingKind::Get => ServerResponse::Get { hit, data },
+                    PendingKind::Put => ServerResponse::Put { hit },
+                    PendingKind::Delete => ServerResponse::Delete { existed: hit },
+                },
             };
             self.respond(pending.conn, pending.seq, &response);
         }
@@ -640,7 +783,26 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
             return;
         };
-        while conn.write_at < conn.write_buf.len() {
+        if !conn.pending_write() {
+            return;
+        }
+        // An injected send fault either caps this cycle's write to a
+        // prefix (a partial socket write — the rest stays buffered behind
+        // `EPOLLOUT` interest, exercising the resume path) or fails the
+        // write outright, which tears the connection down.
+        let mut limit = conn.write_buf.len();
+        match self
+            .fault
+            .decide(FaultPoint::NetSend, limit - conn.write_at)
+        {
+            InjectedFault::None => {}
+            InjectedFault::Torn(n) => limit = (conn.write_at + n).min(limit),
+            _ => {
+                conn.dead = true;
+                return;
+            }
+        }
+        while conn.write_at < limit {
             match conn.stream.write(&conn.write_buf[conn.write_at..]) {
                 Ok(0) => {
                     conn.dead = true;
@@ -718,6 +880,62 @@ impl EventLoop {
     }
 }
 
+/// How [`BlockingClient::call_with_retry`] paces its attempts: a bounded
+/// number of retries with exponential backoff and seeded multiplicative
+/// jitter.
+///
+/// A retry is attempted after transport errors (the client reconnects
+/// first) and after retryable error responses
+/// ([`ErrorCode::is_retryable`], i.e. `Busy`). Non-retryable error
+/// responses — `Io`, `Corrupt`, `Shutdown`, `Internal` — are returned to
+/// the caller immediately: resending cannot make a failed fsync succeed.
+///
+/// The jitter is drawn from a seeded [`StdRng`], so a retrying client is
+/// as deterministic as the fault schedule that makes it retry: attempt
+/// `n` sleeps `base_delay * 2^n * u` for `u` uniform in `[0.5, 1.0)`,
+/// capped at `max_delay`.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling applied after the exponential doubling.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(200),
+            seed: 42,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry `attempt` (0-based).
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        exp.mul_f64(rng.gen_range(0.5..1.0))
+    }
+}
+
+/// Where a [`BlockingClient`] connected, kept so it can reconnect.
+#[derive(Debug, Clone)]
+enum ConnectTarget {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
 /// A minimal blocking client for the wire protocol: encodes requests,
 /// pipelines a whole batch onto the socket, and reassembles the responses
 /// in batch order via the echoed `seq`.
@@ -728,10 +946,19 @@ impl EventLoop {
 /// verification smoke gate uses it for its final stats probe. The
 /// open-loop generator in [`crate::openloop`] does *not* use it (pacing
 /// needs decoupled writer/reader halves).
+///
+/// For hostile conditions it degrades gracefully rather than hanging:
+/// [`BlockingClient::set_timeouts`] bounds every socket connect/read/write,
+/// [`BlockingClient::reconnect`] re-dials the original target after a
+/// transport error, and [`BlockingClient::call_with_retry`] wraps both in
+/// a bounded, jittered retry loop driven by a [`RetryPolicy`].
 #[derive(Debug)]
 pub struct BlockingClient {
     stream: Stream,
     buf: Vec<u8>,
+    target: ConnectTarget,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
 }
 
 impl BlockingClient {
@@ -743,6 +970,23 @@ impl BlockingClient {
         Ok(BlockingClient {
             stream: Stream::Tcp(stream),
             buf: Vec::new(),
+            target: ConnectTarget::Tcp(addr),
+            connect_timeout: None,
+            io_timeout: None,
+        })
+    }
+
+    /// Connects over TCP, failing if the connection cannot be established
+    /// within `timeout`. The timeout is remembered for reconnects.
+    pub fn connect_tcp_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<BlockingClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(BlockingClient {
+            stream: Stream::Tcp(stream),
+            buf: Vec::new(),
+            target: ConnectTarget::Tcp(addr),
+            connect_timeout: Some(timeout),
+            io_timeout: None,
         })
     }
 
@@ -752,12 +996,97 @@ impl BlockingClient {
         Ok(BlockingClient {
             stream: Stream::Unix(UnixStream::connect(path)?),
             buf: Vec::new(),
+            target: ConnectTarget::Uds(path.to_path_buf()),
+            connect_timeout: None,
+            io_timeout: None,
         })
+    }
+
+    /// Bounds every subsequent socket read and write by `timeout` (`None`
+    /// blocks indefinitely, the default). A timed-out call surfaces as an
+    /// I/O error from [`BlockingClient::call_batch`]; the stream may hold
+    /// a partial frame afterwards, so recovery means
+    /// [`BlockingClient::reconnect`], not a bare retry on the same socket.
+    pub fn set_timeouts(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        match &self.stream {
+            Stream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
+            }
+        }
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Drops the current stream and re-dials the original target,
+    /// reapplying the configured timeouts and discarding any buffered
+    /// partial frame (the old stream's framing is unrecoverable).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = match &self.target {
+            ConnectTarget::Tcp(addr) => {
+                let stream = match self.connect_timeout {
+                    Some(timeout) => TcpStream::connect_timeout(addr, timeout)?,
+                    None => TcpStream::connect(*addr)?,
+                };
+                stream.set_nodelay(true)?;
+                Stream::Tcp(stream)
+            }
+            #[cfg(unix)]
+            ConnectTarget::Uds(path) => Stream::Unix(UnixStream::connect(path)?),
+        };
+        self.stream = stream;
+        self.buf.clear();
+        if let Some(timeout) = self.io_timeout {
+            self.set_timeouts(Some(timeout))?;
+        }
+        Ok(())
+    }
+
+    /// Submits one operation with bounded retries: transport errors
+    /// trigger a reconnect and a retry, a retryable error response
+    /// ([`ErrorCode::is_retryable`], i.e. `Busy`) triggers a retry on the
+    /// same connection, and each retry waits out the policy's jittered
+    /// exponential backoff first. Returns the last error when the budget
+    /// is exhausted.
+    pub fn call_with_retry(
+        &mut self,
+        op: &ServerRequest,
+        policy: &RetryPolicy,
+    ) -> io::Result<ServerResponse> {
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.call(op);
+            let retryable = match &outcome {
+                Ok(response) => response.error_code().is_some_and(ErrorCode::is_retryable),
+                Err(_) => true,
+            };
+            if !retryable || attempt >= policy.max_retries {
+                return outcome;
+            }
+            thread::sleep(policy.delay(attempt, &mut rng));
+            attempt += 1;
+            if outcome.is_err() {
+                // The old stream may be mid-frame; only a fresh one can
+                // resynchronize. If the reconnect itself fails, the next
+                // call errors on the dead stream and consumes an attempt.
+                let _ = self.reconnect();
+            }
+        }
     }
 
     /// Submits one batch and blocks until every response arrived,
     /// returning them in batch order (the server may answer out of order
     /// across shards; `seq` correlation restores the order).
+    // invariant: the loop below exits only once `received == batch.len()`
+    // with all seqs range-checked and dedup-checked, so every slot is
+    // `Some` at collection time.
+    #[cfg_attr(not(test), allow(clippy::expect_used))]
     pub fn call_batch(&mut self, batch: &[ServerRequest]) -> io::Result<Vec<ServerResponse>> {
         let mut frames = Vec::new();
         for (i, op) in batch.iter().enumerate() {
@@ -801,6 +1130,9 @@ impl BlockingClient {
     }
 
     /// Submits a single operation and blocks for its response.
+    // invariant: `call_batch` returns exactly one response per operation
+    // in a one-element batch.
+    #[cfg_attr(not(test), allow(clippy::expect_used))]
     pub fn call(&mut self, op: &ServerRequest) -> io::Result<ServerResponse> {
         let mut responses = self.call_batch(std::slice::from_ref(op))?;
         Ok(responses.pop().expect("one response per operation"))

@@ -93,10 +93,19 @@ pub struct OpenLoopReport {
     /// `offered_rps` means the server kept up; falling below it means the
     /// offered load exceeded capacity and latency is mostly queueing.
     pub achieved_rps: f64,
-    /// Requests written to the socket.
+    /// Requests written to the socket (falls short of the schedule when
+    /// the connection died mid-run; the report then covers the partial
+    /// run instead of being discarded).
     pub sent: u64,
-    /// Responses received and decoded.
+    /// Successful responses received and decoded. Only these are recorded
+    /// into the latency histogram.
     pub completed: u64,
+    /// Error responses with a non-retryable code (`Io`, `Corrupt`,
+    /// `Shutdown`, `Internal`): the data plane failed the operation.
+    pub errored: u64,
+    /// Error responses with the `Busy` code: the server shed the
+    /// operation under load instead of queueing it.
+    pub shed: u64,
     /// Wall-clock duration from first scheduled send to last response.
     pub elapsed: Duration,
     /// Coordinated-omission-safe latency percentiles, measured from each
@@ -158,6 +167,13 @@ fn operations(config: &OpenLoopConfig, rng: &mut StdRng) -> Vec<ServerRequest> {
 /// for each. The connection's write half is shut down after the last
 /// request so the server observes EOF, finishes the in-flight tail, and
 /// tears the connection down cleanly.
+///
+/// The generator degrades rather than aborts under faults: error
+/// responses are tallied into [`OpenLoopReport::errored`] and
+/// [`OpenLoopReport::shed`] without polluting the latency histogram, and
+/// a connection that dies mid-run (reset, injected fault, early server
+/// close) yields a *partial* report — `sent`/`completed` record how far
+/// the run got. `Err` is reserved for failing to connect at all.
 pub fn run_open_loop(addr: SocketAddr, config: &OpenLoopConfig) -> io::Result<OpenLoopReport> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schedule = Arc::new(poisson_schedule(config.rate, config.requests, &mut rng));
@@ -170,7 +186,7 @@ pub fn run_open_loop(addr: SocketAddr, config: &OpenLoopConfig) -> io::Result<Op
     let start = Instant::now();
 
     let writer_schedule = Arc::clone(&schedule);
-    let writer_thread = thread::spawn(move || -> io::Result<u64> {
+    let writer_thread = thread::spawn(move || -> u64 {
         let mut frame = Vec::new();
         let mut sent = 0u64;
         for (i, op) in ops.iter().enumerate() {
@@ -181,47 +197,72 @@ pub fn run_open_loop(addr: SocketAddr, config: &OpenLoopConfig) -> io::Result<Op
             }
             frame.clear();
             wire::encode_request(i as u64, op, &mut frame);
-            writer.write_all(&frame)?;
+            // A dead socket (reset mid-run) ends the schedule early; the
+            // run is reported as partial rather than thrown away.
+            if writer.write_all(&frame).is_err() {
+                break;
+            }
             sent += 1;
         }
         let _ = writer.shutdown(Shutdown::Write);
-        Ok(sent)
+        sent
     });
 
     let histogram = LatencyHistogram::new();
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 64 * 1024];
     let mut completed = 0u64;
-    while completed < total {
-        while let Some((consumed, payload)) = wire::take_frame(&buf)? {
-            let (seq, _response) = wire::decode_response(payload)?;
+    let mut errored = 0u64;
+    let mut shed = 0u64;
+    'recv: while completed + errored + shed < total {
+        loop {
+            let (consumed, payload) = match wire::take_frame(&buf) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                // Framing desynchronized (e.g. the connection died inside
+                // a frame): nothing further is decodable.
+                Err(_) => break 'recv,
+            };
+            let Ok((seq, response)) = wire::decode_response(payload) else {
+                break 'recv;
+            };
             buf.drain(..consumed);
-            let scheduled_us = schedule.get(seq as usize).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "response seq out of range")
-            })? / 1_000;
-            let now_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            histogram.record_scheduled(scheduled_us, now_us);
-            completed += 1;
+            let Some(&scheduled_ns) = schedule.get(seq as usize) else {
+                break 'recv; // corrupt seq; stop attributing latencies
+            };
+            match response.error_code() {
+                Some(code) if code.is_retryable() => shed += 1,
+                Some(_) => errored += 1,
+                None => {
+                    let scheduled_us = scheduled_ns / 1_000;
+                    let now_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    histogram.record_scheduled(scheduled_us, now_us);
+                    completed += 1;
+                }
+            }
         }
-        if completed == total {
+        if completed + errored + shed == total {
             break;
         }
-        let n = reader.read(&mut chunk)?;
-        if n == 0 {
-            break; // server closed early; report the partial run
+        match reader.read(&mut chunk) {
+            Ok(0) => break, // server closed early; report the partial run
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break, // reset mid-run; report the partial run
         }
-        buf.extend_from_slice(&chunk[..n]);
     }
     let elapsed = start.elapsed();
     let sent = writer_thread
         .join()
-        .map_err(|_| io::Error::other("open-loop writer panicked"))??;
+        .map_err(|_| io::Error::other("open-loop writer panicked"))?;
 
     Ok(OpenLoopReport {
         offered_rps: config.rate,
         achieved_rps: completed as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
         sent,
         completed,
+        errored,
+        shed,
         elapsed,
         latency: LatencySummary::from_histogram(&histogram.snapshot()),
     })

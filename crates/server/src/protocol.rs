@@ -135,6 +135,72 @@ impl ServerRequest {
     }
 }
 
+/// Typed error codes carried by [`ServerResponse::Error`] and the
+/// `OP_ERR` wire frame (one byte on the wire).
+///
+/// The codes classify *what the client should do*, not the failure's
+/// internal details: [`ErrorCode::Busy`] is retryable after backoff, the
+/// rest indicate the request itself failed server-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// A storage I/O operation failed (failed write, failed `fsync`); the
+    /// request was not applied.
+    Io = 1,
+    /// Stored data failed integrity verification (a torn frame caught by
+    /// CRC); the request could not be served from disk.
+    Corrupt = 2,
+    /// The server shed the request under load — the connection's in-flight
+    /// window or the target shard's queue was full. Retry after backoff.
+    Busy = 3,
+    /// The server is shutting down; the request was not served.
+    Shutdown = 4,
+    /// Any other server-side failure.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    /// Parses the wire byte; `None` for unknown codes (the decoder rejects
+    /// the frame as malformed rather than inventing a meaning).
+    pub fn from_u8(code: u8) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::Io),
+            2 => Some(ErrorCode::Corrupt),
+            3 => Some(ErrorCode::Busy),
+            4 => Some(ErrorCode::Shutdown),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+
+    /// Classifies a storage-layer error: CRC/framing damage is
+    /// [`ErrorCode::Corrupt`], everything else [`ErrorCode::Io`].
+    pub fn from_io_error(err: &std::io::Error) -> ErrorCode {
+        if err.kind() == std::io::ErrorKind::InvalidData {
+            ErrorCode::Corrupt
+        } else {
+            ErrorCode::Io
+        }
+    }
+
+    /// Whether a client should retry the request (after backoff) on this
+    /// code.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy)
+    }
+
+    /// Short stable name for logs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::Io => "io",
+            ErrorCode::Corrupt => "corrupt",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
 /// The server's answer to one [`ServerRequest`], in batch order.
 #[derive(Debug, Clone)]
 pub enum ServerResponse {
@@ -162,6 +228,13 @@ pub enum ServerResponse {
     /// taken, plus the server's full metrics snapshot (see
     /// [`StatsSnapshot`]).
     Stats(Box<StatsSnapshot>),
+    /// The request failed server-side (or was shed under load); the
+    /// [`ErrorCode`] says why and whether a retry makes sense. Carried on
+    /// the wire as an `OP_ERR` frame.
+    Error {
+        /// Why the request failed.
+        code: ErrorCode,
+    },
 }
 
 impl ServerResponse {
@@ -171,7 +244,18 @@ impl ServerResponse {
     pub fn hit(&self) -> Option<bool> {
         match self {
             ServerResponse::Get { hit, .. } | ServerResponse::Put { hit } => Some(*hit),
-            ServerResponse::Delete { .. } | ServerResponse::Stats(_) => None,
+            ServerResponse::Delete { .. }
+            | ServerResponse::Stats(_)
+            | ServerResponse::Error { .. } => None,
+        }
+    }
+
+    /// The error code of a [`ServerResponse::Error`] (`None` for
+    /// successful responses).
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            ServerResponse::Error { code } => Some(*code),
+            _ => None,
         }
     }
 
@@ -252,6 +336,36 @@ mod tests {
         assert!(stats.metrics().is_some());
         assert!(get.stats().is_none());
         assert!(get.metrics().is_none());
+        let error = ServerResponse::Error {
+            code: ErrorCode::Busy,
+        };
+        assert_eq!(error.error_code(), Some(ErrorCode::Busy));
+        assert_eq!(error.hit(), None);
+        assert_eq!(error.existed(), None);
+        assert_eq!(error.data(), None);
+        assert!(error.stats().is_none());
+        assert_eq!(get.error_code(), None);
+    }
+
+    #[test]
+    fn error_codes_round_trip_their_wire_byte() {
+        for code in [
+            ErrorCode::Io,
+            ErrorCode::Corrupt,
+            ErrorCode::Busy,
+            ErrorCode::Shutdown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(6), None);
+        assert!(ErrorCode::Busy.is_retryable());
+        assert!(!ErrorCode::Io.is_retryable());
+        let torn = std::io::Error::new(std::io::ErrorKind::InvalidData, "torn frame");
+        assert_eq!(ErrorCode::from_io_error(&torn), ErrorCode::Corrupt);
+        let eio = std::io::Error::other("injected fault");
+        assert_eq!(ErrorCode::from_io_error(&eio), ErrorCode::Io);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use clic_core::ClicConfig;
 use clic_obs::{Gauge, MetricsSnapshot, Recorder, SpanKind};
 use clic_store::{Durability, StoreConfig, StoreError};
 
-use crate::protocol::{ServerRequest, ServerResponse, StatsSnapshot};
+use crate::protocol::{ErrorCode, ServerRequest, ServerResponse, StatsSnapshot};
 use crate::sharded::{MergeWeighting, ShardedClic, ShardedClicConfig};
 
 /// Gauge name for the number of sub-batches currently queued (or in
@@ -128,11 +128,22 @@ impl ServerConfig {
     }
 }
 
+/// The successful outcome of one shard operation.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The boolean outcome: cache hit for `Get`/`Put`, existence for
+    /// `Delete`.
+    pub hit: bool,
+    /// The page bytes of a store-backed `Get` (`None` otherwise).
+    pub data: Option<Vec<u8>>,
+}
+
 /// One reply from a shard worker: the submitter's tag for the operation
 /// (its batch position in [`Server::submit`], a slab index in the
-/// event-driven front-end), the boolean outcome (cache hit for `Get`/`Put`,
-/// existence for `Delete`), and the page bytes of a store-backed `Get`.
-pub type ShardReply = (usize, bool, Option<Vec<u8>>);
+/// event-driven front-end), and either the successful [`ShardOutcome`] or
+/// the [`ErrorCode`] to answer with — storage failures propagate here
+/// instead of panicking the worker.
+pub type ShardReply = (usize, Result<ShardOutcome, ErrorCode>);
 
 /// One operation inside a [`ShardJob`], in submission order.
 enum ShardOp {
@@ -183,12 +194,25 @@ pub struct Server {
 
 impl Server {
     /// Starts the shard workers and returns the running server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard store fails to open or a worker thread cannot be
+    /// spawned; use [`Server::try_start`] to handle those as errors.
     pub fn start(config: ServerConfig) -> Server {
+        // invariant: documented panicking convenience over `try_start`.
+        #[allow(clippy::expect_used)]
+        Server::try_start(config).expect("failed to start the server")
+    }
+
+    /// [`Server::start`], surfacing store-open and thread-spawn failures
+    /// as errors instead of panicking.
+    pub fn try_start(config: ServerConfig) -> std::io::Result<Server> {
         let mut cache_config = config.cache;
         if let (Some(durability), Some(store)) = (config.durability, cache_config.store.as_mut()) {
             store.durability = durability;
         }
-        let cache = Arc::new(ShardedClic::new(cache_config));
+        let cache = Arc::new(ShardedClic::try_new(cache_config)?);
         let recorder = cache.recorder().clone();
         let queue_depth = recorder.gauge(QUEUE_DEPTH_GAUGE);
         let service_hist = recorder.histogram(BATCH_SERVICE_HISTOGRAM);
@@ -227,13 +251,20 @@ impl Server {
                         let mut i = 0;
                         while i < job.ops.len() {
                             if let ShardOp::Delete { page } = job.ops[i] {
-                                let existed = cache
-                                    .delete(page)
-                                    .expect("page store I/O failed in a shard worker");
-                                // A client that gave up on its batch only
-                                // loses the reply; the cache still observes
-                                // every dispatched operation.
-                                let _ = job.reply.send((job.tags[i], existed, None));
+                                // A storage failure answers the request
+                                // with a typed error instead of panicking
+                                // the worker; a client that gave up on its
+                                // batch only loses the reply — the cache
+                                // still observes every dispatched
+                                // operation.
+                                let reply = match cache.delete(page) {
+                                    Ok(existed) => Ok(ShardOutcome {
+                                        hit: existed,
+                                        data: None,
+                                    }),
+                                    Err(err) => Err(ErrorCode::from_io_error(&err)),
+                                };
+                                let _ = job.reply.send((job.tags[i], reply));
                                 i += 1;
                                 continue;
                             }
@@ -246,34 +277,61 @@ impl Server {
                                 run_payloads.push(payload.take());
                                 i += 1;
                             }
-                            outcomes.clear();
-                            data.clear();
                             if cache.has_store() {
+                                // Chunk by chunk: a failed chunk answers
+                                // its requests with the error and the run
+                                // continues — one bad page does not poison
+                                // the rest of the batch.
+                                let mut at = start;
                                 for (chunk, payloads) in run_reqs
                                     .chunks(REPLAY_CHUNK)
                                     .zip(run_payloads.chunks(REPLAY_CHUNK))
                                 {
-                                    cache
-                                        .access_shard_batch_data(
-                                            shard,
-                                            chunk,
-                                            payloads,
-                                            &mut outcomes,
-                                            &mut data,
-                                        )
-                                        .expect("page store I/O failed in a shard worker");
-                                }
-                                for ((&tag, outcome), bytes) in
-                                    job.tags[start..i].iter().zip(&outcomes).zip(data.drain(..))
-                                {
-                                    let _ = job.reply.send((tag, outcome.hit, bytes));
+                                    outcomes.clear();
+                                    data.clear();
+                                    let tags = &job.tags[at..at + chunk.len()];
+                                    at += chunk.len();
+                                    match cache.access_shard_batch_data(
+                                        shard,
+                                        chunk,
+                                        payloads,
+                                        &mut outcomes,
+                                        &mut data,
+                                    ) {
+                                        Ok(()) => {
+                                            for ((&tag, outcome), bytes) in
+                                                tags.iter().zip(&outcomes).zip(data.drain(..))
+                                            {
+                                                let _ = job.reply.send((
+                                                    tag,
+                                                    Ok(ShardOutcome {
+                                                        hit: outcome.hit,
+                                                        data: bytes,
+                                                    }),
+                                                ));
+                                            }
+                                        }
+                                        Err(err) => {
+                                            let code = ErrorCode::from_io_error(&err);
+                                            for &tag in tags {
+                                                let _ = job.reply.send((tag, Err(code)));
+                                            }
+                                        }
+                                    }
                                 }
                             } else {
+                                outcomes.clear();
                                 for chunk in run_reqs.chunks(REPLAY_CHUNK) {
                                     cache.access_shard_batch(shard, chunk, &mut outcomes);
                                 }
                                 for (&tag, outcome) in job.tags[start..i].iter().zip(&outcomes) {
-                                    let _ = job.reply.send((tag, outcome.hit, None));
+                                    let _ = job.reply.send((
+                                        tag,
+                                        Ok(ShardOutcome {
+                                            hit: outcome.hit,
+                                            data: None,
+                                        }),
+                                    ));
                                 }
                             }
                         }
@@ -283,25 +341,27 @@ impl Server {
                             hist.record(clock.now_nanos().saturating_sub(start_ns) / 1_000);
                         }
                     }
-                })
-                .expect("failed to spawn shard worker");
+                })?;
             senders.push(sender);
             workers.push(worker);
         }
-        Server {
+        Ok(Server {
             cache,
             senders,
             workers,
             batches_served: AtomicU64::new(0),
             shutdown_timeout: config.shutdown_timeout,
             queue_depth,
-        }
+        })
     }
 
     /// Decodes a protocol operation into the worker representation, or
     /// `None` for [`ServerRequest::Stats`] (answered by the front-end).
     fn shard_op(operation: ServerRequest) -> Option<ShardOp> {
         let request = operation.to_request();
+        // invariant: `to_request` is `Some` for every Get/Put by
+        // construction — only Delete and Stats map to `None`.
+        #[allow(clippy::expect_used)]
         match operation {
             ServerRequest::Stats => None,
             ServerRequest::Delete { page } => Some(ShardOp::Delete { page }),
@@ -335,6 +395,9 @@ impl Server {
         for (position, operation) in batch.iter().enumerate() {
             match Self::shard_op(operation.clone()) {
                 Some(op) => {
+                    // invariant: `shard_op` returned `Some`, so this is a
+                    // Get/Put/Delete, and all three carry a page.
+                    #[allow(clippy::expect_used)]
                     let page = operation.page().expect("every shard op has a page");
                     let (tags, ops) = &mut per_shard[self.cache.shard_of(page)];
                     tags.push(position);
@@ -356,6 +419,9 @@ impl Server {
             if let Some(gauge) = &self.queue_depth {
                 gauge.inc();
             }
+            // invariant: workers only exit after the senders are dropped
+            // at shutdown, which cannot race a live `submit` borrow.
+            #[allow(clippy::expect_used)]
             self.senders[shard]
                 .send(ShardJob {
                     tags,
@@ -366,20 +432,31 @@ impl Server {
         }
         drop(reply_sender);
         for _ in 0..outstanding {
-            let (position, hit, data) = reply_receiver
+            // invariant: the workers answer every submitted tag exactly
+            // once (success or typed error) before dropping the sender.
+            #[allow(clippy::expect_used)]
+            let (position, outcome) = reply_receiver
                 .recv()
                 .expect("shard worker dropped a batch reply");
-            responses[position] = Some(match &batch[position] {
-                ServerRequest::Get { .. } => ServerResponse::Get { hit, data },
-                ServerRequest::Put { .. } => ServerResponse::Put { hit },
-                ServerRequest::Delete { .. } => ServerResponse::Delete { existed: hit },
-                ServerRequest::Stats => unreachable!("stats operations are answered inline"),
+            responses[position] = Some(match outcome {
+                Err(code) => ServerResponse::Error { code },
+                Ok(ShardOutcome { hit, data }) => match &batch[position] {
+                    ServerRequest::Get { .. } => ServerResponse::Get { hit, data },
+                    ServerRequest::Put { .. } => ServerResponse::Put { hit },
+                    ServerRequest::Delete { .. } => ServerResponse::Delete { existed: hit },
+                    ServerRequest::Stats => unreachable!("stats operations are answered inline"),
+                },
             });
         }
         self.batches_served.fetch_add(1, Ordering::Relaxed);
         responses
             .into_iter()
-            .map(|response| response.expect("every batch slot is answered"))
+            .map(|response| {
+                // invariant: every batch slot was filled inline (Stats) or
+                // by the reply loop above.
+                #[allow(clippy::expect_used)]
+                response.expect("every batch slot is answered")
+            })
             .collect()
     }
 
@@ -405,6 +482,65 @@ impl Server {
         ops: Vec<(usize, ServerRequest)>,
         reply: &mpsc::Sender<ShardReply>,
     ) -> usize {
+        let Some(job) = self.shard_job(shard, ops, reply) else {
+            return 0;
+        };
+        let submitted = job.ops.len();
+        if let Some(gauge) = &self.queue_depth {
+            gauge.inc();
+        }
+        // invariant: workers only exit after the senders are dropped at
+        // shutdown, which cannot race a live borrow of the server.
+        #[allow(clippy::expect_used)]
+        self.senders[shard]
+            .send(job)
+            .expect("shard worker exited while the server was running");
+        submitted
+    }
+
+    /// Non-blocking [`Server::submit_shard_tagged`]: when the shard's
+    /// bounded queue has room the job is enqueued and `Ok(submitted)` is
+    /// returned; when it is full (or the workers are gone at shutdown)
+    /// nothing is enqueued and `Err((tags, code))` hands back the
+    /// submitted tags with the [`ErrorCode`] to answer them with
+    /// ([`ErrorCode::Busy`] on a full queue, [`ErrorCode::Shutdown`] after
+    /// the workers exited). This is how the event loop sheds load instead
+    /// of stalling on a saturated shard.
+    pub fn try_submit_shard_tagged(
+        &self,
+        shard: usize,
+        ops: Vec<(usize, ServerRequest)>,
+        reply: &mpsc::Sender<ShardReply>,
+    ) -> Result<usize, (Vec<usize>, ErrorCode)> {
+        let Some(job) = self.shard_job(shard, ops, reply) else {
+            return Ok(0);
+        };
+        let submitted = job.ops.len();
+        if let Some(gauge) = &self.queue_depth {
+            gauge.inc();
+        }
+        match self.senders[shard].try_send(job) {
+            Ok(()) => Ok(submitted),
+            Err(err) => {
+                if let Some(gauge) = &self.queue_depth {
+                    gauge.dec();
+                }
+                match err {
+                    mpsc::TrySendError::Full(job) => Err((job.tags, ErrorCode::Busy)),
+                    mpsc::TrySendError::Disconnected(job) => Err((job.tags, ErrorCode::Shutdown)),
+                }
+            }
+        }
+    }
+
+    /// Builds the [`ShardJob`] for a tagged submission; `None` when `ops`
+    /// is empty.
+    fn shard_job(
+        &self,
+        shard: usize,
+        ops: Vec<(usize, ServerRequest)>,
+        reply: &mpsc::Sender<ShardReply>,
+    ) -> Option<ShardJob> {
         let mut tags = Vec::with_capacity(ops.len());
         let mut shard_ops = Vec::with_capacity(ops.len());
         for (tag, operation) in ops {
@@ -413,26 +549,22 @@ impl Server {
                 Some(shard),
                 "operation routed to the wrong shard"
             );
+            // invariant: the front-end answers Stats inline; only paged
+            // operations reach a shard submission.
+            #[allow(clippy::expect_used)]
             let op =
                 Self::shard_op(operation).expect("stats operations cannot be submitted to a shard");
             tags.push(tag);
             shard_ops.push(op);
         }
-        let submitted = shard_ops.len();
-        if submitted == 0 {
-            return 0;
+        if shard_ops.is_empty() {
+            return None;
         }
-        if let Some(gauge) = &self.queue_depth {
-            gauge.inc();
-        }
-        self.senders[shard]
-            .send(ShardJob {
-                tags,
-                ops: shard_ops,
-                reply: reply.clone(),
-            })
-            .expect("shard worker exited while the server was running");
-        submitted
+        Some(ShardJob {
+            tags,
+            ops: shard_ops,
+            reply: reply.clone(),
+        })
     }
 
     /// The sharded cache behind the server.
@@ -500,7 +632,14 @@ impl Server {
     }
 
     /// [`Server::try_shutdown`], panicking on storage errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shutdown checkpoint fails; use
+    /// [`Server::try_shutdown`] to handle that as an error.
     pub fn shutdown(self) -> SimulationResult {
+        // invariant: documented panicking convenience over `try_shutdown`.
+        #[allow(clippy::expect_used)]
         self.try_shutdown()
             .expect("failed to checkpoint the page store at shutdown")
     }

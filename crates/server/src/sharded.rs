@@ -197,8 +197,19 @@ impl ShardedClic {
     /// # Panics
     ///
     /// Panics if the configuration has zero shards or fewer capacity pages
-    /// than shards.
+    /// than shards, or if a shard's page store fails to open; use
+    /// [`ShardedClic::try_new`] to handle store-open failures as errors.
     pub fn new(config: ShardedClicConfig) -> Self {
+        // invariant: documented panicking convenience over `try_new`.
+        #[allow(clippy::expect_used)]
+        ShardedClic::try_new(config).expect("failed to open a shard's page store")
+    }
+
+    /// [`ShardedClic::new`], surfacing shard-store open failures as errors
+    /// instead of panicking. Configuration errors (zero shards, capacity
+    /// below one page per shard) still panic — they are caller bugs, not
+    /// runtime conditions.
+    pub fn try_new(config: ShardedClicConfig) -> io::Result<Self> {
         assert!(config.shards > 0, "at least one shard is required");
         assert!(
             config.capacity >= config.shards,
@@ -233,31 +244,27 @@ impl ShardedClic {
             .collect();
         let (stores, flusher) = match config.store {
             Some(store_config) => {
-                let stores: Vec<Arc<PageStore>> = (0..config.shards)
-                    .map(|i| {
-                        let shard_capacity = base + usize::from(i < remainder);
-                        let mut shard_store = store_config.for_shard(i, config.shards);
-                        if config.recorder.is_enabled() {
-                            // One recorder across the cache and every shard
-                            // store: spans land in one trace and metrics in
-                            // one registry.
-                            shard_store.recorder = config.recorder.clone();
-                        }
-                        // Each shard store must hold at least one frame per
-                        // cache page of its shard, or admissions could
-                        // outrun it; a configured frame budget is split
-                        // across the shards.
-                        shard_store.frames = shard_store
-                            .frames
-                            .div_ceil(config.shards)
-                            .max(shard_capacity)
-                            .max(1);
-                        Arc::new(
-                            PageStore::open(shard_store)
-                                .expect("failed to open a shard's page store"),
-                        )
-                    })
-                    .collect();
+                let mut stores: Vec<Arc<PageStore>> = Vec::with_capacity(config.shards);
+                for i in 0..config.shards {
+                    let shard_capacity = base + usize::from(i < remainder);
+                    let mut shard_store = store_config.for_shard(i, config.shards);
+                    if config.recorder.is_enabled() {
+                        // One recorder across the cache and every shard
+                        // store: spans land in one trace and metrics in
+                        // one registry.
+                        shard_store.recorder = config.recorder.clone();
+                    }
+                    // Each shard store must hold at least one frame per
+                    // cache page of its shard, or admissions could
+                    // outrun it; a configured frame budget is split
+                    // across the shards.
+                    shard_store.frames = shard_store
+                        .frames
+                        .div_ceil(config.shards)
+                        .max(shard_capacity)
+                        .max(1);
+                    stores.push(Arc::new(PageStore::open(shard_store)?));
+                }
                 let flusher = store_config.flush_interval.map(|interval| {
                     Flusher::start(stores.clone(), interval, store_config.flush_batch)
                 });
@@ -265,7 +272,7 @@ impl ShardedClic {
             }
             None => (Vec::new(), None),
         };
-        ShardedClic {
+        Ok(ShardedClic {
             shards,
             sequencer: AtomicU64::new(0),
             merge_every: config.merge_every,
@@ -275,7 +282,7 @@ impl ShardedClic {
             stores,
             flusher,
             recorder: config.recorder,
-        }
+        })
     }
 
     /// Policy name, e.g. `"ShardedCLIC(shards=4)"`.
@@ -427,6 +434,10 @@ impl ShardedClic {
     /// Panics if no store is attached ([`ShardedClicConfig::with_store`]),
     /// if `payloads` is shorter than `reqs`, or (in debug builds) if any
     /// request's page does not belong to `shard_idx`.
+    // invariant: the `expect` below restates the documented panic —
+    // calling the data path without a store is a caller bug, not a
+    // runtime condition.
+    #[cfg_attr(not(test), allow(clippy::expect_used))]
     pub fn access_shard_batch_data(
         &self,
         shard_idx: usize,

@@ -23,7 +23,7 @@
 use cache_sim::{CacheStats, ClientId, HintSetId, PageId, SimulationResult, WriteHint};
 use clic_obs::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
 
-use crate::protocol::{ServerRequest, ServerResponse, StatsSnapshot};
+use crate::protocol::{ErrorCode, ServerRequest, ServerResponse, StatsSnapshot};
 
 /// Upper bound on `len` (the bytes after the length prefix). Generous —
 /// a stats snapshot with thousands of metrics and a page payload both fit
@@ -50,6 +50,9 @@ pub const OP_PUT_RESP: u8 = 0x82;
 pub const OP_DELETE_RESP: u8 = 0x83;
 /// Response opcode: [`ServerResponse::Stats`].
 pub const OP_STATS_RESP: u8 = 0x84;
+/// Response opcode: [`ServerResponse::Error`] — a typed failure answer to
+/// any request. Body is one [`ErrorCode`] byte.
+pub const OP_ERR: u8 = 0x85;
 
 /// Why a frame (or stream) was rejected. Any of these is fatal for the
 /// connection that produced it: framing state is unrecoverable once the
@@ -95,6 +98,8 @@ impl From<WireError> for std::io::Error {
 /// buffer. A length prefix beyond [`MAX_FRAME_LEN`] or below
 /// [`PAYLOAD_HEADER`] is rejected immediately, *before* waiting for the
 /// bytes it claims.
+// invariant: the `try_into` converts a length-checked 4-byte slice.
+#[cfg_attr(not(test), allow(clippy::unwrap_used))]
 pub fn take_frame(buf: &[u8]) -> Result<Option<(usize, &[u8])>, WireError> {
     if buf.len() < 4 {
         return Ok(None);
@@ -264,6 +269,9 @@ pub fn encode_response(seq: u64, response: &ServerResponse, out: &mut Vec<u8>) {
         ServerResponse::Stats(snapshot) => frame(out, OP_STATS_RESP, seq, |body| {
             put_stats_snapshot(body, snapshot);
         }),
+        ServerResponse::Error { code } => frame(out, OP_ERR, seq, |body| {
+            body.push(*code as u8);
+        }),
     }
 }
 
@@ -275,6 +283,9 @@ struct Reader<'a> {
     at: usize,
 }
 
+// invariant: every `try_into().unwrap()` below converts a slice whose
+// length `take` just checked against the requested width.
+#[cfg_attr(not(test), allow(clippy::unwrap_used))]
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, at: 0 }
@@ -505,6 +516,9 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, ServerResponse), WireErro
             },
         },
         OP_STATS_RESP => ServerResponse::Stats(Box::new(r.stats_snapshot()?)),
+        OP_ERR => ServerResponse::Error {
+            code: ErrorCode::from_u8(r.u8()?).ok_or(WireError::Malformed("unknown error code"))?,
+        },
         other => return Err(WireError::BadOpcode(other)),
     };
     r.finish()?;
@@ -699,6 +713,12 @@ mod tests {
             },
             ServerResponse::Put { hit: true },
             ServerResponse::Delete { existed: false },
+            ServerResponse::Error {
+                code: ErrorCode::Busy,
+            },
+            ServerResponse::Error {
+                code: ErrorCode::Corrupt,
+            },
         ];
         for (i, response) in responses.iter().enumerate() {
             let mut out = Vec::new();
@@ -709,6 +729,28 @@ mod tests {
             assert_eq!(decoded.hit(), response.hit());
             assert_eq!(decoded.data(), response.data());
             assert_eq!(decoded.existed(), response.existed());
+            assert_eq!(decoded.error_code(), response.error_code());
+        }
+    }
+
+    #[test]
+    fn unknown_error_codes_are_rejected() {
+        let mut out = Vec::new();
+        encode_response(
+            5,
+            &ServerResponse::Error {
+                code: ErrorCode::Io,
+            },
+            &mut out,
+        );
+        let code_at = out.len() - 1;
+        for bad in [0u8, 6, 0xff] {
+            out[code_at] = bad;
+            let (_, payload) = take_frame(&out).unwrap().unwrap();
+            assert!(matches!(
+                decode_response(payload),
+                Err(WireError::Malformed("unknown error code"))
+            ));
         }
     }
 }

@@ -18,7 +18,7 @@ use cache_sim::{ClientId, HintSetId, PageId, WriteHint};
 use clic_server::wire::{
     self, decode_request, decode_response, encode_request, encode_response, take_frame, WireError,
 };
-use clic_server::{ServerRequest, ServerResponse};
+use clic_server::{ErrorCode, ServerRequest, ServerResponse};
 
 /// Compact generator-side description of one request.
 #[derive(Debug, Clone)]
@@ -87,7 +87,18 @@ fn response_from(op: &GenOp) -> ServerResponse {
             data: op.data.clone(),
         },
         1 => ServerResponse::Put { hit: op.flag },
-        _ => ServerResponse::Delete { existed: op.flag },
+        2 => ServerResponse::Delete { existed: op.flag },
+        // Mix typed error frames into every response batch: the error
+        // path rides the same framer and must round-trip beside data.
+        _ => ServerResponse::Error {
+            code: [
+                ErrorCode::Io,
+                ErrorCode::Corrupt,
+                ErrorCode::Busy,
+                ErrorCode::Shutdown,
+                ErrorCode::Internal,
+            ][(op.page as usize) % 5],
+        },
     }
 }
 
@@ -97,6 +108,7 @@ fn assert_response_eq(a: &ServerResponse, b: &ServerResponse) -> Result<(), Test
     prop_assert_eq!(a.hit(), b.hit());
     prop_assert_eq!(a.data(), b.data());
     prop_assert_eq!(a.existed(), b.existed());
+    prop_assert_eq!(a.error_code(), b.error_code());
     prop_assert_eq!(a.stats().is_some(), b.stats().is_some());
     Ok(())
 }
@@ -183,6 +195,47 @@ proptest! {
             at += consumed;
         }
         prop_assert_eq!(at, stream.len());
+    }
+
+    /// `OP_ERR` frames round-trip every defined code under any seq, and a
+    /// patched-in unknown code byte fails closed as a malformed frame
+    /// rather than decoding to some other error.
+    #[test]
+    fn error_frames_round_trip_and_unknown_codes_fail_closed(
+        seq in any::<u64>(),
+        pick in 0usize..5,
+        bad_code in 6u8..=u8::MAX,
+    ) {
+        let code = [
+            ErrorCode::Io,
+            ErrorCode::Corrupt,
+            ErrorCode::Busy,
+            ErrorCode::Shutdown,
+            ErrorCode::Internal,
+        ][pick];
+        let mut frame = Vec::new();
+        encode_response(seq, &ServerResponse::Error { code }, &mut frame);
+        let (consumed, payload) = take_frame(&frame)
+            .expect("valid stream")
+            .expect("complete frame");
+        prop_assert_eq!(consumed, frame.len());
+        let (decoded_seq, decoded) = decode_response(payload).expect("valid frame");
+        prop_assert_eq!(decoded_seq, seq);
+        prop_assert_eq!(decoded.error_code(), Some(code));
+        // The code byte is the last body byte; replace it with an
+        // out-of-range value (0 is also undefined) and decode must reject.
+        for bad in [0u8, bad_code] {
+            let mut patched = frame.clone();
+            let last = patched.len() - 1;
+            patched[last] = bad;
+            let (_, payload) = take_frame(&patched)
+                .expect("valid stream")
+                .expect("complete frame");
+            prop_assert!(
+                matches!(decode_response(payload), Err(WireError::Malformed(_))),
+                "unknown code {bad} must fail closed"
+            );
+        }
     }
 
     /// Arbitrary garbage never panics the framer or the decoders: every

@@ -48,6 +48,7 @@ use cache_sim::sync::recover_lock;
 use cache_sim::{page_partition, FastHashMap, PageId};
 
 use crate::crc::Crc32;
+use crate::fault::{FaultInjector, FaultPoint, InjectedFault};
 
 /// Identifies a clic-store backing file (version 1).
 const FILE_MAGIC: [u8; 8] = *b"CLICPGS1";
@@ -216,6 +217,7 @@ pub struct DiskManager {
     page_size: usize,
     directory: Box<[Mutex<FastHashMap<PageId, u32>>]>,
     bitmap: ShardedBitmap,
+    fault: FaultInjector,
 }
 
 impl DiskManager {
@@ -227,6 +229,22 @@ impl DiskManager {
     /// magic or page size disagree, or if two live slots claim the same
     /// page.
     pub fn open(path: &Path, page_size: usize) -> io::Result<DiskManager> {
+        DiskManager::open_with(path, page_size, FaultInjector::disabled())
+    }
+
+    /// [`DiskManager::open`] with a [`FaultInjector`] armed at the
+    /// [`FaultPoint::DiskRead`], [`FaultPoint::DiskWrite`], and
+    /// [`FaultPoint::DataSync`] points. The open-time header scan is not
+    /// fault-injected: it models recovery, which runs before the
+    /// schedule starts.
+    // invariant: the `try_into().unwrap()`s below convert constant-bound
+    // subslices of fixed-size buffers into arrays — they cannot fail.
+    #[cfg_attr(not(test), allow(clippy::unwrap_used))]
+    pub fn open_with(
+        path: &Path,
+        page_size: usize,
+        fault: FaultInjector,
+    ) -> io::Result<DiskManager> {
         assert!(page_size > 0, "page size must be positive");
         let file = OpenOptions::new()
             .read(true)
@@ -264,6 +282,7 @@ impl DiskManager {
                 .map(|_| Mutex::new(FastHashMap::default()))
                 .collect(),
             bitmap: ShardedBitmap::new(BITMAP_STRIPES),
+            fault,
         };
         let stride = manager.stride();
         let slots = file_len.saturating_sub(HEADER_LEN) / stride;
@@ -352,7 +371,20 @@ impl DiskManager {
         let mut slot_buf = vec![0u8; SLOT_META_LEN + self.page_size];
         self.file
             .read_exact_at(&mut slot_buf, self.slot_offset(slot))?;
+        match self.fault.decide(FaultPoint::DiskRead, slot_buf.len()) {
+            InjectedFault::None => {}
+            InjectedFault::Corrupt(at) => {
+                // Flip one byte of what the "device" returned: the CRC
+                // check below reports it as a torn frame, exactly like
+                // real media corruption.
+                slot_buf[at] ^= 0xff;
+            }
+            _ => return Err(FaultInjector::error(FaultPoint::DiskRead)),
+        }
+        // invariant: constant-bound subslices of a fixed-size meta prefix.
+        #[allow(clippy::unwrap_used)]
         let stored_page = u64::from_le_bytes(slot_buf[..8].try_into().unwrap());
+        #[allow(clippy::unwrap_used)]
         let stored_crc = u32::from_le_bytes(slot_buf[8..12].try_into().unwrap());
         let data = &slot_buf[SLOT_META_LEN..];
         if stored_page != page.0 || stored_crc != Self::checksum(page, data) {
@@ -387,7 +419,18 @@ impl DiskManager {
         slot_buf[8..12].copy_from_slice(&Self::checksum(page, data).to_le_bytes());
         slot_buf[12..16].copy_from_slice(&FLAG_ALLOCATED.to_le_bytes());
         slot_buf[SLOT_META_LEN..].copy_from_slice(data);
-        self.file.write_all_at(&slot_buf, self.slot_offset(slot))?;
+        match self.fault.decide(FaultPoint::DiskWrite, slot_buf.len()) {
+            InjectedFault::None => self.file.write_all_at(&slot_buf, self.slot_offset(slot))?,
+            InjectedFault::Torn(n) => {
+                // A torn frame write: the slot now holds a mix of old and
+                // new bytes whose CRC cannot verify — the next read_page
+                // reports it, and recovery replays the WAL copy over it.
+                self.file
+                    .write_all_at(&slot_buf[..n], self.slot_offset(slot))?;
+                return Err(FaultInjector::error(FaultPoint::DiskWrite));
+            }
+            _ => return Err(FaultInjector::error(FaultPoint::DiskWrite)),
+        }
         Ok(())
     }
 
@@ -402,6 +445,14 @@ impl DiskManager {
             Some(slot) => slot,
             None => return Ok(false),
         };
+        if let InjectedFault::Fail | InjectedFault::Torn(_) =
+            self.fault.decide(FaultPoint::DiskWrite, SLOT_META_LEN)
+        {
+            // Re-publish the mapping: the zeroed meta never hit the file,
+            // so the slot still holds the live page.
+            recover_lock(self.stripe_of(page)).insert(page, slot);
+            return Err(FaultInjector::error(FaultPoint::DiskWrite));
+        }
         self.file
             .write_all_at(&[0u8; SLOT_META_LEN], self.slot_offset(slot))?;
         self.bitmap.clear(slot as usize);
@@ -410,6 +461,9 @@ impl DiskManager {
 
     /// Flushes file contents to the device (`fsync`-equivalent).
     pub fn sync(&self) -> io::Result<()> {
+        if self.fault.decide(FaultPoint::DataSync, 0) != InjectedFault::None {
+            return Err(FaultInjector::error(FaultPoint::DataSync));
+        }
         self.file.sync_data()
     }
 }

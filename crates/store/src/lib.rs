@@ -78,6 +78,18 @@
 //! per-chunk latency histogram ([`REPLAY_CHUNK_HISTOGRAM`]); disabled (the
 //! default) it costs one `Option` check per site.
 //!
+//! **Fault injection:** a seeded [`FaultInjector`] ([`fault`],
+//! [`StoreConfig::with_fault_injector`]) can schedule deterministic I/O
+//! failures — failed or torn writes, failed `fsync`s, corrupted reads — at
+//! the [`DiskManager`] and [`Wal`] boundaries. Disabled (the default) it
+//! costs one `Option` check per I/O, exactly like the `Recorder`; enabled,
+//! the k-th operation at each injection point faults identically on every
+//! run with the same seed, and each injected fault bumps
+//! `store.injected_faults` in the metrics registry. Injected errors carry
+//! the [`INJECTED_FAULT`] marker so tests can tell scheduled failures from
+//! real ones. This is the substrate of the crash-recovery proptests and
+//! the `chaos_smoke` verification gate.
+//!
 //! The online counterpart lives in `clic-server`: a `ShardedClic` attaches
 //! one store *per shard*, so `Put` carries bytes in and `Get` carries bytes
 //! out of a live server with no cross-shard storage coupling.
@@ -134,10 +146,12 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 #![deny(clippy::disallowed_methods)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod crc;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod flusher;
 pub mod frame;
 pub mod replay;
@@ -147,6 +161,7 @@ pub mod wal;
 pub use crc::{crc32, Crc32};
 pub use disk::{AllocationBitmap, DiskManager, ShardedBitmap};
 pub use error::{StoreError, StoreResult};
+pub use fault::{FaultInjector, FaultPoint, InjectedFault, FAULT_POINTS, INJECTED_FAULT};
 pub use flusher::Flusher;
 pub use frame::{EvictGuard, FrameArena, PageReadGuard, PageWriteGuard};
 pub use replay::{

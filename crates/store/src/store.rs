@@ -35,6 +35,7 @@ use clic_obs::{Counter, MetricsRegistry, MetricsSnapshot, Recorder, SpanKind};
 
 use crate::disk::DiskManager;
 use crate::error::StoreError;
+use crate::fault::FaultInjector;
 use crate::frame::FrameArena;
 use crate::wal::{Durability, Wal};
 
@@ -75,6 +76,11 @@ pub struct StoreConfig {
     /// when enabled. Disabled by default, which costs nothing — the
     /// always-on [`IoStats`] counters do not depend on it.
     pub recorder: Recorder,
+    /// Deterministic fault schedule armed at the disk and WAL I/O points
+    /// ([`crate::FaultPoint`]). Disabled by default — one `Option` check
+    /// per I/O. Faults injected here bump `store.injected_faults` in the
+    /// store's metrics registry.
+    pub fault: FaultInjector,
 }
 
 impl StoreConfig {
@@ -92,6 +98,7 @@ impl StoreConfig {
             flush_batch: 64,
             flush_interval: None,
             recorder: Recorder::disabled(),
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -138,6 +145,15 @@ impl StoreConfig {
     /// deployment.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Arms a [`FaultInjector`] at the store's disk and WAL I/O points.
+    /// Shards created through [`StoreConfig::for_shard`] share it (a clone
+    /// shares the schedule and its counters), so one injector drives — and
+    /// one set of counts observes — the whole deployment.
+    pub fn with_fault_injector(mut self, fault: FaultInjector) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -298,10 +314,22 @@ impl PageStore {
     pub fn open(config: StoreConfig) -> io::Result<PageStore> {
         assert!(config.frames > 0, "at least one buffer frame is required");
         std::fs::create_dir_all(&config.dir)?;
-        let disk = DiskManager::open(&config.dir.join("store.pages"), config.page_size)?;
+        let registry = MetricsRegistry::new();
+        config
+            .fault
+            .attach_counter(registry.counter("store.injected_faults"));
+        let disk = DiskManager::open_with(
+            &config.dir.join("store.pages"),
+            config.page_size,
+            config.fault.clone(),
+        )?;
         let mut recovered_writes = 0u64;
         let wal = if config.wal {
-            let (mut wal, records) = Wal::open(&config.dir.join("store.wal"), config.durability)?;
+            let (mut wal, records) = Wal::open_with(
+                &config.dir.join("store.wal"),
+                config.durability,
+                config.fault.clone(),
+            )?;
             for record in &records {
                 match &record.op {
                     crate::wal::WalOp::Write(data) => {
@@ -327,7 +355,6 @@ impl PageStore {
         } else {
             None
         };
-        let registry = MetricsRegistry::new();
         let io = IoCounters::new(&registry);
         Ok(PageStore {
             disk,

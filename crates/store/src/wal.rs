@@ -52,6 +52,7 @@ use std::time::{Duration, Instant};
 use cache_sim::PageId;
 
 use crate::crc::crc32;
+use crate::fault::{FaultInjector, FaultPoint, InjectedFault};
 
 /// Record kind: a full-page write.
 const KIND_PAGE_WRITE: u8 = 1;
@@ -154,6 +155,7 @@ pub struct Wal {
     /// Appends acknowledged since the last sync.
     pending: usize,
     last_sync: Instant,
+    fault: FaultInjector,
 }
 
 impl Wal {
@@ -163,6 +165,20 @@ impl Wal {
     /// signature of a crash mid-append — is silently discarded (subsequent
     /// appends overwrite it).
     pub fn open(path: &Path, durability: Durability) -> io::Result<(Wal, Vec<WalRecord>)> {
+        Wal::open_with(path, durability, FaultInjector::disabled())
+    }
+
+    /// [`Wal::open`] with a [`FaultInjector`] armed at the
+    /// [`FaultPoint::WalAppend`] and [`FaultPoint::WalSync`] points.
+    // invariant: the three `try_into().unwrap()`s below convert slices
+    // whose length the replay loop has already checked (>= FRAME_LEN /
+    // >= PAYLOAD_HEADER) into fixed-size arrays — they cannot fail.
+    #[cfg_attr(not(test), allow(clippy::unwrap_used))]
+    pub fn open_with(
+        path: &Path,
+        durability: Durability,
+        fault: FaultInjector,
+    ) -> io::Result<(Wal, Vec<WalRecord>)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -207,6 +223,7 @@ impl Wal {
             synced_len: 0,
             pending: 0,
             last_sync: Instant::now(),
+            fault,
         };
         Ok((wal, records))
     }
@@ -236,7 +253,18 @@ impl Wal {
         let crc = crc32(&record[FRAME_LEN..]);
         record[4..8].copy_from_slice(&crc.to_le_bytes());
         self.file.seek(SeekFrom::Start(self.len))?;
-        self.file.write_all(&record)?;
+        match self.fault.decide(FaultPoint::WalAppend, record.len()) {
+            InjectedFault::None => self.file.write_all(&record)?,
+            InjectedFault::Torn(n) => {
+                // A torn append persists a garbage prefix but never
+                // advances `len`: the next append overwrites it, and if
+                // the process dies first, replay's longest-valid-prefix
+                // rule discards it — a crash mid-append in miniature.
+                self.file.write_all(&record[..n])?;
+                return Err(FaultInjector::error(FaultPoint::WalAppend));
+            }
+            _ => return Err(FaultInjector::error(FaultPoint::WalAppend)),
+        }
         self.len += record.len() as u64;
         self.records += 1;
         self.pending += 1;
@@ -263,8 +291,15 @@ impl Wal {
         Ok(outcome)
     }
 
-    /// Flushes the log to the device and resets the pending group.
+    /// Flushes the log to the device and resets the pending group. An
+    /// injected [`FaultPoint::WalSync`] failure leaves [`Wal::synced_len`]
+    /// unchanged: the appended bytes stay OS-buffered (they may still
+    /// become durable under a later successful sync) but are *not*
+    /// acknowledged as device-durable.
     pub fn sync(&mut self) -> io::Result<()> {
+        if self.fault.decide(FaultPoint::WalSync, 0) != InjectedFault::None {
+            return Err(FaultInjector::error(FaultPoint::WalSync));
+        }
         self.file.sync_data()?;
         self.synced_len = self.len;
         self.pending = 0;

@@ -30,7 +30,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use cache_sim::PageId;
-use clic_store::{Durability, PageStore, ReadSource, StoreConfig};
+use clic_store::{
+    Durability, FaultInjector, FaultPoint, PageStore, ReadSource, StoreConfig, INJECTED_FAULT,
+};
 
 const PAGE_SIZE: usize = 64;
 
@@ -233,6 +235,141 @@ proptest! {
         }
         drop(store);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crash recovery *under fire*: a seeded [`FaultInjector`] tears WAL
+    /// appends and fails fsyncs mid-run at every durability level, and the
+    /// kernel-crash cut (truncate to the synced prefix) must still recover
+    /// a consistent prefix:
+    ///
+    /// * a torn or failed append does not advance the WAL, so the record
+    ///   never counts — the next append overwrites the garbage;
+    /// * a failed fsync leaves the record *appended but unsynced*; a later
+    ///   successful sync (of a later write) makes it durable retroactively,
+    ///   because fsync covers the whole file;
+    /// * recovery replays exactly the records inside the synced prefix, in
+    ///   order, and nothing after it.
+    ///
+    /// The acknowledged/failed split observed by the caller (via the
+    /// injector's error labels) must exactly reconcile with the store's own
+    /// `wal_len`/`wal_synced_len` accounting — any drift between the two
+    /// is a lost or phantom write.
+    #[test]
+    fn injected_wal_faults_preserve_the_synced_prefix(
+        ops in vec((0u64..16, any::<u8>()), 1..60),
+        durability_pick in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let durability = [
+            Durability::Buffered,
+            Durability::group_commit(),
+            Durability::Strict,
+        ][durability_pick];
+        let dir = scratch_dir("injected");
+        let fault = FaultInjector::seeded(seed)
+            .with_rate(FaultPoint::WalAppend, 0.2)
+            .with_rate(FaultPoint::WalSync, 0.2);
+        let config = StoreConfig::new(&dir, 32)
+            .with_page_size(PAGE_SIZE)
+            .with_durability(durability)
+            .with_fault_injector(fault.clone());
+        // 32 frames over 16 pages: no evictions, so recovery is exactly
+        // WAL replay and the backing file stays out of the picture.
+        let mut appended: Vec<(u64, u8)> = Vec::new();
+        let (synced_len, total_len) = {
+            let store = PageStore::open(config.clone()).expect("open");
+            for &(page, tag) in &ops {
+                match store.stage(PageId(page), &payload(tag)) {
+                    Ok(()) => appended.push((page, tag)),
+                    Err(err) => {
+                        let msg = err.to_string();
+                        prop_assert!(
+                            msg.contains(INJECTED_FAULT),
+                            "only injected faults may fail a stage: {msg}"
+                        );
+                        // A failed *sync* still appended the record; a
+                        // failed or torn *append* did not advance the WAL.
+                        if msg.contains(FaultPoint::WalSync.label()) {
+                            appended.push((page, tag));
+                        }
+                    }
+                }
+            }
+            (store.wal_synced_len(), store.wal_len())
+        };
+        if appended.is_empty() {
+            prop_assert_eq!(total_len, 0);
+            std::fs::remove_dir_all(&dir).ok();
+            return Ok(());
+        }
+        // Records are uniform (fixed page size), so byte lengths reconcile
+        // the caller's view with the WAL's own accounting.
+        let record_len = total_len / appended.len() as u64;
+        prop_assert_eq!(
+            total_len,
+            record_len * appended.len() as u64,
+            "appended-record count must explain the WAL length exactly"
+        );
+        let synced_records = synced_len.checked_div(record_len).unwrap_or(0) as usize;
+        prop_assert_eq!(synced_len, synced_records as u64 * record_len);
+
+        truncate_wal(&dir, synced_len);
+        let reopened = StoreConfig::new(&dir, 32)
+            .with_page_size(PAGE_SIZE)
+            .with_durability(durability);
+        let store = PageStore::open(reopened).expect("recovery runs fault-free");
+        prop_assert_eq!(store.recovered_writes(), synced_records as u64);
+        let mut expected: HashMap<u64, u8> = HashMap::new();
+        for &(page, tag) in &appended[..synced_records] {
+            expected.insert(page, tag);
+        }
+        let mut buf = Vec::new();
+        for page in 0u64..16 {
+            let source = store.read(PageId(page), &mut buf).expect("read back");
+            match expected.get(&page) {
+                Some(&tag) => {
+                    prop_assert_eq!(&buf, &payload(tag), "page {} content", page);
+                }
+                None => prop_assert_eq!(source, ReadSource::Zero),
+            }
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The same seed injects the same fault schedule: two identical runs
+    /// agree on every acknowledgement, every injector count, and the
+    /// recovered contents — the property that makes a chaos failure
+    /// replayable from its seed alone.
+    #[test]
+    fn fault_schedules_replay_deterministically(
+        ops in vec((0u64..8, any::<u8>()), 1..40),
+        seed in 0u64..1_000,
+    ) {
+        type RunOutcome = (Vec<bool>, Vec<(FaultPoint, u64, u64)>, u64);
+        let mut outcomes: Vec<RunOutcome> = Vec::new();
+        for run in 0..2 {
+            let dir = scratch_dir(&format!("det-{run}"));
+            let fault = FaultInjector::seeded(seed)
+                .with_rate(FaultPoint::WalAppend, 0.25)
+                .with_rate(FaultPoint::WalSync, 0.25);
+            let config = StoreConfig::new(&dir, 16)
+                .with_page_size(PAGE_SIZE)
+                .with_durability(Durability::Strict)
+                .with_fault_injector(fault.clone());
+            let store = PageStore::open(config).expect("open");
+            let acks: Vec<bool> = ops
+                .iter()
+                .map(|&(page, tag)| store.stage(PageId(page), &payload(tag)).is_ok())
+                .collect();
+            let synced = store.wal_synced_len();
+            outcomes.push((acks, fault.counts(), synced));
+            drop(store);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        prop_assert_eq!(&outcomes[0].0, &outcomes[1].0, "ack sequences diverged");
+        prop_assert_eq!(&outcomes[0].1, &outcomes[1].1, "injector counts diverged");
+        prop_assert_eq!(outcomes[0].2, outcomes[1].2, "synced prefixes diverged");
     }
 
     /// Strict durability: every acknowledged write is synced before `stage`

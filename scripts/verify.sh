@@ -38,6 +38,20 @@
 #                                      # integration tests; part of the
 #                                      # default full run, this flag adds it
 #                                      # to --quick runs
+#   scripts/verify.sh --smoke-chaos    # robustness gate: the chaos_smoke
+#                                      # binary (seeded fault injection;
+#                                      # asserts strict durability survives a
+#                                      # WAL fault storm deterministically,
+#                                      # open-loop load over a faulted store
+#                                      # degrades to typed OP_ERR/Busy
+#                                      # answers with a bounded error rate,
+#                                      # and a retrying client rides out
+#                                      # injected accept drops, connection
+#                                      # resets, and torn sends) plus the
+#                                      # fault-injection crash-recovery
+#                                      # proptests; part of the default full
+#                                      # run, this flag adds it to --quick
+#                                      # runs
 #   scripts/verify.sh --smoke-bench    # additionally crash-check EVERY bench
 #                                      # binary (via run_all) at smoke scale,
 #                                      # BOTH with --jobs 1 and --jobs 2, and
@@ -65,6 +79,7 @@ smoke_bench=0
 smoke_store=0
 smoke_obs=0
 smoke_net=0
+smoke_chaos=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
@@ -73,17 +88,19 @@ for arg in "$@"; do
         --smoke-store) smoke_store=1 ;;
         --smoke-obs) smoke_obs=1 ;;
         --smoke-net) smoke_net=1 ;;
-        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench] [--smoke-store] [--smoke-obs] [--smoke-net]" >&2; exit 2 ;;
+        --smoke-chaos) smoke_chaos=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick] [--smoke-server] [--smoke-bench] [--smoke-store] [--smoke-obs] [--smoke-net] [--smoke-chaos]" >&2; exit 2 ;;
     esac
 done
 
-# The data-plane, observability, and network smokes are part of the default
-# full run; --smoke-store / --smoke-obs / --smoke-net only need to be
-# spelled out to add them to a --quick run.
+# The data-plane, observability, network, and robustness smokes are part of
+# the default full run; --smoke-store / --smoke-obs / --smoke-net /
+# --smoke-chaos only need to be spelled out to add them to a --quick run.
 if [ "$quick" -eq 0 ]; then
     smoke_store=1
     smoke_obs=1
     smoke_net=1
+    smoke_chaos=1
 fi
 
 echo "== tier-1: cargo build --release =="
@@ -119,7 +136,7 @@ if [ "$smoke_bench" -eq 1 ]; then
         base="$(basename "$f")"
         case "$base" in
             # Timing-dependent outputs legitimately differ between runs.
-            access_hotpath.csv|server_throughput.csv|server_latency.csv) continue ;;
+            access_hotpath.csv|server_throughput.csv|server_latency.csv|chaos_smoke.csv) continue ;;
         esac
         if ! cmp -s "$f" "target/smoke-results-j2/$base"; then
             echo "DIVERGENCE: $base differs between --jobs 1 and --jobs 2" >&2
@@ -202,6 +219,27 @@ if [ "$smoke_net" -eq 1 ]; then
     echo "== smoke: wire-protocol properties + loopback bit-identity tests =="
     cargo test --release -q -p clic-server --test wire_properties
     cargo test --release -q -p clic --test net_front_end
+fi
+
+if [ "$smoke_chaos" -eq 1 ]; then
+    # The gate's assertions live inside the binary: phase A runs a strict
+    # store through a seeded WAL fault storm twice and requires identical
+    # acks, injector counts, synced prefixes, and recovered bytes after a
+    # simulated kernel crash; phase B offers open-loop load over a store
+    # whose WAL appends fault and requires every request answered (typed
+    # OP_ERR/Busy, never silence) with a bounded error fraction; phase C
+    # drives a retrying client through injected accept drops, connection
+    # resets, and torn sends, and requires each fault type demonstrably
+    # fired with zero client-visible failures.
+    echo "== smoke: robustness gate (chaos_smoke, seeded fault injection) =="
+    cargo run --release -q -p clic-bench --bin chaos_smoke -- \
+        --quick --out-dir target/smoke-results
+    if [ "$smoke_store" -eq 0 ]; then
+        # (--smoke-store subsumes this: crash_recovery already carries the
+        # fault-injection proptests, so don't run it twice.)
+        echo "== smoke: fault-injection crash-recovery proptests =="
+        cargo test --release -q -p clic-store --test crash_recovery
+    fi
 fi
 
 if [ "$quick" -eq 1 ]; then
